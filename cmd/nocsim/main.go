@@ -1,0 +1,136 @@
+// Command nocsim drives the cycle-accurate NoC simulator: it sweeps
+// injection rates over a topology under a synthetic traffic pattern and
+// prints the latency/throughput table (the methodology behind Fig. 8b).
+//
+// Usage:
+//
+//	nocsim -topo mesh-4x4 -pattern transpose -rates 0.05,0.1,0.2,0.3,0.4,0.5
+//	nocsim -topo clos-m4n4r4 -pattern adversarial
+//	nocsim -topo butterfly-4ary2fly -pattern uniform -packet 8 -seed 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"sunmap"
+	"sunmap/internal/sim"
+	"sunmap/internal/topology"
+	"sunmap/internal/traffic"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "nocsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("nocsim", flag.ContinueOnError)
+	topoName := fs.String("topo", "mesh-4x4", "topology name (e.g. mesh-4x4, torus-4x4, clos-m4n4r4, butterfly-4ary2fly)")
+	pattern := fs.String("pattern", "uniform", "traffic: uniform, transpose, tornado, bit-complement, bit-reverse, shuffle, hotspot, adversarial")
+	rates := fs.String("rates", "0.05,0.1,0.2,0.3,0.4,0.5", "comma-separated injection rates (flits/cycle/node)")
+	packet := fs.Int("packet", 4, "packet length in flits")
+	bufDepth := fs.Int("buf", 4, "input buffer depth in flits")
+	seed := fs.Int64("seed", 1, "random seed")
+	warmup := fs.Int("warmup", 1000, "warmup cycles")
+	measure := fs.Int("measure", 4000, "measurement cycles")
+	drain := fs.Int("drain", 6000, "drain cycles")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	topo, err := sunmap.TopologyByName(*topoName)
+	if err != nil {
+		return err
+	}
+	pat, err := patternByName(*pattern, topo)
+	if err != nil {
+		return err
+	}
+	rateList, err := parseRates(*rates)
+	if err != nil {
+		return err
+	}
+	rt, err := sunmap.BuildRoutes(topo)
+	if err != nil {
+		return err
+	}
+	stats, err := sim.Sweep(sim.Config{
+		Topo:          topo,
+		Routes:        rt,
+		Pattern:       pat,
+		PacketFlits:   *packet,
+		BufDepthFlits: *bufDepth,
+		Seed:          *seed,
+		WarmupCycles:  *warmup,
+		MeasureCycles: *measure,
+		DrainCycles:   *drain,
+	}, rateList)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "%s, pattern %s, %d-flit packets\n", topo.Name(), pat.Name(), *packet)
+	fmt.Fprintf(out, "%-8s %12s %12s %10s %10s %6s\n",
+		"rate", "avg lat(cy)", "p95 lat(cy)", "tput f/c/n", "packets", "sat")
+	for i, st := range stats {
+		sat := ""
+		if st.Saturated {
+			sat = "*"
+		}
+		fmt.Fprintf(out, "%-8.3f %12.1f %12.1f %10.3f %10d %6s\n",
+			rateList[i], st.AvgLatencyCycles, st.P95LatencyCycles,
+			st.ThroughputFPC, st.MeasuredPackets, sat)
+	}
+	return nil
+}
+
+func patternByName(name string, topo topology.Topology) (traffic.Pattern, error) {
+	switch name {
+	case "uniform":
+		return traffic.Uniform{}, nil
+	case "transpose":
+		return traffic.Transpose{}, nil
+	case "tornado":
+		return traffic.Tornado{}, nil
+	case "bit-complement":
+		return traffic.BitComplement{}, nil
+	case "bit-reverse":
+		return traffic.BitReverse{}, nil
+	case "shuffle":
+		return traffic.Shuffle{}, nil
+	case "hotspot":
+		return traffic.Hotspot{Node: 0, Frac: 0.3}, nil
+	case "adversarial":
+		return traffic.Adversarial(topo), nil
+	}
+	return nil, fmt.Errorf("unknown pattern %q", name)
+}
+
+func parseRates(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(part, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad rate %q", part)
+		}
+		if v <= 0 || v > 1 {
+			return nil, fmt.Errorf("rate %g outside (0, 1]", v)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no rates given")
+	}
+	return out, nil
+}

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSweep(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-topo", "mesh-2x2", "-pattern", "uniform", "-rates", "0.1,0.2",
+		"-warmup", "200", "-measure", "500", "-drain", "1000"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "mesh-2x2") || !strings.Contains(out, "avg lat") {
+		t.Errorf("unexpected output:\n%s", out)
+	}
+	if strings.Count(out, "\n") < 4 {
+		t.Errorf("missing rate rows:\n%s", out)
+	}
+}
+
+func TestRunAdversarialPattern(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-topo", "butterfly-2ary2fly", "-pattern", "adversarial", "-rates", "0.1",
+		"-warmup", "100", "-measure", "300", "-drain", "500"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "group-shift") {
+		t.Errorf("adversarial pattern not resolved:\n%s", sb.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"-topo", "bogus"},
+		{"-pattern", "bogus"},
+		{"-rates", "abc"},
+		{"-rates", "2.0"},
+		{"-rates", ""},
+	}
+	for _, args := range cases {
+		var sb strings.Builder
+		if err := run(args, &sb); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+func TestParseRates(t *testing.T) {
+	got, err := parseRates("0.1, 0.2 ,0.3")
+	if err != nil || len(got) != 3 {
+		t.Fatalf("parseRates: %v %v", got, err)
+	}
+}

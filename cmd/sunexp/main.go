@@ -1,0 +1,85 @@
+// Command sunexp regenerates the paper's tables and figures (Section 6)
+// as text tables — the source of EXPERIMENTS.md.
+//
+// Usage:
+//
+//	sunexp                 # run everything
+//	sunexp -exp fig6       # one experiment
+//	sunexp -exp fig8b -rates 0.1,0.3,0.5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"sunmap/internal/exp"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "sunexp:", err)
+		os.Exit(1)
+	}
+}
+
+type experiment struct {
+	name string
+	run  func(rates []float64) (fmt.Stringer, error)
+}
+
+var experiments = []experiment{
+	{"fig3d", func([]float64) (fmt.Stringer, error) { return exp.Fig3d() }},
+	{"fig6", func([]float64) (fmt.Stringer, error) { return exp.Fig6() }},
+	{"fig7b", func([]float64) (fmt.Stringer, error) { return exp.Fig7b() }},
+	{"fig8b", func(r []float64) (fmt.Stringer, error) { return exp.Fig8b(r) }},
+	{"fig8cd", func([]float64) (fmt.Stringer, error) { return exp.Fig8cd() }},
+	{"fig9a", func([]float64) (fmt.Stringer, error) { return exp.Fig9a() }},
+	{"fig9b", func([]float64) (fmt.Stringer, error) { return exp.Fig9b() }},
+	{"fig10", func([]float64) (fmt.Stringer, error) { return exp.Fig10() }},
+	{"fig11", func([]float64) (fmt.Stringer, error) { return exp.Fig11() }},
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("sunexp", flag.ContinueOnError)
+	which := fs.String("exp", "all", "experiment: all, fig3d, fig6, fig7b, fig8b, fig8cd, fig9a, fig9b, fig10, fig11")
+	rates := fs.String("rates", "", "injection rates for fig8b (comma separated)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var rateList []float64
+	for _, part := range strings.Split(*rates, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(part, 64)
+		if err != nil {
+			return fmt.Errorf("bad rate %q", part)
+		}
+		rateList = append(rateList, v)
+	}
+
+	ran := 0
+	for _, e := range experiments {
+		if *which != "all" && *which != e.name {
+			continue
+		}
+		start := time.Now()
+		res, err := e.run(rateList)
+		if err != nil {
+			return fmt.Errorf("%s: %v", e.name, err)
+		}
+		fmt.Fprintln(out, res.String())
+		fmt.Fprintf(out, "[%s regenerated in %v]\n\n", e.name, time.Since(start).Round(time.Millisecond))
+		ran++
+	}
+	if ran == 0 {
+		return fmt.Errorf("unknown experiment %q", *which)
+	}
+	return nil
+}

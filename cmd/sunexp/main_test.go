@@ -1,0 +1,40 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSingleExperiment(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-exp", "fig3d"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "Fig 3(d)") || !strings.Contains(out, "torus/mesh") {
+		t.Errorf("fig3d output wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "regenerated in") {
+		t.Error("timing line missing")
+	}
+}
+
+func TestRunFig8bWithCustomRates(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-exp", "fig8b", "-rates", "0.1"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "0.10") {
+		t.Errorf("custom rate not used:\n%s", sb.String())
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-exp", "fig99"}, &sb); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if err := run([]string{"-rates", "xx"}, &sb); err == nil {
+		t.Error("bad rates accepted")
+	}
+}

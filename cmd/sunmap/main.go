@@ -1,0 +1,163 @@
+// Command sunmap runs the SUNMAP flow: topology selection and mapping for
+// an application core graph, optionally generating the SystemC network
+// description (Phase 3).
+//
+// Usage:
+//
+//	sunmap -app vopd -objective delay -routing MP -bw 500
+//	sunmap -file design.cg -objective power -routing SM -gen out/
+//	sunmap -app mpeg4 -escalate            # retries with split routing
+//	sunmap -app dsp -topo butterfly-3ary2fly
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"sunmap"
+	"sunmap/internal/mapping"
+	"sunmap/internal/route"
+	"sunmap/internal/tech"
+	"sunmap/internal/topology"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "sunmap:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("sunmap", flag.ContinueOnError)
+	appName := fs.String("app", "", "built-in application (vopd, mpeg4, netproc, dsp)")
+	file := fs.String("file", "", "core-graph file in SUNMAP text format")
+	objective := fs.String("objective", "delay", "design objective: delay, area or power")
+	routing := fs.String("routing", "MP", "routing function: DO, MP, SM or SA")
+	bw := fs.Float64("bw", 500, "link capacity in MB/s (0 = unconstrained)")
+	maxArea := fs.Float64("maxarea", 0, "chip area constraint in mm^2 (0 = unconstrained)")
+	techName := fs.String("tech", "100nm", "technology node (130nm, 100nm, 90nm, 65nm)")
+	topoName := fs.String("topo", "", "map onto one named topology instead of selecting")
+	escalate := fs.Bool("escalate", false, "escalate to split routing if nothing is feasible")
+	extras := fs.Bool("extras", false, "include octagon and star in the library")
+	genDir := fs.String("gen", "", "write the generated SystemC design to this directory")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	app, err := loadApp(*appName, *file)
+	if err != nil {
+		return err
+	}
+	tc, err := tech.ByName(*techName)
+	if err != nil {
+		return err
+	}
+	fn, err := route.ParseFunction(*routing)
+	if err != nil {
+		return err
+	}
+	obj, err := parseObjective(*objective)
+	if err != nil {
+		return err
+	}
+	opts := sunmap.MapOptions{
+		Routing:      fn,
+		Objective:    obj,
+		CapacityMBps: *bw,
+		MaxAreaMM2:   *maxArea,
+		Tech:         tc,
+	}
+
+	var best *sunmap.MapResult
+	if *topoName != "" {
+		topo, err := sunmap.TopologyByName(*topoName)
+		if err != nil {
+			return err
+		}
+		best, err = sunmap.Map(app, topo, opts)
+		if err != nil {
+			return err
+		}
+		printResult(out, app, best)
+	} else {
+		sel, err := sunmap.Select(sunmap.SelectConfig{
+			App:             app,
+			Mapping:         opts,
+			EscalateRouting: *escalate,
+			LibraryOpts:     topology.LibraryOptions{IncludeExtras: *extras},
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "%s: %d candidates, %d feasible (routing %v)\n",
+			app.Name(), len(sel.Candidates), sel.FeasibleCount(), sel.RoutingUsed)
+		fmt.Fprintf(out, "%-22s %8s %9s %10s %9s %6s %9s\n",
+			"topology", "avg hops", "area mm2", "power mW", "max MB/s", "SW", "feasible")
+		for _, r := range sel.Summaries() {
+			fmt.Fprintf(out, "%-22s %8.2f %9.2f %10.1f %9.1f %6d %9v\n",
+				r.Topology, r.AvgHops, r.AreaMM2, r.PowerMW, r.MaxLoadMBps, r.Switches, r.Feasible)
+		}
+		if sel.Best == nil {
+			return fmt.Errorf("no feasible topology; try -escalate or a higher -bw")
+		}
+		best = sel.Best
+		fmt.Fprintf(out, "\nselected: %s\n", best.Topology.Name())
+		printResult(out, app, best)
+	}
+
+	if *genDir != "" {
+		gen, err := sunmap.Generate(app, best, tc)
+		if err != nil {
+			return err
+		}
+		if err := gen.WriteTo(*genDir); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "generated %d SystemC files in %s\n", len(gen.Files), *genDir)
+	}
+	return nil
+}
+
+func loadApp(name, file string) (*sunmap.CoreGraph, error) {
+	switch {
+	case name != "" && file != "":
+		return nil, fmt.Errorf("give either -app or -file, not both")
+	case file != "":
+		return sunmap.LoadAppFile(file)
+	case name != "":
+		for _, n := range sunmap.AppNames() {
+			if n == name {
+				return sunmap.App(name), nil
+			}
+		}
+		return nil, fmt.Errorf("unknown app %q (want one of %v)", name, sunmap.AppNames())
+	default:
+		return nil, fmt.Errorf("need -app or -file")
+	}
+}
+
+func parseObjective(s string) (mapping.Objective, error) {
+	switch s {
+	case "delay":
+		return mapping.MinDelay, nil
+	case "area":
+		return mapping.MinArea, nil
+	case "power":
+		return mapping.MinPower, nil
+	}
+	return 0, fmt.Errorf("unknown objective %q (want delay, area or power)", s)
+}
+
+func printResult(out io.Writer, app *sunmap.CoreGraph, r *sunmap.MapResult) {
+	fmt.Fprintf(out, "mapping on %s: avg hops %.3f, area %.2f mm^2, power %.1f mW, max link %.1f MB/s\n",
+		r.Topology.Name(), r.AvgHops, r.DesignAreaMM2, r.PowerMW, r.Route.MaxLinkLoad)
+	fmt.Fprintf(out, "feasible: bandwidth=%v area=%v aspect=%v, swaps applied: %d\n",
+		r.BandwidthOK, r.AreaOK, r.AspectOK, r.SwapsApplied)
+	for c, term := range r.Assign {
+		fmt.Fprintf(out, "  core %-12s -> terminal %d (router %d)\n",
+			app.Core(c).Name, term, r.Topology.InjectRouter(term))
+	}
+}

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSelectVOPD(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-app", "vopd"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "selected: butterfly-4ary2fly") {
+		t.Errorf("selection output missing butterfly:\n%s", out)
+	}
+	if !strings.Contains(out, "core vld") {
+		t.Error("mapping listing missing core names")
+	}
+}
+
+func TestRunSingleTopologyAndGenerate(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "gen")
+	var sb strings.Builder
+	err := run([]string{"-app", "dsp", "-bw", "1000", "-topo", "butterfly-3ary2fly", "-gen", dir}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) < 5 {
+		t.Errorf("only %d generated files", len(entries))
+	}
+}
+
+func TestRunEscalateMPEG4(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-app", "mpeg4", "-escalate"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "routing SM") {
+		t.Errorf("escalation not reported:\n%s", sb.String())
+	}
+}
+
+func TestRunFromFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "app.cg")
+	src := "app t\ncore a area=2\ncore b area=2\ncore c area=2\ncore d area=2\nflow a -> b 100\nflow b -> c 50\nflow c -> d 25\n"
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := run([]string{"-file", path, "-objective", "power"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "selected:") {
+		t.Error("no selection printed")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{},                                   // no app
+		{"-app", "nope"},                     // unknown app
+		{"-app", "vopd", "-file", "x"},       // both
+		{"-app", "vopd", "-routing", "XX"},   // bad routing
+		{"-app", "vopd", "-objective", "zz"}, // bad objective
+		{"-app", "vopd", "-tech", "28nm"},    // bad tech
+		{"-app", "vopd", "-topo", "bogus"},   // bad topology
+		{"-app", "mpeg4"},                    // infeasible without escalate
+	}
+	for _, args := range cases {
+		var sb strings.Builder
+		if err := run(args, &sb); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+// Custom application: define a core graph in SUNMAP's text format (the
+// kind of file a user would write for their own SoC), load it, and explore
+// objectives across technology nodes — the design-space exploration the
+// paper's Section 1 advertises.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"sunmap"
+	"sunmap/internal/mapping"
+	"sunmap/internal/tech"
+)
+
+const design = `
+app camera-pipeline
+core sensor   area=2.0
+core isp      area=5.0  soft
+core scaler   area=3.0  soft aspect=0.5,2
+core encoder  area=6.0  soft
+core dram     area=8.0
+core cpu      area=5.5
+core dma      area=1.5  soft
+core usb      area=2.0
+
+flow sensor -> isp     450
+flow isp -> scaler     300
+flow scaler -> encoder 250
+flow encoder -> dram   180
+flow dram -> encoder   120
+flow cpu -> dram       200
+flow dram -> cpu       200
+flow dma -> dram       150
+flow dram -> usb       90
+flow cpu -> dma        20
+`
+
+func main() {
+	app, err := sunmap.LoadApp(strings.NewReader(design))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("loaded:", app)
+
+	objectives := []struct {
+		name string
+		obj  mapping.Objective
+	}{
+		{"min-delay", sunmap.MinDelay},
+		{"min-area", sunmap.MinArea},
+		{"min-power", sunmap.MinPower},
+	}
+	nodes := []sunmap.Tech{tech.Tech130nm(), tech.Tech100nm(), tech.Tech65nm()}
+
+	for _, node := range nodes {
+		fmt.Printf("\n--- %s ---\n", node.Name)
+		for _, o := range objectives {
+			sel, err := sunmap.Select(sunmap.SelectConfig{
+				App: app,
+				Mapping: sunmap.MapOptions{
+					Routing:      sunmap.MinPath,
+					Objective:    o.obj,
+					CapacityMBps: 500,
+					Tech:         node,
+				},
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if sel.Best == nil {
+				fmt.Printf("%-10s no feasible topology\n", o.name)
+				continue
+			}
+			b := sel.Best
+			fmt.Printf("%-10s -> %-22s hops %.2f, %.1f mm2, %.1f mW\n",
+				o.name, b.Topology.Name(), b.AvgHops, b.DesignAreaMM2, b.PowerMW)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+// MPEG4 routing exploration: reproduce the Section 6.3 study — the MPEG4
+// decoder's 910 MB/s SDRAM flow defeats every single-path routing function
+// on a mesh; only traffic splitting fits under 500 MB/s links. The program
+// prints the Fig. 9(a) bandwidth bars and the Fig. 9(b) area-power Pareto
+// points.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sunmap"
+)
+
+func main() {
+	app := sunmap.App("mpeg4")
+	mesh, err := sunmap.TopologyByName("mesh-3x4")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Fig. 9(a): minimum required link bandwidth per routing function.
+	rows, err := sunmap.RoutingSweep(app, mesh, sunmap.MapOptions{
+		Objective:    sunmap.MinDelay,
+		CapacityMBps: 500,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("minimum required link bandwidth on", mesh.Name())
+	for _, r := range rows {
+		marker := ""
+		if r.FeasibleAt500 {
+			marker = "  <- fits the 500 MB/s links"
+		}
+		fmt.Printf("  %-3v %8.1f MB/s%s\n", r.Function, r.RequiredMBps, marker)
+	}
+
+	// Fig. 9(b): area-power trade-off points under split routing.
+	pts, err := sunmap.ParetoExplore(app, mesh, sunmap.MapOptions{
+		Routing:      sunmap.SplitMin,
+		CapacityMBps: 500,
+	}, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\narea-power design points (P = Pareto-optimal):")
+	for _, p := range pts {
+		mark := " "
+		if p.Dominant {
+			mark = "P"
+		}
+		fmt.Printf("  %s area %6.2f mm2  power %6.1f mW  hops %.2f\n",
+			mark, p.AreaMM2, p.PowerMW, p.AvgHops)
+	}
+}

@@ -1,0 +1,47 @@
+// Quickstart: run the full SUNMAP flow on the VOPD benchmark — select the
+// best topology under a min-delay objective with 500 MB/s links and print
+// the winning mapping (Section 6.1 of the paper; the butterfly wins).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sunmap"
+)
+
+func main() {
+	app := sunmap.App("vopd")
+	fmt.Println("application:", app)
+
+	sel, err := sunmap.Select(sunmap.SelectConfig{
+		App: app,
+		Mapping: sunmap.MapOptions{
+			Routing:      sunmap.MinPath,
+			Objective:    sunmap.MinDelay,
+			CapacityMBps: 500,
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\n%-22s %8s %9s %10s\n", "topology", "avg hops", "area mm2", "power mW")
+	for _, r := range sel.Summaries() {
+		fmt.Printf("%-22s %8.2f %9.2f %10.1f\n", r.Topology, r.AvgHops, r.AreaMM2, r.PowerMW)
+	}
+
+	best := sel.Best
+	fmt.Printf("\nselected: %s (avg hops %.2f, %.1f mW)\n",
+		best.Topology.Name(), best.AvgHops, best.PowerMW)
+	for c, term := range best.Assign {
+		fmt.Printf("  %-8s -> terminal %d\n", app.Core(c).Name, term)
+	}
+
+	// Phase 3: generate the SystemC network description.
+	gen, err := sunmap.Generate(app, best, sunmap.Tech100nm())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ngenerated SystemC files: %v\n", gen.FileNames())
+}

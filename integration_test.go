@@ -1,0 +1,213 @@
+package sunmap_test
+
+// Cross-module integration tests: full SUNMAP flows on synthetic
+// applications across the whole topology library, checking the invariants
+// that individual package tests cannot see end to end.
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"sunmap"
+	"sunmap/internal/apps"
+	"sunmap/internal/mapping"
+	"sunmap/internal/route"
+	"sunmap/internal/sim"
+	"sunmap/internal/topology"
+	"sunmap/internal/traffic"
+)
+
+// TestFullFlowSyntheticApps runs selection end to end on random apps of
+// several sizes and validates structural invariants of every candidate.
+func TestFullFlowSyntheticApps(t *testing.T) {
+	for _, n := range []int{4, 7, 12} {
+		n := n
+		t.Run(fmt.Sprintf("cores=%d", n), func(t *testing.T) {
+			app := apps.Synthetic(n, 0.2, 450, int64(100+n))
+			sel, err := sunmap.Select(sunmap.SelectConfig{
+				App: app,
+				Mapping: sunmap.MapOptions{
+					Routing:      sunmap.SplitMin,
+					Objective:    sunmap.MinPower,
+					CapacityMBps: 500,
+				},
+				EscalateRouting: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, c := range sel.Candidates {
+				if c.Result == nil {
+					continue
+				}
+				r := c.Result
+				// Mapping is injective onto valid terminals.
+				seen := make(map[int]bool)
+				for _, term := range r.Assign {
+					if term < 0 || term >= r.Topology.NumTerminals() || seen[term] {
+						t.Fatalf("%s: invalid assignment %v", r.Topology.Name(), r.Assign)
+					}
+					seen[term] = true
+				}
+				// Conservation: routed traffic equals the app total.
+				if math.Abs(r.Route.TotalMBps-app.TotalBandwidthMBps()) > 1e-6 {
+					t.Errorf("%s: routed %g MB/s, app has %g",
+						r.Topology.Name(), r.Route.TotalMBps, app.TotalBandwidthMBps())
+				}
+				// Metrics are physical.
+				if r.AvgHops < 1 || r.DesignAreaMM2 <= 0 || r.PowerMW <= 0 {
+					t.Errorf("%s: non-physical metrics hops=%g area=%g power=%g",
+						r.Topology.Name(), r.AvgHops, r.DesignAreaMM2, r.PowerMW)
+				}
+				// Feasibility flag consistent with the measured max load.
+				if r.BandwidthOK != (r.Route.MaxLinkLoad <= 500+1e-6) {
+					t.Errorf("%s: BandwidthOK=%v but max load %g",
+						r.Topology.Name(), r.BandwidthOK, r.Route.MaxLinkLoad)
+				}
+			}
+		})
+	}
+}
+
+// TestMappedDesignSimulates closes the loop: every feasible VOPD candidate
+// must be simulable with trace traffic derived from its own mapping, and
+// the simulator must conserve packets (delivered + unfinished = created).
+func TestMappedDesignSimulates(t *testing.T) {
+	app := apps.VOPD()
+	sel, err := sunmap.Select(sunmap.SelectConfig{
+		App: app,
+		Mapping: sunmap.MapOptions{
+			Routing:      sunmap.MinPath,
+			Objective:    sunmap.MinDelay,
+			CapacityMBps: 500,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tested := 0
+	for _, c := range sel.Candidates {
+		if c.Result == nil || !c.Feasible() || tested >= 4 {
+			continue
+		}
+		r := c.Result
+		rt, err := sim.BuildRoutesFromResult(r.Topology, r.Assign, r.Route)
+		if err != nil {
+			t.Fatalf("%s: %v", r.Topology.Name(), err)
+		}
+		tr, err := traffic.NewTrace(app, r.Assign)
+		if err != nil {
+			t.Fatalf("%s: %v", r.Topology.Name(), err)
+		}
+		st, err := sim.Run(sim.Config{
+			Topo:            r.Topology,
+			Routes:          rt,
+			Pattern:         tr,
+			SourceShare:     tr.SourceShare(),
+			ActiveTerminals: r.Assign,
+			InjectionRate:   0.1,
+			Seed:            5,
+			WarmupCycles:    300,
+			MeasureCycles:   1000,
+			DrainCycles:     3000,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", r.Topology.Name(), err)
+		}
+		if st.MeasuredPackets == 0 {
+			t.Errorf("%s: no packets delivered", r.Topology.Name())
+		}
+		if st.UnfinishedPackets < 0 {
+			t.Errorf("%s: negative unfinished count %d", r.Topology.Name(), st.UnfinishedPackets)
+		}
+		// At 10% offered load a feasible mapping must not saturate.
+		if st.Saturated {
+			t.Errorf("%s: saturated at 10%% load", r.Topology.Name())
+		}
+		tested++
+	}
+	if tested == 0 {
+		t.Fatal("no candidates simulated")
+	}
+}
+
+// TestGenerateForEveryFamily exercises Phase 3 against one mapping of each
+// topology family, including the extras.
+func TestGenerateForEveryFamily(t *testing.T) {
+	app := apps.Synthetic(8, 0.25, 300, 77)
+	lib, err := sunmap.Library(8, sunmap.LibraryOptions{IncludeExtras: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	families := make(map[topology.Kind]bool)
+	for _, topo := range lib {
+		if families[topo.Kind()] {
+			continue
+		}
+		families[topo.Kind()] = true
+		res, err := sunmap.Map(app, topo, sunmap.MapOptions{
+			Routing:      sunmap.MinPath,
+			CapacityMBps: 0,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", topo.Name(), err)
+		}
+		gen, err := sunmap.Generate(app, res, sunmap.Tech100nm())
+		if err != nil {
+			t.Fatalf("%s: %v", topo.Name(), err)
+		}
+		top := gen.Files[gen.TopModule+".cpp"]
+		if !strings.Contains(top, "sc_main") {
+			t.Errorf("%s: top module missing sc_main", topo.Name())
+		}
+		// Every router instantiated.
+		for r := 0; r < topo.NumRouters(); r++ {
+			if !strings.Contains(top, fmt.Sprintf("sw%d(\"sw%d\")", r, r)) {
+				t.Errorf("%s: switch %d missing from netlist", topo.Name(), r)
+			}
+		}
+	}
+	if len(families) < 7 {
+		t.Errorf("only %d families exercised", len(families))
+	}
+}
+
+// TestRoutingEscalationConsistency verifies that escalation never reports
+// a routing function under which the winner would be infeasible.
+func TestRoutingEscalationConsistency(t *testing.T) {
+	app := apps.MPEG4()
+	sel, err := sunmap.Select(sunmap.SelectConfig{
+		App: app,
+		Mapping: sunmap.MapOptions{
+			Routing:      route.DimensionOrdered,
+			Objective:    mapping.MinDelay,
+			CapacityMBps: 500,
+		},
+		EscalateRouting: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Best == nil {
+		t.Fatal("escalation failed to find a feasible mapping")
+	}
+	// Re-map the winner under the reported routing function: it must
+	// still be feasible (determinism check across the escalation loop).
+	again, err := sunmap.Map(app, sel.Best.Topology, sunmap.MapOptions{
+		Routing:      sel.RoutingUsed,
+		Objective:    mapping.MinDelay,
+		CapacityMBps: 500,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.BandwidthOK {
+		t.Errorf("winner %s infeasible when re-mapped under %v",
+			sel.Best.Topology.Name(), sel.RoutingUsed)
+	}
+	if again.AvgHops != sel.Best.AvgHops {
+		t.Errorf("non-deterministic re-map: hops %g vs %g", again.AvgHops, sel.Best.AvgHops)
+	}
+}

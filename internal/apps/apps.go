@@ -1,0 +1,216 @@
+// Package apps provides the benchmark applications of the paper's
+// Section 6 as core graphs: the Video Object Plane Decoder (VOPD, Fig. 3a),
+// the MPEG4 decoder (Fig. 7a), the 16-node network processor (Fig. 8a) and
+// the DSP filter (Fig. 10a), plus a seeded synthetic generator for tests
+// and benchmarks.
+//
+// Edge bandwidths are transcribed from the figures; where a figure's
+// label-to-edge association is ambiguous in the scanned text, the
+// assignment follows the widely used versions of these benchmarks (see
+// DESIGN.md Section 5). Per-core areas are tool inputs in the paper
+// (Section 5: "area-power values of the cores are an input"); the values
+// here are calibrated so design areas land in the paper's reported ranges
+// at 0.1 µm (VOPD mesh ≈ 55 mm²).
+package apps
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sunmap/internal/graph"
+)
+
+// DefaultCapacityMBps is the paper's conservatively assumed maximum link
+// bandwidth for the video experiments (Section 6.1).
+const DefaultCapacityMBps = 500
+
+// DSPCapacityMBps is the link capacity used for the DSP filter case study,
+// whose 600 MB/s spine exceeds the video experiments' 500 MB/s links.
+const DSPCapacityMBps = 1000
+
+// VOPD returns the 12-core Video Object Plane Decoder graph of Fig. 3(a).
+// The maximum single flow is 500 MB/s, exactly the link capacity, which is
+// why single-path routing remains feasible for VOPD (Section 6.1).
+func VOPD() *graph.CoreGraph {
+	g := graph.NewCoreGraph("vopd")
+	cores := []graph.Core{
+		{Name: "vld", AreaMM2: 3.0, Soft: true},
+		{Name: "rld", AreaMM2: 2.5, Soft: true},
+		{Name: "iscan", AreaMM2: 2.5, Soft: true},
+		{Name: "acdc", AreaMM2: 4.0, Soft: true},
+		{Name: "smem", AreaMM2: 6.0},
+		{Name: "iquant", AreaMM2: 3.5, Soft: true},
+		{Name: "idct", AreaMM2: 4.0, Soft: true},
+		{Name: "upsamp", AreaMM2: 3.5, Soft: true},
+		{Name: "vopr", AreaMM2: 4.0, Soft: true},
+		{Name: "vopm", AreaMM2: 5.0},
+		{Name: "pad", AreaMM2: 1.9, Soft: true},
+		{Name: "arm", AreaMM2: 5.5},
+	}
+	for _, c := range cores {
+		g.MustAddCore(c)
+	}
+	g.MustConnect("vld", "rld", 70)
+	g.MustConnect("rld", "iscan", 362)
+	g.MustConnect("iscan", "acdc", 362)
+	g.MustConnect("acdc", "iquant", 362)
+	g.MustConnect("acdc", "smem", 49)
+	g.MustConnect("smem", "iquant", 27)
+	g.MustConnect("iquant", "idct", 357)
+	g.MustConnect("idct", "upsamp", 353)
+	g.MustConnect("upsamp", "vopr", 300)
+	g.MustConnect("vopr", "vopm", 313)
+	g.MustConnect("vopm", "pad", 313)
+	g.MustConnect("pad", "vopr", 500)
+	g.MustConnect("arm", "pad", 16)
+	g.MustConnect("vopm", "arm", 94)
+	return g
+}
+
+// MPEG4 returns the MPEG4 decoder graph of Fig. 7(a) with the shared SDRAM
+// hub. Three flows exceed the 500 MB/s link capacity (910, 670 and 600
+// MB/s), so no single-path routing function can be feasible and the
+// butterfly — having no path diversity — stays infeasible even with
+// traffic splitting, reproducing Fig. 7(b). The figure's prose says 14
+// cores while the drawn benchmark has 12; see DESIGN.md Section 5.
+func MPEG4() *graph.CoreGraph {
+	g := graph.NewCoreGraph("mpeg4")
+	cores := []graph.Core{
+		{Name: "vu", AreaMM2: 4.0, Soft: true},
+		{Name: "au", AreaMM2: 3.0, Soft: true},
+		{Name: "med_cpu", AreaMM2: 5.0},
+		{Name: "rast", AreaMM2: 3.5, Soft: true},
+		{Name: "adsp", AreaMM2: 4.0, Soft: true},
+		{Name: "idct_etc", AreaMM2: 4.5, Soft: true},
+		{Name: "upsamp", AreaMM2: 3.0, Soft: true},
+		{Name: "bab", AreaMM2: 2.0, Soft: true},
+		{Name: "risc", AreaMM2: 5.0},
+		{Name: "sdram", AreaMM2: 8.0},
+		{Name: "sram1", AreaMM2: 6.0},
+		{Name: "sram2", AreaMM2: 6.0},
+	}
+	for _, c := range cores {
+		g.MustAddCore(c)
+	}
+	g.MustConnect("vu", "sdram", 190)
+	g.MustConnect("au", "sdram", 0.5)
+	g.MustConnect("med_cpu", "sdram", 60)
+	g.MustConnect("rast", "sdram", 600)
+	g.MustConnect("idct_etc", "sdram", 500)
+	g.MustConnect("sdram", "upsamp", 910)
+	g.MustConnect("bab", "sdram", 32)
+	g.MustConnect("sdram", "risc", 670)
+	g.MustConnect("risc", "sram1", 250)
+	g.MustConnect("risc", "sram2", 173)
+	g.MustConnect("vu", "au", 40)
+	g.MustConnect("au", "adsp", 40)
+	g.MustConnect("adsp", "sdram", 0.5)
+	return g
+}
+
+// NetProc returns the 16-node network processor of Fig. 8(a): identical
+// nodes (request generator, scheduler, processor, memory behind one
+// switch port) exchanging packet data. The mapping experiments relax
+// bandwidth constraints (Section 6.2); the latency study drives the
+// simulator with adversarial synthetic traffic instead of this graph.
+// Each node sends 200 MB/s to its successor, its quadrant peer and its
+// opposite node, giving the all-to-all-ish load the paper describes.
+func NetProc() *graph.CoreGraph {
+	g := graph.NewCoreGraph("netproc")
+	const n = 16
+	for i := 0; i < n; i++ {
+		g.MustAddCore(graph.Core{Name: fmt.Sprintf("node%02d", i), AreaMM2: 4.5})
+	}
+	name := func(i int) string { return fmt.Sprintf("node%02d", i%n) }
+	for i := 0; i < n; i++ {
+		g.MustConnect(name(i), name(i+1), 200)
+		g.MustConnect(name(i), name(i+4), 200)
+		g.MustConnect(name(i), name(i+8), 200)
+	}
+	return g
+}
+
+// DSPFilter returns the 6-core DSP filter design of Fig. 10(a): six 200
+// MB/s flows and the 600 MB/s FFT->Filter->IFFT spine. Use DSPCapacityMBps
+// for its link capacity.
+func DSPFilter() *graph.CoreGraph {
+	g := graph.NewCoreGraph("dsp-filter")
+	cores := []graph.Core{
+		{Name: "arm", AreaMM2: 4.0},
+		{Name: "memory", AreaMM2: 6.0},
+		{Name: "fft", AreaMM2: 3.0, Soft: true},
+		{Name: "ifft", AreaMM2: 3.0, Soft: true},
+		{Name: "filter", AreaMM2: 2.5, Soft: true},
+		{Name: "display", AreaMM2: 3.5},
+	}
+	for _, c := range cores {
+		g.MustAddCore(c)
+	}
+	g.MustConnect("arm", "memory", 200)
+	g.MustConnect("memory", "arm", 200)
+	g.MustConnect("memory", "fft", 200)
+	g.MustConnect("fft", "filter", 600)
+	g.MustConnect("filter", "ifft", 600)
+	g.MustConnect("ifft", "memory", 200)
+	g.MustConnect("memory", "display", 200)
+	g.MustConnect("arm", "display", 200)
+	return g
+}
+
+// Synthetic generates a random application with n cores and roughly
+// density*n*(n-1) directed flows with bandwidths in (0, maxBW]. The same
+// seed always yields the same graph.
+func Synthetic(n int, density float64, maxBW float64, seed int64) *graph.CoreGraph {
+	if n < 2 {
+		n = 2
+	}
+	if density <= 0 {
+		density = 0.15
+	}
+	if maxBW <= 0 {
+		maxBW = 500
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.NewCoreGraph(fmt.Sprintf("synthetic-%d-%d", n, seed))
+	for i := 0; i < n; i++ {
+		g.MustAddCore(graph.Core{
+			Name:    fmt.Sprintf("core%02d", i),
+			AreaMM2: 1 + rng.Float64()*7,
+			Soft:    rng.Intn(2) == 0,
+		})
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j || rng.Float64() >= density {
+				continue
+			}
+			bw := maxBW * (0.05 + 0.95*rng.Float64())
+			g.MustConnect(fmt.Sprintf("core%02d", i), fmt.Sprintf("core%02d", j), bw)
+		}
+	}
+	// Guarantee connectivity of the flow set: chain any isolated cores.
+	for i := 0; i < n; i++ {
+		if g.CommVolume(i) == 0 {
+			g.MustConnect(fmt.Sprintf("core%02d", i), fmt.Sprintf("core%02d", (i+1)%n), maxBW*0.1)
+		}
+	}
+	return g
+}
+
+// ByName returns a built-in application by name.
+func ByName(name string) (*graph.CoreGraph, error) {
+	switch name {
+	case "vopd":
+		return VOPD(), nil
+	case "mpeg4":
+		return MPEG4(), nil
+	case "netproc":
+		return NetProc(), nil
+	case "dsp", "dsp-filter":
+		return DSPFilter(), nil
+	}
+	return nil, fmt.Errorf("apps: unknown application %q (want vopd, mpeg4, netproc or dsp)", name)
+}
+
+// Names lists the built-in applications.
+func Names() []string { return []string{"vopd", "mpeg4", "netproc", "dsp"} }

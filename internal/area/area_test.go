@@ -1,0 +1,154 @@
+package area
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sunmap/internal/tech"
+	"sunmap/internal/topology"
+)
+
+func cfg(in, out int) SwitchConfig {
+	t := tech.Tech100nm()
+	return SwitchConfig{In: in, Out: out, BufDepthFlits: t.BufDepthFlits, FlitBits: t.FlitBits}
+}
+
+func TestSwitchAreaReferencePoint(t *testing.T) {
+	// The 5x5 reference switch at 0.1 um should land near 0.74 mm²
+	// (crossbar 0.30 + buffers 0.36 + logic 0.08), keeping the VOPD mesh
+	// in the paper's ~55 mm² design-area range.
+	got := SwitchAreaMM2(cfg(5, 5), tech.Tech100nm())
+	if got < 0.5 || got > 1.0 {
+		t.Errorf("5x5 switch area = %g mm², want ~0.74", got)
+	}
+}
+
+func TestSwitchAreaMonotonicity(t *testing.T) {
+	tc := tech.Tech100nm()
+	if !(SwitchAreaMM2(cfg(3, 3), tc) < SwitchAreaMM2(cfg(4, 4), tc) &&
+		SwitchAreaMM2(cfg(4, 4), tc) < SwitchAreaMM2(cfg(5, 5), tc)) {
+		t.Error("area not monotone in port count")
+	}
+	deep := cfg(5, 5)
+	deep.BufDepthFlits *= 2
+	if SwitchAreaMM2(deep, tc) <= SwitchAreaMM2(cfg(5, 5), tc) {
+		t.Error("area not monotone in buffer depth")
+	}
+	wide := cfg(5, 5)
+	wide.FlitBits *= 2
+	if SwitchAreaMM2(wide, tc) <= SwitchAreaMM2(cfg(5, 5), tc) {
+		t.Error("area not monotone in flit width")
+	}
+	if SwitchAreaMM2(SwitchConfig{}, tc) != 0 {
+		t.Error("degenerate switch has nonzero area")
+	}
+}
+
+func mustTopo(topo topology.Topology, err error) topology.Topology {
+	if err != nil {
+		panic(err)
+	}
+	return topo
+}
+
+func TestSwitchConfigsMesh(t *testing.T) {
+	// A fully occupied 3x3 mesh: corner switches 3x3 (2 links + core),
+	// edge 4x4, interior 5x5 — Section 4.2's degree structure plus the
+	// core port.
+	topo := mustTopo(topology.NewMesh(3, 3))
+	assign := []int{0, 1, 2, 3, 4, 5, 6, 7, 8}
+	cfgs := SwitchConfigs(topo, assign, tech.Tech100nm())
+	want := map[int]int{0: 3, 1: 4, 2: 3, 3: 4, 4: 5, 5: 4, 6: 3, 7: 4, 8: 3}
+	for r, w := range want {
+		if cfgs[r].In != w || cfgs[r].Out != w {
+			t.Errorf("router %d config %s, want %dx%d", r, cfgs[r], w, w)
+		}
+	}
+}
+
+func TestSwitchConfigsPartialOccupancy(t *testing.T) {
+	// Only cores on terminals 0 and 8: other routers get no core port.
+	topo := mustTopo(topology.NewMesh(3, 3))
+	cfgs := SwitchConfigs(topo, []int{0, 8}, tech.Tech100nm())
+	if cfgs[0].In != 3 || cfgs[4].In != 4 || cfgs[8].In != 3 {
+		t.Errorf("partial occupancy configs: r0=%s r4=%s r8=%s", cfgs[0], cfgs[4], cfgs[8])
+	}
+}
+
+func TestSwitchConfigsButterflyAllFourByFour(t *testing.T) {
+	// A fully occupied 4-ary 2-fly has only 4x4 switches — the property
+	// Section 6.1 credits for the butterfly's area/power savings.
+	topo := mustTopo(topology.NewButterfly(4, 2))
+	cfgs := SwitchConfigs(topo, nil, tech.Tech100nm())
+	for r, c := range cfgs {
+		if c.In != 4 || c.Out != 4 {
+			t.Errorf("butterfly router %d is %s, want 4x4", r, c)
+		}
+	}
+}
+
+func TestNetworkSwitchAreaMeshVsTorus(t *testing.T) {
+	// Same shape, but the torus upgrades every edge switch to 5x5, so its
+	// switch area must exceed the mesh's (Fig. 3d: mesh saves ~5% design
+	// area).
+	tc := tech.Tech100nm()
+	mesh := mustTopo(topology.NewMesh(3, 4))
+	torus := mustTopo(topology.NewTorus(3, 4))
+	assign := make([]int, 12)
+	for i := range assign {
+		assign[i] = i
+	}
+	am := NetworkSwitchAreaMM2(mesh, assign, tc)
+	at := NetworkSwitchAreaMM2(torus, assign, tc)
+	if am >= at {
+		t.Errorf("mesh switch area %g >= torus %g", am, at)
+	}
+	if ratio := at / am; ratio < 1.1 || ratio > 2.0 {
+		t.Errorf("torus/mesh switch area ratio = %g, want within (1.1, 2.0)", ratio)
+	}
+}
+
+func TestLinkArea(t *testing.T) {
+	tc := tech.Tech100nm()
+	got := LinkAreaMM2([]float64{1, 2, 3}, tc)
+	want := 6 * tc.LinkAreaMM2PerMM
+	if got != want {
+		t.Errorf("LinkAreaMM2 = %g, want %g", got, want)
+	}
+	if LinkAreaMM2(nil, tc) != 0 {
+		t.Error("empty link list has nonzero area")
+	}
+}
+
+// Property: switch area is strictly increasing when any one dimension
+// (ports, depth, width) grows.
+func TestAreaMonotoneProperty(t *testing.T) {
+	tc := tech.Tech100nm()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := SwitchConfig{
+			In:            1 + rng.Intn(10),
+			Out:           1 + rng.Intn(10),
+			BufDepthFlits: 1 + rng.Intn(8),
+			FlitBits:      8 * (1 + rng.Intn(8)),
+		}
+		a := SwitchAreaMM2(c, tc)
+		c2 := c
+		c2.In++
+		if SwitchAreaMM2(c2, tc) <= a {
+			return false
+		}
+		c3 := c
+		c3.BufDepthFlits++
+		if SwitchAreaMM2(c3, tc) <= a {
+			return false
+		}
+		c4 := c
+		c4.FlitBits += 8
+		return SwitchAreaMM2(c4, tc) > a
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

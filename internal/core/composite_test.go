@@ -1,0 +1,78 @@
+package core
+
+import (
+	"testing"
+
+	"sunmap/internal/apps"
+	"sunmap/internal/mapping"
+	"sunmap/internal/route"
+)
+
+func TestBestCompositeMPEG4PicksMesh(t *testing.T) {
+	// Section 6.1: under split routing the torus has lower hop delay, but
+	// the mesh's area and power savings "overshadow the slightly higher
+	// communication delay cost"; the equal-weight composite judgement
+	// must land on the mesh.
+	sel, err := Select(Config{
+		App: apps.MPEG4(),
+		Mapping: mapping.Options{
+			Routing:      route.SplitMin,
+			Objective:    mapping.MinDelay,
+			CapacityMBps: apps.DefaultCapacityMBps,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := sel.BestComposite(1, 1, 1)
+	if best == nil {
+		t.Fatal("composite found nothing feasible")
+	}
+	if best.Topology.Kind().String() != "mesh" {
+		t.Errorf("composite picked %s, want a mesh", best.Topology.Name())
+	}
+	// Pure-delay weighting must agree with the delay-objective Phase 2
+	// winner's hop count.
+	delayBest := sel.BestComposite(1, 0, 0)
+	if delayBest == nil {
+		t.Fatal("delay-only composite found nothing")
+	}
+	if sel.Best != nil && delayBest.AvgHops > sel.Best.AvgHops+1e-9 {
+		t.Errorf("delay-only composite hops %g above Phase 2 best %g",
+			delayBest.AvgHops, sel.Best.AvgHops)
+	}
+	// Area-only and power-only weightings pick the respective minima.
+	areaBest := sel.BestComposite(0, 1, 0)
+	powerBest := sel.BestComposite(0, 0, 1)
+	for _, c := range sel.Candidates {
+		if c.Result == nil || !c.Feasible() {
+			continue
+		}
+		if c.Result.DesignAreaMM2 < areaBest.DesignAreaMM2-1e-9 {
+			t.Errorf("area composite missed %s (%g < %g)",
+				c.Result.Topology.Name(), c.Result.DesignAreaMM2, areaBest.DesignAreaMM2)
+		}
+		if c.Result.PowerMW < powerBest.PowerMW-1e-9 {
+			t.Errorf("power composite missed %s (%g < %g)",
+				c.Result.Topology.Name(), c.Result.PowerMW, powerBest.PowerMW)
+		}
+	}
+}
+
+func TestBestCompositeEmptySelection(t *testing.T) {
+	// Infeasible-only selections yield nil, not a panic.
+	sel, err := Select(Config{
+		App: apps.MPEG4(),
+		Mapping: mapping.Options{
+			Routing:      route.MinPath, // 910 > 500: nothing feasible
+			Objective:    mapping.MinDelay,
+			CapacityMBps: apps.DefaultCapacityMBps,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best := sel.BestComposite(1, 1, 1); best != nil {
+		t.Errorf("composite returned %s from an infeasible selection", best.Topology.Name())
+	}
+}

@@ -1,0 +1,298 @@
+// Package core implements the SUNMAP engine: Phase 1 maps the application
+// onto every topology in the library under the chosen routing function and
+// objective; Phase 2 evaluates the candidates and selects the best feasible
+// topology (Section 3 of the paper). The package also hosts the
+// design-space explorers behind Fig. 9: the routing-function bandwidth
+// sweep and the area-power Pareto search.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"sunmap/internal/graph"
+	"sunmap/internal/mapping"
+	"sunmap/internal/route"
+	"sunmap/internal/topology"
+)
+
+// Config drives one Select run.
+type Config struct {
+	// App is the application core graph.
+	App *graph.CoreGraph
+	// Library lists the candidate topologies. Nil selects the default
+	// library for the app's core count (all mesh/torus/hypercube/
+	// butterfly/clos configurations, plus extras per LibraryOpts).
+	Library []topology.Topology
+	// LibraryOpts tunes the default enumeration when Library is nil.
+	LibraryOpts topology.LibraryOptions
+	// Mapping carries the routing function, objective, constraints and
+	// technology shared by every Phase 1 mapping.
+	Mapping mapping.Options
+	// EscalateRouting retries with more flexible routing functions
+	// (MP -> SM -> SA) when no topology produces a feasible mapping,
+	// mirroring Section 6.1's MPEG4 flow ("So we apply multi-path
+	// routing, splitting the traffic across many paths").
+	EscalateRouting bool
+}
+
+// Candidate is one evaluated (topology, mapping) pair.
+type Candidate struct {
+	*mapping.Result
+	// MapErr records a hard mapping failure (e.g. too few terminals);
+	// the Result is nil in that case.
+	MapErr error
+}
+
+// Name returns the candidate topology's name, even for failed candidates.
+func (c Candidate) Name() string {
+	if c.Result != nil {
+		return c.Result.Topology.Name()
+	}
+	return "unmappable"
+}
+
+// Selection is the outcome of the two SUNMAP phases.
+type Selection struct {
+	// Candidates holds every evaluated mapping, feasible or not, in
+	// library order.
+	Candidates []Candidate
+	// Best points at the selected candidate (nil when nothing feasible).
+	Best *mapping.Result
+	// RoutingUsed is the routing function the selection was made under
+	// (it differs from Config.Mapping.Routing after escalation).
+	RoutingUsed route.Function
+}
+
+// FeasibleCount returns the number of feasible candidates.
+func (s *Selection) FeasibleCount() int {
+	n := 0
+	for _, c := range s.Candidates {
+		if c.Result != nil && c.Feasible() {
+			n++
+		}
+	}
+	return n
+}
+
+// BestPerKind returns, for each topology family present, the feasible
+// candidate with the lowest cost — the per-family rows of Fig. 6/7.
+func (s *Selection) BestPerKind() map[topology.Kind]*mapping.Result {
+	out := make(map[topology.Kind]*mapping.Result)
+	for _, c := range s.Candidates {
+		if c.Result == nil || !c.Feasible() {
+			continue
+		}
+		k := c.Result.Topology.Kind()
+		if cur, ok := out[k]; !ok || less(c.Result, cur) {
+			out[k] = c.Result
+		}
+	}
+	return out
+}
+
+// BestComposite re-ranks the feasible candidates with a composite
+// judgement across delay, area and power: each metric is normalized by the
+// best value any feasible candidate achieves, then combined with the given
+// weights. This is Phase 2's multi-objective mode — the reasoning of
+// Section 6.1's MPEG4 discussion, where the mesh's "large savings in area
+// and power ... overshadow the slightly higher communication delay cost".
+// It returns nil when nothing is feasible.
+func (s *Selection) BestComposite(wDelay, wArea, wPower float64) *mapping.Result {
+	minHops, minArea, minPower := math.Inf(1), math.Inf(1), math.Inf(1)
+	for _, c := range s.Candidates {
+		if c.Result == nil || !c.Feasible() {
+			continue
+		}
+		minHops = math.Min(minHops, c.Result.AvgHops)
+		minArea = math.Min(minArea, c.Result.DesignAreaMM2)
+		minPower = math.Min(minPower, c.Result.PowerMW)
+	}
+	var best *mapping.Result
+	bestScore := math.Inf(1)
+	for _, c := range s.Candidates {
+		if c.Result == nil || !c.Feasible() {
+			continue
+		}
+		r := c.Result
+		score := wDelay*safeDiv(r.AvgHops, minHops) +
+			wArea*safeDiv(r.DesignAreaMM2, minArea) +
+			wPower*safeDiv(r.PowerMW, minPower)
+		if score < bestScore || (score == bestScore && best != nil && less(r, best)) {
+			bestScore = score
+			best = r
+		}
+	}
+	return best
+}
+
+func safeDiv(a, b float64) float64 {
+	if b <= 0 {
+		return 1
+	}
+	return a / b
+}
+
+// escalation orders the routing functions by increasing flexibility.
+var escalation = []route.Function{route.DimensionOrdered, route.MinPath, route.SplitMin, route.SplitAll}
+
+// Select runs Phase 1 (map onto every library topology) and Phase 2
+// (choose the best feasible candidate under the objective).
+func Select(cfg Config) (*Selection, error) {
+	if cfg.App == nil {
+		return nil, fmt.Errorf("core: nil application")
+	}
+	if err := cfg.App.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %v", err)
+	}
+	lib := cfg.Library
+	if lib == nil {
+		var err error
+		lib, err = topology.Library(cfg.App.NumCores(), cfg.LibraryOpts)
+		if err != nil {
+			return nil, fmt.Errorf("core: %v", err)
+		}
+	}
+	if len(lib) == 0 {
+		return nil, fmt.Errorf("core: empty topology library")
+	}
+
+	fns := []route.Function{cfg.Mapping.Routing}
+	if cfg.EscalateRouting {
+		for _, f := range escalation {
+			if f > cfg.Mapping.Routing {
+				fns = append(fns, f)
+			}
+		}
+	}
+	var sel *Selection
+	for _, fn := range fns {
+		opts := cfg.Mapping
+		opts.Routing = fn
+		s, err := sweep(cfg.App, lib, opts)
+		if err != nil {
+			return nil, err
+		}
+		s.RoutingUsed = fn
+		sel = s
+		if s.Best != nil {
+			break
+		}
+	}
+	return sel, nil
+}
+
+// sweep is Phase 1 + Phase 2 for one routing function.
+func sweep(app *graph.CoreGraph, lib []topology.Topology, opts mapping.Options) (*Selection, error) {
+	s := &Selection{}
+	for _, topo := range lib {
+		res, err := mapping.Map(app, topo, opts)
+		if err != nil {
+			// Too few terminals or a structural mismatch: record and
+			// continue; a configuration error in the options themselves
+			// would fail for every topology and surfaces below.
+			s.Candidates = append(s.Candidates, Candidate{MapErr: err})
+			continue
+		}
+		s.Candidates = append(s.Candidates, Candidate{Result: res})
+	}
+	allFailed := true
+	for _, c := range s.Candidates {
+		if c.Result != nil {
+			allFailed = false
+			break
+		}
+	}
+	if allFailed {
+		return nil, fmt.Errorf("core: every topology failed to map: %v", s.Candidates[0].MapErr)
+	}
+	// Phase 2: lowest cost among feasible candidates; ties break on
+	// fewer routers, then name, for determinism.
+	best := -1
+	for i, c := range s.Candidates {
+		if c.Result == nil || !c.Feasible() {
+			continue
+		}
+		if best == -1 || less(c.Result, s.Candidates[best].Result) {
+			best = i
+		}
+	}
+	if best >= 0 {
+		s.Best = s.Candidates[best].Result
+	}
+	return s, nil
+}
+
+// less orders candidates by objective cost, breaking ties toward lower
+// power, then lower area, then fewer routers: among configurations the
+// objective cannot distinguish (every Clos is 3 hops), the cheaper network
+// wins, as a designer would choose. Costs within the mapper's tiny
+// load-balance tie-break term (1e-3) count as equal.
+func less(a, b *mapping.Result) bool {
+	const tieTol = 2e-3
+	if d := a.Cost - b.Cost; d < -tieTol || d > tieTol {
+		return d < 0
+	}
+	if a.PowerMW != b.PowerMW {
+		return a.PowerMW < b.PowerMW
+	}
+	if a.DesignAreaMM2 != b.DesignAreaMM2 {
+		return a.DesignAreaMM2 < b.DesignAreaMM2
+	}
+	if a.Topology.NumRouters() != b.Topology.NumRouters() {
+		return a.Topology.NumRouters() < b.Topology.NumRouters()
+	}
+	return a.Topology.Name() < b.Topology.Name()
+}
+
+// SummaryRow is one line of the per-topology comparison tables
+// (Fig. 6, Fig. 7b, Fig. 8c/d).
+type SummaryRow struct {
+	Topology    string
+	Kind        topology.Kind
+	AvgHops     float64
+	AreaMM2     float64
+	PowerMW     float64
+	Switches    int
+	Links       int
+	MaxLoadMBps float64
+	Feasible    bool
+}
+
+// Summaries renders every successfully mapped candidate as a table row,
+// sorted by kind then name.
+func (s *Selection) Summaries() []SummaryRow {
+	var rows []SummaryRow
+	for _, c := range s.Candidates {
+		if c.Result == nil {
+			continue
+		}
+		r := c.Result
+		// NI links: direct topologies use one bidirectional core-switch
+		// channel; indirect ones wire the core to both an ingress and an
+		// egress switch, hence two.
+		niLinks := len(r.Assign)
+		if !r.Topology.Kind().Direct() {
+			niLinks *= 2
+		}
+		rows = append(rows, SummaryRow{
+			Topology:    r.Topology.Name(),
+			Kind:        r.Topology.Kind(),
+			AvgHops:     r.AvgHops,
+			AreaMM2:     r.DesignAreaMM2,
+			PowerMW:     r.PowerMW,
+			Switches:    r.Topology.NumRouters(),
+			Links:       topology.PhysicalLinks(r.Topology) + niLinks,
+			MaxLoadMBps: r.Route.MaxLinkLoad,
+			Feasible:    r.Feasible(),
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Kind != rows[j].Kind {
+			return rows[i].Kind < rows[j].Kind
+		}
+		return rows[i].Topology < rows[j].Topology
+	})
+	return rows
+}

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"sunmap/internal/graph"
+	"sunmap/internal/mapping"
+	"sunmap/internal/route"
+	"sunmap/internal/tech"
+	"sunmap/internal/topology"
+)
+
+// RoutingSweepRow reports the minimum link bandwidth a routing function
+// needs on one topology — the bars of Fig. 9(a).
+type RoutingSweepRow struct {
+	Function      route.Function
+	RequiredMBps  float64
+	AvgHops       float64
+	FeasibleAt500 bool
+}
+
+// RoutingSweep maps the application onto topo once per routing function
+// (DO, MP, SM, SA) and reports the resulting minimum required link
+// bandwidth (the maximum link load of the optimized mapping). The mapping
+// itself is re-optimized per function, as the tool does when the designer
+// flips the routing input.
+func RoutingSweep(app *graph.CoreGraph, topo topology.Topology, opts mapping.Options) ([]RoutingSweepRow, error) {
+	var rows []RoutingSweepRow
+	for _, fn := range escalation {
+		o := opts
+		o.Routing = fn
+		res, err := mapping.Map(app, topo, o)
+		if err != nil {
+			return nil, fmt.Errorf("core: routing sweep %v: %v", fn, err)
+		}
+		rows = append(rows, RoutingSweepRow{
+			Function:      fn,
+			RequiredMBps:  res.Route.MaxLinkLoad,
+			AvgHops:       res.AvgHops,
+			FeasibleAt500: res.Route.MaxLinkLoad <= 500+1e-6,
+		})
+	}
+	return rows, nil
+}
+
+// ParetoPoint is one mapping in the area-power plane (Fig. 9b).
+type ParetoPoint struct {
+	// Weights are the objective weights that produced the mapping.
+	Weights mapping.Weights
+	AreaMM2 float64
+	PowerMW float64
+	AvgHops float64
+	// Dominant marks points on the Pareto front.
+	Dominant bool
+}
+
+// ParetoExplore sweeps weighted delay/area/power objectives and switch
+// buffer depths over one topology and returns the evaluated design points
+// with the area-power Pareto front marked — the exploration of Fig. 9(b).
+// Steps controls the weight-grid resolution (default 5 per axis); buffer
+// depths 2, 4 and 8 flits span the switch-configuration axis (deeper
+// buffers cost area, shallower ones concentrate traffic onto fewer
+// alternatives).
+func ParetoExplore(app *graph.CoreGraph, topo topology.Topology, opts mapping.Options, steps int) ([]ParetoPoint, error) {
+	if steps < 2 {
+		steps = 5
+	}
+	if opts.Tech.FlitBits == 0 {
+		opts.Tech = tech.Tech100nm()
+	}
+	var pts []ParetoPoint
+	for _, depth := range []int{2, 4, 8} {
+		for ai := 0; ai < steps; ai++ {
+			for pi := 0; pi < steps-ai; pi++ {
+				wa := float64(ai) / float64(steps-1)
+				wp := float64(pi) / float64(steps-1)
+				wd := 1 - wa - wp
+				if wd < 0 {
+					continue
+				}
+				o := opts
+				o.Tech.BufDepthFlits = depth
+				o.Objective = mapping.Weighted
+				o.Weights = mapping.Weights{Delay: wd, Area: wa, Power: wp}
+				res, err := mapping.Map(app, topo, o)
+				if err != nil {
+					return nil, fmt.Errorf("core: pareto explore: %v", err)
+				}
+				if !res.Feasible() {
+					continue
+				}
+				pts = append(pts, ParetoPoint{
+					Weights: o.Weights,
+					AreaMM2: res.DesignAreaMM2,
+					PowerMW: res.PowerMW,
+					AvgHops: res.AvgHops,
+				})
+			}
+		}
+	}
+	// Different weight vectors often converge to the same mapping; keep
+	// one representative per distinct (area, power, hops) point.
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].AreaMM2 != pts[j].AreaMM2 {
+			return pts[i].AreaMM2 < pts[j].AreaMM2
+		}
+		if pts[i].PowerMW != pts[j].PowerMW {
+			return pts[i].PowerMW < pts[j].PowerMW
+		}
+		return pts[i].AvgHops < pts[j].AvgHops
+	})
+	dedup := pts[:0]
+	for _, p := range pts {
+		if len(dedup) > 0 {
+			q := dedup[len(dedup)-1]
+			if nearly(p.AreaMM2, q.AreaMM2) && nearly(p.PowerMW, q.PowerMW) && nearly(p.AvgHops, q.AvgHops) {
+				continue
+			}
+		}
+		dedup = append(dedup, p)
+	}
+	pts = dedup
+	markPareto(pts)
+	return pts, nil
+}
+
+func nearly(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= 1e-6*(1+maxAbs(a, b))
+}
+
+func maxAbs(a, b float64) float64 {
+	if a < 0 {
+		a = -a
+	}
+	if b < 0 {
+		b = -b
+	}
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// markPareto flags the non-dominated points in the (area, power) plane.
+func markPareto(pts []ParetoPoint) {
+	const tol = 1e-9
+	for i := range pts {
+		dominated := false
+		for j := range pts {
+			if i == j {
+				continue
+			}
+			if pts[j].AreaMM2 <= pts[i].AreaMM2+tol && pts[j].PowerMW <= pts[i].PowerMW+tol &&
+				(pts[j].AreaMM2 < pts[i].AreaMM2-tol || pts[j].PowerMW < pts[i].PowerMW-tol) {
+				dominated = true
+				break
+			}
+		}
+		pts[i].Dominant = !dominated
+	}
+}
+
+// ParetoFront filters the dominant points.
+func ParetoFront(pts []ParetoPoint) []ParetoPoint {
+	var out []ParetoPoint
+	for _, p := range pts {
+		if p.Dominant {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,53 @@
+package floorplan
+
+import (
+	"math"
+
+	"sunmap/internal/graph"
+	"sunmap/internal/topology"
+)
+
+// EstimateLinkLengthsMM approximates link and access (NI) lengths without
+// solving the LP: relative template distances scaled by the design pitch
+// (the side of the average core block plus spacing). The mapping swap loop
+// uses this fast path; the exact LP floorplan runs once per candidate
+// mapping at the end (and in paper-faithful mode, inside the loop).
+func EstimateLinkLengthsMM(topo topology.Topology, assign []int, cores []graph.Core, opts Options) (linkLens, accessLens []float64) {
+	opts = opts.withDefaults()
+	pitch := EstimatePitchMM(cores, opts)
+	linkLens = make([]float64, len(topo.Links()))
+	for _, l := range topo.Links() {
+		ax, ay := topo.Position(l.From)
+		bx, by := topo.Position(l.To)
+		linkLens[l.ID] = (math.Abs(ax-bx) + math.Abs(ay-by)) * pitch
+	}
+	accessLens = make([]float64, len(assign))
+	for i, term := range assign {
+		tx, ty := topo.TerminalPosition(term)
+		rx, ry := topo.Position(topo.InjectRouter(term))
+		d := (math.Abs(tx-rx) + math.Abs(ty-ry)) * pitch
+		if d < pitch/2 {
+			d = pitch / 2 // same-slot blocks still need a short hookup
+		}
+		accessLens[i] = d
+	}
+	return linkLens, accessLens
+}
+
+// EstimatePitchMM returns the estimated slot pitch: the side length of the
+// average core plus spacing.
+func EstimatePitchMM(cores []graph.Core, opts Options) float64 {
+	opts = opts.withDefaults()
+	if len(cores) == 0 {
+		return 1
+	}
+	var total float64
+	for _, c := range cores {
+		total += c.AreaMM2
+	}
+	avg := total / float64(len(cores))
+	if avg <= 0 {
+		return 1
+	}
+	return math.Sqrt(avg) + opts.SpacingMM
+}

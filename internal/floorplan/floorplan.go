@@ -1,0 +1,413 @@
+// Package floorplan implements SUNMAP's LP-based floorplanner (Section 5
+// of the paper, after Kim & Kim [20] and Sherwani [21]). The mapping fixes
+// the relative positions of cores and switches (the topology's placement
+// template); the floorplanner computes exact positions and the sizes of
+// soft blocks, from which it derives chip area, aspect ratio and the link
+// lengths that feed the power model.
+//
+// The model is a row/column slot LP: blocks are binned into columns and
+// rows by their relative coordinates, column widths and row heights become
+// LP variables, soft-core sizing uses tangent linearization of the area
+// hyperbola h·w >= A, and the objective minimizes the chip half-perimeter.
+// After solving, soft heights are re-exactified (h = A/w) so block areas
+// hold exactly rather than to linearization tolerance.
+package floorplan
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"sunmap/internal/graph"
+	"sunmap/internal/lp"
+	"sunmap/internal/topology"
+)
+
+// Block is one placed rectangle of the floorplan.
+type Block struct {
+	// Name identifies the block ("core:idct" or "router:5").
+	Name string
+	// X, Y are the lower-left corner in mm; W, H the dimensions in mm.
+	X, Y, W, H float64
+	// Soft marks blocks whose shape was chosen by the floorplanner.
+	Soft bool
+}
+
+// CenterX and CenterY return the block centre.
+func (b Block) CenterX() float64 { return b.X + b.W/2 }
+
+// CenterY returns the vertical centre of the block.
+func (b Block) CenterY() float64 { return b.Y + b.H/2 }
+
+// Result is a computed floorplan.
+type Result struct {
+	// Blocks holds every placed rectangle.
+	Blocks []Block
+	// CoreBlocks[i] indexes the block of core i; RouterBlocks[r] the
+	// block of router r.
+	CoreBlocks   []int
+	RouterBlocks []int
+	// ChipWMM and ChipHMM are the bounding dimensions.
+	ChipWMM, ChipHMM float64
+	// LinkLengthsMM holds per-link Manhattan centre distances, indexed by
+	// link ID.
+	LinkLengthsMM []float64
+	// AccessLengthsMM holds, per core, the Manhattan distance from the
+	// core block to its inject router block (the network-interface link).
+	AccessLengthsMM []float64
+}
+
+// ChipAreaMM2 returns the bounding-box area.
+func (r *Result) ChipAreaMM2() float64 { return r.ChipWMM * r.ChipHMM }
+
+// AspectRatio returns max(W,H)/min(W,H), >= 1.
+func (r *Result) AspectRatio() float64 {
+	if r.ChipWMM <= 0 || r.ChipHMM <= 0 {
+		return math.Inf(1)
+	}
+	ar := r.ChipWMM / r.ChipHMM
+	if ar < 1 {
+		ar = 1 / ar
+	}
+	return ar
+}
+
+// AvgLinkLengthMM returns the mean router-to-router link length.
+func (r *Result) AvgLinkLengthMM() float64 {
+	if len(r.LinkLengthsMM) == 0 {
+		return 0
+	}
+	var s float64
+	for _, l := range r.LinkLengthsMM {
+		s += l
+	}
+	return s / float64(len(r.LinkLengthsMM))
+}
+
+// Options tunes the floorplanner.
+type Options struct {
+	// SpacingMM is the halo added around every block (default 0.1 mm).
+	SpacingMM float64
+	// Tangents is the number of tangent lines linearizing each soft
+	// block's area curve (default 5).
+	Tangents int
+}
+
+func (o Options) withDefaults() Options {
+	if o.SpacingMM <= 0 {
+		o.SpacingMM = 0.1
+	}
+	if o.Tangents < 2 {
+		o.Tangents = 5
+	}
+	return o
+}
+
+// Floorplan places the cores (via assign: core index -> terminal) and the
+// switches of topo. switchAreasMM2 gives the area of each router's switch
+// (index = router ID); switches are hard square blocks.
+func Floorplan(topo topology.Topology, assign []int, cores []graph.Core, switchAreasMM2 []float64, opts Options) (*Result, error) {
+	if len(assign) != len(cores) {
+		return nil, fmt.Errorf("floorplan: %d assignments for %d cores", len(assign), len(cores))
+	}
+	if len(switchAreasMM2) != topo.NumRouters() {
+		return nil, fmt.Errorf("floorplan: %d switch areas for %d routers", len(switchAreasMM2), topo.NumRouters())
+	}
+	opts = opts.withDefaults()
+
+	// Collect relative positions: routers at their template positions,
+	// cores at their terminal positions.
+	var blocks []relBlock
+	for r := 0; r < topo.NumRouters(); r++ {
+		x, y := topo.Position(r)
+		blocks = append(blocks, relBlock{
+			name: fmt.Sprintf("router:%d", r),
+			rx:   x, ry: y,
+			area: switchAreasMM2[r],
+			core: -1, router: r,
+		})
+	}
+	for i, c := range cores {
+		term := assign[i]
+		if term < 0 || term >= topo.NumTerminals() {
+			return nil, fmt.Errorf("floorplan: core %d assigned to invalid terminal %d", i, term)
+		}
+		x, y := topo.TerminalPosition(term)
+		lo, hi := c.AspectBounds()
+		blocks = append(blocks, relBlock{
+			name: "core:" + c.Name,
+			rx:   x, ry: y,
+			area: c.AreaMM2,
+			soft: c.Soft,
+			arLo: lo, arHi: hi,
+			core: i, router: -1,
+		})
+	}
+
+	// Bin relative coordinates into columns and rows.
+	cols := binCoords(blocks, func(b relBlock) float64 { return b.rx })
+	rows := binCoords(blocks, func(b relBlock) float64 { return b.ry })
+	colOf := make([]int, len(blocks))
+	rowOf := make([]int, len(blocks))
+	for i, b := range blocks {
+		colOf[i] = indexOf(cols, b.rx)
+		rowOf[i] = indexOf(rows, b.ry)
+	}
+
+	// LP variables: [0, nSoft) widths w_i, [nSoft, 2nSoft) heights h_i,
+	// then column widths, then row heights.
+	softIdx := make([]int, len(blocks)) // block -> soft ordinal or -1
+	nSoft := 0
+	for i, b := range blocks {
+		if b.soft && b.area > 0 {
+			softIdx[i] = nSoft
+			nSoft++
+		} else {
+			softIdx[i] = -1
+		}
+	}
+	colVar := func(c int) int { return 2*nSoft + c }
+	rowVar := func(r int) int { return 2*nSoft + len(cols) + r }
+	numVars := 2*nSoft + len(cols) + len(rows)
+
+	p := lp.Problem{NumVars: numVars, Objective: make([]float64, numVars)}
+	for c := range cols {
+		p.Objective[colVar(c)] = 1
+	}
+	for r := range rows {
+		p.Objective[rowVar(r)] = 1
+	}
+
+	sp := opts.SpacingMM
+	// Hard block dimensions (squares).
+	hardW := make([]float64, len(blocks))
+	hardH := make([]float64, len(blocks))
+	for i, b := range blocks {
+		if softIdx[i] == -1 {
+			side := math.Sqrt(math.Max(b.area, 0))
+			hardW[i] = side
+			hardH[i] = side
+		}
+	}
+
+	// Soft block constraints: aspect-ratio width bounds and area tangents.
+	for i, b := range blocks {
+		s := softIdx[i]
+		if s == -1 {
+			continue
+		}
+		wv, hv := s, nSoft+s
+		wMin := math.Sqrt(b.area * b.arLo)
+		wMax := math.Sqrt(b.area * b.arHi)
+		cw := make([]float64, numVars)
+		cw[wv] = 1
+		p.AddConstraint(cw, lp.GE, wMin)
+		cw2 := make([]float64, numVars)
+		cw2[wv] = 1
+		p.AddConstraint(cw2, lp.LE, wMax)
+		// Tangents of h = A/w at sample widths: h >= 2A/w0 - (A/w0^2) w.
+		for k := 0; k < opts.Tangents; k++ {
+			w0 := wMin + (wMax-wMin)*float64(k)/float64(opts.Tangents-1)
+			if w0 <= 0 {
+				continue
+			}
+			ct := make([]float64, numVars)
+			ct[hv] = 1
+			ct[wv] = b.area / (w0 * w0)
+			p.AddConstraint(ct, lp.GE, 2*b.area/w0)
+		}
+	}
+
+	// Column width >= block width (+halo) for every block in the column.
+	for i := range blocks {
+		c := colOf[i]
+		cw := make([]float64, numVars)
+		cw[colVar(c)] = 1
+		if s := softIdx[i]; s != -1 {
+			cw[s] = -1
+			p.AddConstraint(cw, lp.GE, sp)
+		} else {
+			p.AddConstraint(cw, lp.GE, hardW[i]+sp)
+		}
+	}
+	// Row height >= stacked heights of each slot (col,row).
+	type slotKey struct{ c, r int }
+	slots := make(map[slotKey][]int)
+	for i := range blocks {
+		k := slotKey{colOf[i], rowOf[i]}
+		slots[k] = append(slots[k], i)
+	}
+	slotKeys := make([]slotKey, 0, len(slots))
+	for k := range slots {
+		slotKeys = append(slotKeys, k)
+	}
+	sort.Slice(slotKeys, func(a, b int) bool {
+		if slotKeys[a].r != slotKeys[b].r {
+			return slotKeys[a].r < slotKeys[b].r
+		}
+		return slotKeys[a].c < slotKeys[b].c
+	})
+	for _, k := range slotKeys {
+		members := slots[k]
+		cw := make([]float64, numVars)
+		cw[rowVar(k.r)] = 1
+		rhs := 0.0
+		for _, i := range members {
+			if s := softIdx[i]; s != -1 {
+				cw[nSoft+s] -= 1
+			} else {
+				rhs += hardH[i]
+			}
+			rhs += sp
+		}
+		p.AddConstraint(cw, lp.GE, rhs)
+	}
+
+	sol, err := lp.Solve(p)
+	if err != nil {
+		return nil, fmt.Errorf("floorplan: %v", err)
+	}
+	if sol.Status != lp.Optimal {
+		return nil, fmt.Errorf("floorplan: LP %v", sol.Status)
+	}
+
+	// Extract dimensions, re-exactifying soft areas: h = A/w.
+	wOf := make([]float64, len(blocks))
+	hOf := make([]float64, len(blocks))
+	for i, b := range blocks {
+		if s := softIdx[i]; s != -1 {
+			w := sol.X[s]
+			if w <= 0 {
+				w = math.Sqrt(b.area)
+			}
+			wOf[i] = w
+			hOf[i] = b.area / w
+		} else {
+			wOf[i] = hardW[i]
+			hOf[i] = hardH[i]
+		}
+	}
+	colW := make([]float64, len(cols))
+	for c := range cols {
+		colW[c] = sol.X[colVar(c)]
+	}
+	rowH := make([]float64, len(rows))
+	for r := range rows {
+		rowH[r] = sol.X[rowVar(r)]
+	}
+	// Ensure extracted dims still fit after exactification.
+	for i := range blocks {
+		if wOf[i]+sp > colW[colOf[i]] {
+			colW[colOf[i]] = wOf[i] + sp
+		}
+	}
+	for _, k := range slotKeys {
+		var need float64
+		for _, i := range slots[k] {
+			need += hOf[i] + sp
+		}
+		if need > rowH[k.r] {
+			rowH[k.r] = need
+		}
+	}
+
+	// Absolute placement: columns left to right, rows bottom to top,
+	// blocks stacked within a slot in deterministic (router-first) order.
+	colX := make([]float64, len(cols))
+	for c := 1; c < len(cols); c++ {
+		colX[c] = colX[c-1] + colW[c-1]
+	}
+	rowY := make([]float64, len(rows))
+	for r := 1; r < len(rows); r++ {
+		rowY[r] = rowY[r-1] + rowH[r-1]
+	}
+
+	res := &Result{
+		CoreBlocks:   make([]int, len(cores)),
+		RouterBlocks: make([]int, topo.NumRouters()),
+	}
+	stackUsed := make(map[slotKey]float64)
+	for i, b := range blocks {
+		k := slotKey{colOf[i], rowOf[i]}
+		yOff := stackUsed[k]
+		stackUsed[k] = yOff + hOf[i] + sp
+		placed := Block{
+			Name: b.name,
+			X:    colX[k.c] + (colW[k.c]-wOf[i])/2,
+			Y:    rowY[k.r] + yOff + sp/2,
+			W:    wOf[i],
+			H:    hOf[i],
+			Soft: b.soft,
+		}
+		res.Blocks = append(res.Blocks, placed)
+		if b.core >= 0 {
+			res.CoreBlocks[b.core] = len(res.Blocks) - 1
+		}
+		if b.router >= 0 {
+			res.RouterBlocks[b.router] = len(res.Blocks) - 1
+		}
+	}
+	var chipW, chipH float64
+	for c := range cols {
+		chipW += colW[c]
+	}
+	for r := range rows {
+		chipH += rowH[r]
+	}
+	res.ChipWMM, res.ChipHMM = chipW, chipH
+
+	// Link lengths: Manhattan distance between router block centres.
+	res.LinkLengthsMM = make([]float64, len(topo.Links()))
+	for _, l := range topo.Links() {
+		a := res.Blocks[res.RouterBlocks[l.From]]
+		b := res.Blocks[res.RouterBlocks[l.To]]
+		res.LinkLengthsMM[l.ID] = math.Abs(a.CenterX()-b.CenterX()) + math.Abs(a.CenterY()-b.CenterY())
+	}
+	// Access (NI) link lengths: core block to its inject router block.
+	res.AccessLengthsMM = make([]float64, len(cores))
+	for i := range cores {
+		cb := res.Blocks[res.CoreBlocks[i]]
+		rb := res.Blocks[res.RouterBlocks[topo.InjectRouter(assign[i])]]
+		res.AccessLengthsMM[i] = math.Abs(cb.CenterX()-rb.CenterX()) + math.Abs(cb.CenterY()-rb.CenterY())
+	}
+	return res, nil
+}
+
+// relBlock is a block in relative (template) coordinates before sizing.
+type relBlock struct {
+	name       string
+	rx, ry     float64
+	area       float64
+	soft       bool
+	arLo, arHi float64 // aspect bounds for soft blocks
+	core       int     // core index or -1
+	router     int     // router index or -1
+}
+
+// binCoords returns the sorted distinct coordinate values (1e-6 tolerance).
+func binCoords(blocks []relBlock, get func(relBlock) float64) []float64 {
+	vals := make([]float64, 0, len(blocks))
+	for _, b := range blocks {
+		vals = append(vals, get(b))
+	}
+	sort.Float64s(vals)
+	out := vals[:0]
+	for _, v := range vals {
+		if len(out) == 0 || v-out[len(out)-1] > 1e-6 {
+			out = append(out, v)
+		}
+	}
+	return append([]float64(nil), out...)
+}
+
+// indexOf finds v in the sorted bin list within tolerance.
+func indexOf(bins []float64, v float64) int {
+	i := sort.SearchFloat64s(bins, v-1e-6)
+	if i < len(bins) && math.Abs(bins[i]-v) <= 1e-6 {
+		return i
+	}
+	if i > 0 && math.Abs(bins[i-1]-v) <= 1e-6 {
+		return i - 1
+	}
+	return i // should not happen; nearest bin
+}

@@ -1,0 +1,262 @@
+package graph
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Arc is a directed, identified edge of a Digraph. ID indexes auxiliary
+// per-arc state kept by callers (link loads, capacities).
+type Arc struct {
+	To int
+	ID int
+}
+
+// Digraph is a minimal adjacency-list directed graph used for NoC router
+// graphs and quadrant graphs. Arc weights are supplied per query through a
+// WeightFunc so that congestion-aware routing can reuse one graph while the
+// loads evolve.
+type Digraph struct {
+	adj     [][]Arc
+	numArcs int
+}
+
+// NewDigraph returns a graph with n vertices and no arcs.
+func NewDigraph(n int) *Digraph {
+	if n < 0 {
+		panic(fmt.Sprintf("graph: negative vertex count %d", n))
+	}
+	return &Digraph{adj: make([][]Arc, n)}
+}
+
+// NumVertices returns the vertex count.
+func (d *Digraph) NumVertices() int { return len(d.adj) }
+
+// NumArcs returns the number of arcs added so far.
+func (d *Digraph) NumArcs() int { return d.numArcs }
+
+// AddArc inserts a directed arc u->v with external identifier id.
+func (d *Digraph) AddArc(u, v, id int) {
+	if u < 0 || u >= len(d.adj) || v < 0 || v >= len(d.adj) {
+		panic(fmt.Sprintf("graph: arc %d->%d out of range [0,%d)", u, v, len(d.adj)))
+	}
+	d.adj[u] = append(d.adj[u], Arc{To: v, ID: id})
+	d.numArcs++
+}
+
+// Out returns the arcs leaving u. The returned slice is owned by the graph
+// and must not be modified.
+func (d *Digraph) Out(u int) []Arc { return d.adj[u] }
+
+// WeightFunc maps an arc (by tail vertex and arc value) to a non-negative
+// cost. Returning math.Inf(1) removes the arc from consideration.
+type WeightFunc func(from int, a Arc) float64
+
+// UnitWeight weighs every arc 1; shortest paths become minimum-hop paths.
+func UnitWeight(int, Arc) float64 { return 1 }
+
+// pqItem is an entry of the Dijkstra priority queue.
+type pqItem struct {
+	v    int
+	dist float64
+}
+
+type pq []pqItem
+
+func (q pq) Len() int            { return len(q) }
+func (q pq) Less(i, j int) bool  { return q[i].dist < q[j].dist }
+func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// Dijkstra computes single-source shortest paths from src under w. It
+// returns the distance vector and, for path recovery, the predecessor
+// vertex and the arc ID used to reach each vertex (-1 when unreached or at
+// the source). Vertices outside `allowed` (when non-nil) are skipped, which
+// is how quadrant-graph restriction is applied without copying graphs.
+func (d *Digraph) Dijkstra(src int, w WeightFunc, allowed []bool) (dist []float64, prevV, prevArc []int) {
+	n := len(d.adj)
+	dist = make([]float64, n)
+	prevV = make([]int, n)
+	prevArc = make([]int, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		prevV[i] = -1
+		prevArc[i] = -1
+	}
+	if src < 0 || src >= n {
+		panic(fmt.Sprintf("graph: Dijkstra source %d out of range", src))
+	}
+	if allowed != nil && !allowed[src] {
+		return dist, prevV, prevArc
+	}
+	dist[src] = 0
+	q := pq{{v: src, dist: 0}}
+	done := make([]bool, n)
+	for q.Len() > 0 {
+		it := heap.Pop(&q).(pqItem)
+		u := it.v
+		if done[u] || it.dist > dist[u] {
+			continue
+		}
+		done[u] = true
+		for _, a := range d.adj[u] {
+			if allowed != nil && !a.allowedTo(allowed) {
+				continue
+			}
+			wt := w(u, a)
+			if math.IsInf(wt, 1) {
+				continue
+			}
+			if wt < 0 {
+				panic(fmt.Sprintf("graph: negative arc weight %g on %d->%d", wt, u, a.To))
+			}
+			if nd := dist[u] + wt; nd < dist[a.To] {
+				dist[a.To] = nd
+				prevV[a.To] = u
+				prevArc[a.To] = a.ID
+				heap.Push(&q, pqItem{v: a.To, dist: nd})
+			}
+		}
+	}
+	return dist, prevV, prevArc
+}
+
+func (a Arc) allowedTo(allowed []bool) bool { return allowed[a.To] }
+
+// ShortestPath returns the vertex sequence and arc-ID sequence of a
+// shortest src->dst path under w restricted to `allowed` (nil = all). The
+// boolean reports reachability.
+func (d *Digraph) ShortestPath(src, dst int, w WeightFunc, allowed []bool) (verts, arcs []int, ok bool) {
+	dist, prevV, prevArc := d.Dijkstra(src, w, allowed)
+	if math.IsInf(dist[dst], 1) {
+		return nil, nil, false
+	}
+	for v := dst; v != src; v = prevV[v] {
+		verts = append(verts, v)
+		arcs = append(arcs, prevArc[v])
+	}
+	verts = append(verts, src)
+	reverseInts(verts)
+	reverseInts(arcs)
+	return verts, arcs, true
+}
+
+// HopDistance returns the minimum hop count (arc count) from src to dst
+// within `allowed`, or -1 if unreachable. It runs a plain BFS.
+func (d *Digraph) HopDistance(src, dst int, allowed []bool) int {
+	if src == dst {
+		return 0
+	}
+	n := len(d.adj)
+	distv := make([]int, n)
+	for i := range distv {
+		distv[i] = -1
+	}
+	if allowed != nil && (!allowed[src] || !allowed[dst]) {
+		return -1
+	}
+	distv[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, a := range d.adj[u] {
+			if allowed != nil && !allowed[a.To] {
+				continue
+			}
+			if distv[a.To] == -1 {
+				distv[a.To] = distv[u] + 1
+				if a.To == dst {
+					return distv[a.To]
+				}
+				queue = append(queue, a.To)
+			}
+		}
+	}
+	return -1
+}
+
+// AllMinHopArcs returns the set of arc IDs that lie on at least one
+// minimum-hop src->dst path within `allowed`. Splitting across minimum
+// paths (routing function SM) restricts flow to this DAG.
+func (d *Digraph) AllMinHopArcs(src, dst int, allowed []bool) map[int]bool {
+	distS := d.bfsAll(src, allowed, false)
+	distT := d.bfsAll(dst, allowed, true)
+	out := make(map[int]bool)
+	if distS[dst] < 0 {
+		return out
+	}
+	total := distS[dst]
+	for u := range d.adj {
+		if distS[u] < 0 {
+			continue
+		}
+		for _, a := range d.adj[u] {
+			if allowed != nil && !allowed[a.To] {
+				continue
+			}
+			if distT[a.To] >= 0 && distS[u]+1+distT[a.To] == total {
+				out[a.ID] = true
+			}
+		}
+	}
+	return out
+}
+
+// bfsAll returns hop distances from src to every vertex (-1 unreachable),
+// following arcs forward or, when reverse is set, backward.
+func (d *Digraph) bfsAll(src int, allowed []bool, reverse bool) []int {
+	n := len(d.adj)
+	dist := make([]int, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	if allowed != nil && !allowed[src] {
+		return dist
+	}
+	var radj [][]Arc
+	if reverse {
+		radj = make([][]Arc, n)
+		for u := range d.adj {
+			for _, a := range d.adj[u] {
+				radj[a.To] = append(radj[a.To], Arc{To: u, ID: a.ID})
+			}
+		}
+	}
+	next := func(u int) []Arc {
+		if reverse {
+			return radj[u]
+		}
+		return d.adj[u]
+	}
+	dist[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, a := range next(u) {
+			if allowed != nil && !allowed[a.To] {
+				continue
+			}
+			if dist[a.To] == -1 {
+				dist[a.To] = dist[u] + 1
+				queue = append(queue, a.To)
+			}
+		}
+	}
+	return dist
+}
+
+func reverseInts(s []int) {
+	for i, j := 0, len(s)-1; i < j; i, j = i+1, j-1 {
+		s[i], s[j] = s[j], s[i]
+	}
+}

@@ -1,0 +1,125 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Parse reads a core graph from SUNMAP's plain-text format:
+//
+//	# comment
+//	app  vopd
+//	core vld    area=3.0
+//	core smem   area=6.0 soft aspect=0.5,2.0
+//	flow vld -> rld 70
+//
+// Lines: "app NAME" (optional, first), "core NAME [area=F] [soft]
+// [aspect=LO,HI]", "flow SRC -> DST BW". Blank lines and #-comments are
+// ignored. Bandwidth is in MB/s, area in mm².
+func Parse(r io.Reader) (*CoreGraph, error) {
+	g := NewCoreGraph("app")
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "app":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("graph: line %d: want \"app NAME\"", lineNo)
+			}
+			g.name = fields[1]
+		case "core":
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("graph: line %d: want \"core NAME [attrs]\"", lineNo)
+			}
+			c := Core{Name: fields[1]}
+			for _, attr := range fields[2:] {
+				switch {
+				case attr == "soft":
+					c.Soft = true
+				case strings.HasPrefix(attr, "area="):
+					v, err := strconv.ParseFloat(attr[len("area="):], 64)
+					if err != nil {
+						return nil, fmt.Errorf("graph: line %d: bad area %q", lineNo, attr)
+					}
+					c.AreaMM2 = v
+				case strings.HasPrefix(attr, "aspect="):
+					parts := strings.Split(attr[len("aspect="):], ",")
+					if len(parts) != 2 {
+						return nil, fmt.Errorf("graph: line %d: want aspect=LO,HI", lineNo)
+					}
+					lo, err1 := strconv.ParseFloat(parts[0], 64)
+					hi, err2 := strconv.ParseFloat(parts[1], 64)
+					if err1 != nil || err2 != nil {
+						return nil, fmt.Errorf("graph: line %d: bad aspect %q", lineNo, attr)
+					}
+					c.MinAspect, c.MaxAspect = lo, hi
+				default:
+					return nil, fmt.Errorf("graph: line %d: unknown core attribute %q", lineNo, attr)
+				}
+			}
+			if _, err := g.AddCore(c); err != nil {
+				return nil, fmt.Errorf("graph: line %d: %v", lineNo, err)
+			}
+		case "flow":
+			// "flow SRC -> DST BW"
+			if len(fields) != 5 || fields[2] != "->" {
+				return nil, fmt.Errorf("graph: line %d: want \"flow SRC -> DST BW\"", lineNo)
+			}
+			bw, err := strconv.ParseFloat(fields[4], 64)
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad bandwidth %q", lineNo, fields[4])
+			}
+			if err := g.Connect(fields[1], fields[3], bw); err != nil {
+				return nil, fmt.Errorf("graph: line %d: %v", lineNo, err)
+			}
+		default:
+			return nil, fmt.Errorf("graph: line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: read: %v", err)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// ParseString parses a core graph from an in-memory description.
+func ParseString(s string) (*CoreGraph, error) {
+	return Parse(strings.NewReader(s))
+}
+
+// Format renders g in the text format accepted by Parse, so that
+// Parse(Format(g)) round-trips.
+func Format(g *CoreGraph) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "app %s\n", g.Name())
+	for _, c := range g.Cores() {
+		fmt.Fprintf(&sb, "core %s area=%g", c.Name, c.AreaMM2)
+		if c.Soft {
+			sb.WriteString(" soft")
+		}
+		if c.MinAspect != 0 || c.MaxAspect != 0 {
+			fmt.Fprintf(&sb, " aspect=%g,%g", c.MinAspect, c.MaxAspect)
+		}
+		sb.WriteByte('\n')
+	}
+	cores := g.Cores()
+	for _, e := range g.Edges() {
+		fmt.Fprintf(&sb, "flow %s -> %s %g\n", cores[e.From].Name, cores[e.To].Name, e.BandwidthMBps)
+	}
+	return sb.String()
+}

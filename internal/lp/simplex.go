@@ -1,0 +1,334 @@
+// Package lp provides a small dense linear-programming solver (two-phase
+// primal simplex with Bland's anti-cycling rule) used by SUNMAP's
+// LP-based floorplanner (Section 5 of the paper, after [21]). Problems are
+// stated as minimization over non-negative variables with <=, >= or =
+// constraints. The solver targets the floorplanner's scale (tens to a few
+// hundred variables); it is exact up to floating-point tolerance, not a
+// high-performance general solver.
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Rel is a constraint relation.
+type Rel int
+
+// Constraint relations.
+const (
+	LE Rel = iota // <=
+	GE            // >=
+	EQ            // =
+)
+
+// Constraint is one row: Coeffs · x  Rel  RHS. Coeffs may be shorter than
+// the variable count; missing entries are zero.
+type Constraint struct {
+	Coeffs []float64
+	Rel    Rel
+	RHS    float64
+}
+
+// Problem is minimize Objective · x subject to Constraints, x >= 0.
+type Problem struct {
+	// NumVars is the number of decision variables.
+	NumVars int
+	// Objective holds the cost coefficients (length NumVars; shorter
+	// slices are zero-padded).
+	Objective []float64
+	// Constraints are the rows.
+	Constraints []Constraint
+}
+
+// AddConstraint appends a row and returns its index.
+func (p *Problem) AddConstraint(coeffs []float64, rel Rel, rhs float64) int {
+	p.Constraints = append(p.Constraints, Constraint{Coeffs: coeffs, Rel: rel, RHS: rhs})
+	return len(p.Constraints) - 1
+}
+
+// Status reports the outcome of Solve.
+type Status int
+
+// Solve outcomes.
+const (
+	Optimal Status = iota
+	Infeasible
+	Unbounded
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	default:
+		return fmt.Sprintf("status(%d)", int(s))
+	}
+}
+
+// Solution is the result of Solve.
+type Solution struct {
+	Status    Status
+	X         []float64
+	Objective float64
+}
+
+const eps = 1e-9
+
+// Solve runs two-phase simplex on p.
+func Solve(p Problem) (Solution, error) {
+	if p.NumVars <= 0 {
+		return Solution{}, fmt.Errorf("lp: no variables")
+	}
+	for i, c := range p.Constraints {
+		if len(c.Coeffs) > p.NumVars {
+			return Solution{}, fmt.Errorf("lp: constraint %d has %d coefficients for %d variables",
+				i, len(c.Coeffs), p.NumVars)
+		}
+	}
+	if len(p.Objective) > p.NumVars {
+		return Solution{}, fmt.Errorf("lp: objective has %d coefficients for %d variables",
+			len(p.Objective), p.NumVars)
+	}
+
+	m := len(p.Constraints)
+	n := p.NumVars
+
+	// Column layout: [0,n) decision vars, then one slack/surplus column
+	// per inequality, then one artificial per GE/EQ row.
+	numSlack := 0
+	for _, c := range p.Constraints {
+		if c.Rel != EQ {
+			numSlack++
+		}
+	}
+	numArt := 0
+	for _, c := range p.Constraints {
+		rhsNeg := c.RHS < 0
+		rel := c.Rel
+		if rhsNeg { // row will be negated below, flipping the relation
+			switch rel {
+			case LE:
+				rel = GE
+			case GE:
+				rel = LE
+			}
+		}
+		if rel != LE {
+			numArt++
+		}
+	}
+	total := n + numSlack + numArt
+
+	// Build tableau rows; RHS in last column.
+	tab := make([][]float64, m)
+	basis := make([]int, m)
+	slackCol := n
+	artCol := n + numSlack
+	artStart := artCol
+	for i, c := range p.Constraints {
+		row := make([]float64, total+1)
+		sign := 1.0
+		rel := c.Rel
+		if c.RHS < 0 {
+			sign = -1
+			switch rel {
+			case LE:
+				rel = GE
+			case GE:
+				rel = LE
+			}
+		}
+		for j, v := range c.Coeffs {
+			row[j] = sign * v
+		}
+		row[total] = sign * c.RHS
+		switch rel {
+		case LE:
+			row[slackCol] = 1
+			basis[i] = slackCol
+			slackCol++
+		case GE:
+			row[slackCol] = -1
+			slackCol++
+			row[artCol] = 1
+			basis[i] = artCol
+			artCol++
+		case EQ:
+			if c.Rel != EQ {
+				// An inequality consumed its slack column above even
+				// when negation turned it into GE handled there; EQ
+				// never allocates slack.
+				return Solution{}, fmt.Errorf("lp: internal relation bookkeeping error")
+			}
+			row[artCol] = 1
+			basis[i] = artCol
+			artCol++
+		}
+		tab[i] = row
+	}
+
+	// Phase 1: minimize the sum of artificials.
+	if numArt > 0 {
+		cost := make([]float64, total)
+		for j := artStart; j < total; j++ {
+			cost[j] = 1
+		}
+		obj, status := simplex(tab, basis, cost, artStart)
+		if status == Unbounded {
+			return Solution{}, fmt.Errorf("lp: phase 1 unbounded (internal error)")
+		}
+		if obj > 1e-7 {
+			return Solution{Status: Infeasible}, nil
+		}
+		// Pivot artificials out of the basis where possible; rows where
+		// no real column has a nonzero entry are redundant and dropped.
+		for i := 0; i < len(tab); i++ {
+			if basis[i] < artStart {
+				continue
+			}
+			pivoted := false
+			for j := 0; j < artStart; j++ {
+				if math.Abs(tab[i][j]) > 1e-7 {
+					pivot(tab, basis, i, j)
+					pivoted = true
+					break
+				}
+			}
+			if !pivoted {
+				tab = append(tab[:i], tab[i+1:]...)
+				basis = append(basis[:i], basis[i+1:]...)
+				i--
+			}
+		}
+	}
+
+	// With every row gone (or none to begin with), x = 0 is the only
+	// basic point; the problem is unbounded iff some cost is negative.
+	if len(tab) == 0 {
+		for _, c := range p.Objective {
+			if c < -eps {
+				return Solution{Status: Unbounded}, nil
+			}
+		}
+		return Solution{Status: Optimal, X: make([]float64, n)}, nil
+	}
+
+	// Phase 2: original objective, artificial columns barred.
+	cost := make([]float64, total)
+	copy(cost, p.Objective)
+	_, status := simplex(tab, basis, cost, artStart)
+	if status == Unbounded {
+		return Solution{Status: Unbounded}, nil
+	}
+	x := make([]float64, n)
+	for i, b := range basis {
+		if b < n {
+			x[b] = tab[i][len(tab[i])-1]
+		}
+	}
+	var objVal float64
+	for j := 0; j < n && j < len(p.Objective); j++ {
+		objVal += p.Objective[j] * x[j]
+	}
+	return Solution{Status: Optimal, X: x, Objective: objVal}, nil
+}
+
+// simplex minimizes cost over the tableau in place. Columns with index >=
+// barFrom never enter the basis (used to bar artificials in phase 2).
+// It returns the final objective value and Optimal or Unbounded.
+func simplex(tab [][]float64, basis []int, cost []float64, barFrom int) (float64, Status) {
+	m := len(tab)
+	if m == 0 {
+		return 0, Optimal
+	}
+	total := len(tab[0]) - 1
+	// Reduced-cost row: z_j = c_j - sum over basic rows of c_B * a_ij.
+	z := make([]float64, total+1)
+	copy(z, cost)
+	for i := 0; i < m; i++ {
+		cb := 0.0
+		if basis[i] < len(cost) {
+			cb = cost[basis[i]]
+		}
+		if cb == 0 {
+			continue
+		}
+		for j := 0; j <= total; j++ {
+			z[j] -= cb * tab[i][j]
+		}
+	}
+	for iter := 0; ; iter++ {
+		if iter > 200000 {
+			// Bland's rule guarantees termination; this is a belt-and-
+			// braces guard against NaN-poisoned tableaus.
+			return -z[total], Optimal
+		}
+		// Bland: entering = smallest index with negative reduced cost.
+		enter := -1
+		for j := 0; j < barFrom; j++ {
+			if z[j] < -eps {
+				enter = j
+				break
+			}
+		}
+		if enter == -1 {
+			return -z[total], Optimal
+		}
+		// Ratio test; Bland tie-break on smallest basis variable index.
+		leave := -1
+		best := math.Inf(1)
+		for i := 0; i < m; i++ {
+			a := tab[i][enter]
+			if a > eps {
+				ratio := tab[i][total] / a
+				if ratio < best-eps || (ratio < best+eps && (leave == -1 || basis[i] < basis[leave])) {
+					best = ratio
+					leave = i
+				}
+			}
+		}
+		if leave == -1 {
+			return 0, Unbounded
+		}
+		pivotWithZ(tab, basis, z, leave, enter)
+	}
+}
+
+// pivot performs a basis change on row r, column c, without an objective
+// row (phase-1 cleanup only).
+func pivot(tab [][]float64, basis []int, r, c int) {
+	norm := tab[r][c]
+	for j := range tab[r] {
+		tab[r][j] /= norm
+	}
+	for i := range tab {
+		if i == r {
+			continue
+		}
+		f := tab[i][c]
+		if f == 0 {
+			continue
+		}
+		for j := range tab[i] {
+			tab[i][j] -= f * tab[r][j]
+		}
+	}
+	basis[r] = c
+}
+
+// pivotWithZ performs a basis change updating the reduced-cost row too.
+func pivotWithZ(tab [][]float64, basis []int, z []float64, r, c int) {
+	pivot(tab, basis, r, c)
+	f := z[c]
+	if f != 0 {
+		for j := range z {
+			z[j] -= f * tab[r][j]
+		}
+	}
+}

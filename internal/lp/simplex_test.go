@@ -1,0 +1,259 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func solveOK(t *testing.T, p Problem) Solution {
+	t.Helper()
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if s.Status != Optimal {
+		t.Fatalf("status = %v, want optimal", s.Status)
+	}
+	return s
+}
+
+func TestBasicMaximizationAsMinimization(t *testing.T) {
+	// max x+y s.t. x+y<=4, x<=2  ->  min -x-y; optimum 4 at (2,2).
+	p := Problem{NumVars: 2, Objective: []float64{-1, -1}}
+	p.AddConstraint([]float64{1, 1}, LE, 4)
+	p.AddConstraint([]float64{1, 0}, LE, 2)
+	s := solveOK(t, p)
+	if math.Abs(s.Objective-(-4)) > 1e-6 {
+		t.Errorf("objective = %g, want -4", s.Objective)
+	}
+	if math.Abs(s.X[0]+s.X[1]-4) > 1e-6 {
+		t.Errorf("x = %v, want on x+y=4", s.X)
+	}
+}
+
+func TestGEAndEQConstraints(t *testing.T) {
+	// min 2x+3y s.t. x+y = 10, x >= 4  -> x=10? No: y free down to 0;
+	// best is y=0? x+y=10 forces y=10-x; cost 2x+3(10-x) = 30-x, so push
+	// x up to 10: x=10, y=0, cost 20.
+	p := Problem{NumVars: 2, Objective: []float64{2, 3}}
+	p.AddConstraint([]float64{1, 1}, EQ, 10)
+	p.AddConstraint([]float64{1, 0}, GE, 4)
+	s := solveOK(t, p)
+	if math.Abs(s.Objective-20) > 1e-6 {
+		t.Errorf("objective = %g, want 20 (x=%v)", s.Objective, s.X)
+	}
+}
+
+func TestNegativeRHSNormalization(t *testing.T) {
+	// -x <= -3  is  x >= 3; min x -> 3.
+	p := Problem{NumVars: 1, Objective: []float64{1}}
+	p.AddConstraint([]float64{-1}, LE, -3)
+	s := solveOK(t, p)
+	if math.Abs(s.X[0]-3) > 1e-6 {
+		t.Errorf("x = %g, want 3", s.X[0])
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := Problem{NumVars: 1, Objective: []float64{1}}
+	p.AddConstraint([]float64{1}, GE, 5)
+	p.AddConstraint([]float64{1}, LE, 2)
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Infeasible {
+		t.Errorf("status = %v, want infeasible", s.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	p := Problem{NumVars: 2, Objective: []float64{-1, 0}}
+	p.AddConstraint([]float64{0, 1}, LE, 5)
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Unbounded {
+		t.Errorf("status = %v, want unbounded", s.Status)
+	}
+}
+
+func TestUnboundedWithoutConstraints(t *testing.T) {
+	p := Problem{NumVars: 1, Objective: []float64{-1}}
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Unbounded {
+		t.Errorf("status = %v, want unbounded", s.Status)
+	}
+	p2 := Problem{NumVars: 1, Objective: []float64{1}}
+	s2, err := Solve(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Status != Optimal || s2.X[0] != 0 {
+		t.Errorf("trivial problem: %+v", s2)
+	}
+}
+
+func TestDegenerateDoesNotCycle(t *testing.T) {
+	// A classically degenerate LP (Beale-like); Bland's rule must
+	// terminate at the optimum.
+	p := Problem{NumVars: 4, Objective: []float64{-0.75, 150, -0.02, 6}}
+	p.AddConstraint([]float64{0.25, -60, -0.04, 9}, LE, 0)
+	p.AddConstraint([]float64{0.5, -90, -0.02, 3}, LE, 0)
+	p.AddConstraint([]float64{0, 0, 1, 0}, LE, 1)
+	s := solveOK(t, p)
+	if math.Abs(s.Objective-(-0.05)) > 1e-6 {
+		t.Errorf("objective = %g, want -0.05", s.Objective)
+	}
+}
+
+func TestRedundantEquality(t *testing.T) {
+	// Duplicated equality rows leave a zero-level artificial; solver must
+	// drop the redundant row and still optimize.
+	p := Problem{NumVars: 2, Objective: []float64{1, 1}}
+	p.AddConstraint([]float64{1, 1}, EQ, 2)
+	p.AddConstraint([]float64{2, 2}, EQ, 4)
+	s := solveOK(t, p)
+	if math.Abs(s.Objective-2) > 1e-6 {
+		t.Errorf("objective = %g, want 2", s.Objective)
+	}
+}
+
+func TestInputValidation(t *testing.T) {
+	if _, err := Solve(Problem{NumVars: 0}); err == nil {
+		t.Error("zero variables accepted")
+	}
+	p := Problem{NumVars: 1, Objective: []float64{1, 2}}
+	if _, err := Solve(p); err == nil {
+		t.Error("oversized objective accepted")
+	}
+	p2 := Problem{NumVars: 1}
+	p2.AddConstraint([]float64{1, 2}, LE, 1)
+	if _, err := Solve(p2); err == nil {
+		t.Error("oversized constraint accepted")
+	}
+}
+
+// feasible reports whether x satisfies p within tolerance.
+func feasible(p Problem, x []float64) bool {
+	for _, xi := range x {
+		if xi < -1e-6 {
+			return false
+		}
+	}
+	for _, c := range p.Constraints {
+		var lhs float64
+		for j, v := range c.Coeffs {
+			lhs += v * x[j]
+		}
+		switch c.Rel {
+		case LE:
+			if lhs > c.RHS+1e-6 {
+				return false
+			}
+		case GE:
+			if lhs < c.RHS-1e-6 {
+				return false
+			}
+		case EQ:
+			if math.Abs(lhs-c.RHS) > 1e-6 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// bruteForce2D solves a 2-variable LP by enumerating candidate vertices:
+// intersections of all constraint boundary pairs (including the axes).
+func bruteForce2D(p Problem) (float64, bool) {
+	type line struct{ a, b, c float64 } // a x + b y = c
+	lines := []line{{1, 0, 0}, {0, 1, 0}}
+	for _, cn := range p.Constraints {
+		var a, b float64
+		if len(cn.Coeffs) > 0 {
+			a = cn.Coeffs[0]
+		}
+		if len(cn.Coeffs) > 1 {
+			b = cn.Coeffs[1]
+		}
+		lines = append(lines, line{a, b, cn.RHS})
+	}
+	best := math.Inf(1)
+	found := false
+	for i := 0; i < len(lines); i++ {
+		for j := i + 1; j < len(lines); j++ {
+			det := lines[i].a*lines[j].b - lines[j].a*lines[i].b
+			if math.Abs(det) < 1e-9 {
+				continue
+			}
+			x := (lines[i].c*lines[j].b - lines[j].c*lines[i].b) / det
+			y := (lines[i].a*lines[j].c - lines[j].a*lines[i].c) / det
+			if !feasible(p, []float64{x, y}) {
+				continue
+			}
+			found = true
+			var obj float64
+			if len(p.Objective) > 0 {
+				obj += p.Objective[0] * x
+			}
+			if len(p.Objective) > 1 {
+				obj += p.Objective[1] * y
+			}
+			if obj < best {
+				best = obj
+			}
+		}
+	}
+	return best, found
+}
+
+// Property: on random bounded-feasible 2-variable LPs the simplex optimum
+// matches brute-force vertex enumeration and the returned point is
+// feasible.
+func TestSimplexMatchesBruteForce2D(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := Problem{
+			NumVars:   2,
+			Objective: []float64{rng.Float64()*4 - 2, rng.Float64()*4 - 2},
+		}
+		// Bounding box keeps every instance bounded.
+		p.AddConstraint([]float64{1, 0}, LE, 5+rng.Float64()*5)
+		p.AddConstraint([]float64{0, 1}, LE, 5+rng.Float64()*5)
+		for k := 0; k < 3; k++ {
+			a := rng.Float64()*4 - 2
+			b := rng.Float64()*4 - 2
+			rhs := rng.Float64() * 10
+			if rng.Intn(2) == 0 {
+				p.AddConstraint([]float64{a, b}, LE, rhs)
+			} else {
+				p.AddConstraint([]float64{a, b}, GE, -rhs)
+			}
+		}
+		s, err := Solve(p)
+		if err != nil {
+			return false
+		}
+		want, ok := bruteForce2D(p)
+		if s.Status == Infeasible {
+			return !ok
+		}
+		if s.Status != Optimal {
+			return false // bounded by the box, must be optimal
+		}
+		if !feasible(p, s.X) {
+			return false
+		}
+		return math.Abs(s.Objective-want) < 1e-5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,87 @@
+// Package power implements SUNMAP's bit-energy power models (Section 5):
+// ORION-style switch energies (buffer write + read, crossbar traversal
+// scaling with the port product, arbitration scaling with fan-in) and
+// per-millimetre link energies from wire parameters. Design power is the
+// traffic-weighted sum over switches and links — the quantity plotted in
+// Figs. 3(d), 6(d), 7(b) and 8(d).
+package power
+
+import (
+	"fmt"
+
+	"sunmap/internal/area"
+	"sunmap/internal/tech"
+)
+
+// MWPerMBpsPJ converts (MB/s x pJ/bit) to mW:
+// 1 MB/s = 8e6 bit/s; 8e6 bit/s x 1e-12 J/bit = 8e-6 W = 0.008 mW.
+const MWPerMBpsPJ = 0.008
+
+// SwitchBitEnergyPJ returns the energy one bit dissipates traversing a
+// switch: one buffer write and read plus crossbar and arbitration shares.
+// The crossbar term scales with In*Out relative to the 5x5 reference, the
+// arbiter with fan-in — larger switches cost more per bit, which is why
+// the all-4x4 butterfly beats the 5x5-switch mesh for VOPD (Section 6.1).
+func SwitchBitEnergyPJ(c area.SwitchConfig, t tech.Tech) float64 {
+	if c.In <= 0 || c.Out <= 0 {
+		return 0
+	}
+	return t.BufWritePJ + t.BufReadPJ +
+		t.XbarPJ*float64(c.In*c.Out)/25.0 +
+		t.ArbPJ*float64(c.In)/5.0
+}
+
+// LinkBitEnergyPJ returns the energy one bit dissipates on a link of the
+// given length.
+func LinkBitEnergyPJ(lengthMM float64, t tech.Tech) float64 {
+	return t.LinkPJPerMM * lengthMM
+}
+
+// NetworkPowerMW computes design power from per-router traffic (MB/s
+// through each switch), per-link traffic and link lengths (mm, indexed by
+// link ID).
+func NetworkPowerMW(cfgs []area.SwitchConfig, routerLoadsMBps, linkLoadsMBps, linkLengthsMM []float64, t tech.Tech) (float64, error) {
+	if len(cfgs) != len(routerLoadsMBps) {
+		return 0, fmt.Errorf("power: %d switch configs vs %d router loads", len(cfgs), len(routerLoadsMBps))
+	}
+	if len(linkLoadsMBps) != len(linkLengthsMM) {
+		return 0, fmt.Errorf("power: %d link loads vs %d link lengths", len(linkLoadsMBps), len(linkLengthsMM))
+	}
+	var mw float64
+	for i, cfg := range cfgs {
+		mw += routerLoadsMBps[i] * SwitchBitEnergyPJ(cfg, t) * MWPerMBpsPJ
+	}
+	for i, load := range linkLoadsMBps {
+		mw += load * LinkBitEnergyPJ(linkLengthsMM[i], t) * MWPerMBpsPJ
+	}
+	return mw, nil
+}
+
+// Breakdown separates switch and link power for reporting; Section 6.1
+// argues from exactly this split ("link power dissipation is much lower
+// than the switch power dissipation").
+type Breakdown struct {
+	SwitchMW float64
+	LinkMW   float64
+}
+
+// TotalMW returns the summed power.
+func (b Breakdown) TotalMW() float64 { return b.SwitchMW + b.LinkMW }
+
+// NetworkPowerBreakdown computes the switch/link power split.
+func NetworkPowerBreakdown(cfgs []area.SwitchConfig, routerLoadsMBps, linkLoadsMBps, linkLengthsMM []float64, t tech.Tech) (Breakdown, error) {
+	if len(cfgs) != len(routerLoadsMBps) {
+		return Breakdown{}, fmt.Errorf("power: %d switch configs vs %d router loads", len(cfgs), len(routerLoadsMBps))
+	}
+	if len(linkLoadsMBps) != len(linkLengthsMM) {
+		return Breakdown{}, fmt.Errorf("power: %d link loads vs %d link lengths", len(linkLoadsMBps), len(linkLengthsMM))
+	}
+	var b Breakdown
+	for i, cfg := range cfgs {
+		b.SwitchMW += routerLoadsMBps[i] * SwitchBitEnergyPJ(cfg, t) * MWPerMBpsPJ
+	}
+	for i, load := range linkLoadsMBps {
+		b.LinkMW += load * LinkBitEnergyPJ(linkLengthsMM[i], t) * MWPerMBpsPJ
+	}
+	return b, nil
+}

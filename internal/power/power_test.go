@@ -1,0 +1,104 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"sunmap/internal/area"
+	"sunmap/internal/tech"
+)
+
+func cfg(in, out int) area.SwitchConfig {
+	t := tech.Tech100nm()
+	return area.SwitchConfig{In: in, Out: out, BufDepthFlits: t.BufDepthFlits, FlitBits: t.FlitBits}
+}
+
+func TestSwitchBitEnergyReference(t *testing.T) {
+	// 5x5 at 0.1 um should be ~5 pJ/bit (1+1 buffers, 2.4 crossbar,
+	// 0.6 arbiter), the calibration that puts VOPD mesh power near the
+	// paper's 372 mW.
+	got := SwitchBitEnergyPJ(cfg(5, 5), tech.Tech100nm())
+	if math.Abs(got-5.0) > 0.5 {
+		t.Errorf("5x5 bit energy = %g pJ, want ~5", got)
+	}
+}
+
+func TestSwitchBitEnergyMonotone(t *testing.T) {
+	tc := tech.Tech100nm()
+	e3 := SwitchBitEnergyPJ(cfg(3, 3), tc)
+	e4 := SwitchBitEnergyPJ(cfg(4, 4), tc)
+	e5 := SwitchBitEnergyPJ(cfg(5, 5), tc)
+	if !(e3 < e4 && e4 < e5) {
+		t.Errorf("bit energy not monotone: %g %g %g", e3, e4, e5)
+	}
+	if SwitchBitEnergyPJ(area.SwitchConfig{}, tc) != 0 {
+		t.Error("degenerate switch has nonzero energy")
+	}
+}
+
+func TestUnitConversion(t *testing.T) {
+	// 1000 MB/s through a 1 pJ/bit stage dissipates 8 mW.
+	if got := 1000 * 1.0 * MWPerMBpsPJ; math.Abs(got-8.0) > 1e-12 {
+		t.Errorf("1000 MB/s @ 1 pJ/bit = %g mW, want 8", got)
+	}
+}
+
+func TestNetworkPowerComposition(t *testing.T) {
+	tc := tech.Tech100nm()
+	cfgs := []area.SwitchConfig{cfg(5, 5), cfg(3, 3)}
+	routerLoads := []float64{1000, 500}
+	linkLoads := []float64{800}
+	linkLens := []float64{2.0}
+	total, err := NetworkPowerMW(cfgs, routerLoads, linkLoads, linkLens, tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NetworkPowerBreakdown(cfgs, routerLoads, linkLoads, linkLens, tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(total-b.TotalMW()) > 1e-9 {
+		t.Errorf("total %g != breakdown %g", total, b.TotalMW())
+	}
+	wantSwitch := 1000*SwitchBitEnergyPJ(cfgs[0], tc)*MWPerMBpsPJ +
+		500*SwitchBitEnergyPJ(cfgs[1], tc)*MWPerMBpsPJ
+	if math.Abs(b.SwitchMW-wantSwitch) > 1e-9 {
+		t.Errorf("switch power = %g, want %g", b.SwitchMW, wantSwitch)
+	}
+	wantLink := 800 * 2.0 * tc.LinkPJPerMM * MWPerMBpsPJ
+	if math.Abs(b.LinkMW-wantLink) > 1e-9 {
+		t.Errorf("link power = %g, want %g", b.LinkMW, wantLink)
+	}
+	// In a typical design, switch power dominates link power (the
+	// paper's Section 6.1 argument for the butterfly win).
+	if b.SwitchMW <= b.LinkMW {
+		t.Errorf("switch power %g <= link power %g in reference scenario", b.SwitchMW, b.LinkMW)
+	}
+}
+
+func TestNetworkPowerShapeErrors(t *testing.T) {
+	tc := tech.Tech100nm()
+	if _, err := NetworkPowerMW([]area.SwitchConfig{cfg(2, 2)}, []float64{1, 2}, nil, nil, tc); err == nil {
+		t.Error("mismatched router loads accepted")
+	}
+	if _, err := NetworkPowerMW(nil, nil, []float64{1}, nil, tc); err == nil {
+		t.Error("mismatched link lengths accepted")
+	}
+	if _, err := NetworkPowerBreakdown([]area.SwitchConfig{cfg(2, 2)}, []float64{1, 2}, nil, nil, tc); err == nil {
+		t.Error("breakdown mismatched router loads accepted")
+	}
+	if _, err := NetworkPowerBreakdown(nil, nil, []float64{1}, nil, tc); err == nil {
+		t.Error("breakdown mismatched link lengths accepted")
+	}
+}
+
+func TestZeroTrafficZeroPower(t *testing.T) {
+	tc := tech.Tech100nm()
+	got, err := NetworkPowerMW([]area.SwitchConfig{cfg(5, 5)}, []float64{0}, []float64{0}, []float64{3}, tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Errorf("idle network dissipates %g mW in the traffic model", got)
+	}
+}

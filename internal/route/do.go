@@ -1,0 +1,111 @@
+package route
+
+import (
+	"fmt"
+
+	"sunmap/internal/graph"
+	"sunmap/internal/topology"
+)
+
+// routeDO routes one commodity with the oblivious dimension-ordered
+// discipline: XY on grids (columns first, then rows; tori take the shorter
+// wrap direction, ties resolved toward increasing coordinates), ascending
+// bit order on hypercubes, and a terminal-determined middle switch on Clos
+// networks. Topologies with a unique or hub path (butterfly, star) fall
+// back to their single path; other kinds route load-obliviously on a
+// minimum-hop path.
+func routeDO(topo topology.Topology, srcT, dstT int, c graph.Commodity, res *Result) error {
+	src, dst := topo.InjectRouter(srcT), topo.EjectRouter(dstT)
+	var verts []int
+	switch tt := topo.(type) {
+	case topology.GridLike:
+		rows, cols := tt.GridDims()
+		verts = gridDOPath(src, dst, rows, cols, topo.Kind() == topology.Torus)
+	case topology.CubeLike:
+		verts = cubeDOPath(src, dst, tt.Dim())
+	case topology.ClosLike:
+		m, _, r := tt.Params()
+		mid := r + (srcT+dstT)%m
+		verts = []int{src, mid, dst}
+	default:
+		// Butterfly (unique path), star (hub) and any future kinds:
+		// oblivious minimum-hop routing, deterministic by construction.
+		v, arcs, ok := shortest(topo, src, dst, graph.UnitWeight, topo.Quadrant(srcT, dstT))
+		if !ok {
+			return fmt.Errorf("route: DO found no path for commodity %d on %s", c.ID, topo.Name())
+		}
+		commit(res, c, 1.0, v, arcs)
+		return nil
+	}
+	arcs, err := arcsAlong(topo, verts)
+	if err != nil {
+		return fmt.Errorf("route: DO commodity %d on %s: %v", c.ID, topo.Name(), err)
+	}
+	commit(res, c, 1.0, verts, arcs)
+	return nil
+}
+
+// gridDOPath walks column-first then row-first from src to dst on a
+// rows x cols grid, using wrap-around steps on tori when strictly shorter.
+func gridDOPath(src, dst, rows, cols int, wrap bool) []int {
+	sr, sc := src/cols, src%cols
+	dr, dc := dst/cols, dst%cols
+	verts := []int{src}
+	stepToward := func(cur, want, n int) int {
+		if !wrap {
+			if cur < want {
+				return cur + 1
+			}
+			return cur - 1
+		}
+		fwd := (want - cur + n) % n
+		bwd := (cur - want + n) % n
+		if fwd <= bwd {
+			return (cur + 1) % n
+		}
+		return (cur - 1 + n) % n
+	}
+	r, col := sr, sc
+	for col != dc {
+		col = stepToward(col, dc, cols)
+		verts = append(verts, r*cols+col)
+	}
+	for r != dr {
+		r = stepToward(r, dr, rows)
+		verts = append(verts, r*cols+col)
+	}
+	return verts
+}
+
+// cubeDOPath fixes differing address bits from least to most significant.
+func cubeDOPath(src, dst, dim int) []int {
+	verts := []int{src}
+	cur := src
+	for b := 0; b < dim; b++ {
+		if (cur^dst)&(1<<b) != 0 {
+			cur ^= 1 << b
+			verts = append(verts, cur)
+		}
+	}
+	return verts
+}
+
+// arcsAlong resolves the link IDs for a router walk.
+func arcsAlong(topo topology.Topology, verts []int) ([]int, error) {
+	arcs := make([]int, 0, len(verts)-1)
+	g := topo.Graph()
+	for i := 0; i+1 < len(verts); i++ {
+		found := -1
+		for _, a := range g.Out(verts[i]) {
+			if a.To == verts[i+1] {
+				found = a.ID
+				break
+			}
+		}
+		if found < 0 {
+			return nil, fmt.Errorf("no link %d->%d", verts[i], verts[i+1])
+		}
+		arcs = append(arcs, found)
+	}
+	return arcs, nil
+}

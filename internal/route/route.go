@@ -1,0 +1,346 @@
+// Package route implements SUNMAP's routing functions: dimension-ordered
+// (DO), minimum-path (MP), traffic splitting across minimum paths (SM) and
+// traffic splitting across all paths (SA), as enumerated in Sections 1 and
+// 6.3 of the paper.
+//
+// Given a topology, a core-to-terminal assignment and the commodity set,
+// Route produces per-link and per-router traffic loads, the flow paths (for
+// power estimation and for the simulator's route tables) and the bandwidth
+// feasibility verdict: the mapping is feasible when no link carries more
+// than its capacity (footnote 1 of the paper treats capacity as a tool
+// input).
+package route
+
+import (
+	"fmt"
+	"math"
+
+	"sunmap/internal/graph"
+	"sunmap/internal/topology"
+)
+
+// Function selects one of the paper's routing functions.
+type Function int
+
+const (
+	// DimensionOrdered routes obliviously: XY on meshes and tori,
+	// bit-ordered on hypercubes, a terminal-determined middle on Clos.
+	DimensionOrdered Function = iota
+	// MinPath routes each commodity, in decreasing bandwidth order, on a
+	// single congestion-aware shortest path inside its quadrant graph
+	// (the Fig. 5 algorithm).
+	MinPath
+	// SplitMin splits each commodity across the minimum-hop path DAG.
+	SplitMin
+	// SplitAll splits each commodity across arbitrary paths.
+	SplitAll
+)
+
+// String returns the paper's abbreviation for the routing function.
+func (f Function) String() string {
+	switch f {
+	case DimensionOrdered:
+		return "DO"
+	case MinPath:
+		return "MP"
+	case SplitMin:
+		return "SM"
+	case SplitAll:
+		return "SA"
+	default:
+		return fmt.Sprintf("Function(%d)", int(f))
+	}
+}
+
+// ParseFunction converts the paper's abbreviation to a Function.
+func ParseFunction(s string) (Function, error) {
+	switch s {
+	case "DO", "do":
+		return DimensionOrdered, nil
+	case "MP", "mp":
+		return MinPath, nil
+	case "SM", "sm":
+		return SplitMin, nil
+	case "SA", "sa":
+		return SplitAll, nil
+	}
+	return 0, fmt.Errorf("route: unknown routing function %q (want DO, MP, SM or SA)", s)
+}
+
+// Options configures Route.
+type Options struct {
+	// Function is the routing function (default DimensionOrdered, the
+	// zero value; callers usually set MinPath or a splitting variant).
+	Function Function
+	// CapacityMBps is the uniform link capacity used for the feasibility
+	// verdict. Zero or negative means unconstrained (the "relaxed
+	// bandwidth constraints" mode of Section 6.2).
+	CapacityMBps float64
+	// Chunks is the splitting granularity for SM and SA: each commodity
+	// is divided into this many equal chunks, each routed on the least
+	// loaded (remaining) path. Default 32.
+	Chunks int
+	// DisableQuadrant searches the full router graph instead of the
+	// quadrant graph for MP routing. The paper restricts Dijkstra to
+	// quadrants for "large computational time savings" (Section 4.1);
+	// this knob exists for the ablation benchmark quantifying that claim.
+	DisableQuadrant bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Chunks <= 0 {
+		o.Chunks = 32
+	}
+	return o
+}
+
+// FlowPath is one routed fraction of a commodity.
+type FlowPath struct {
+	// Commodity identifies the flow being carried.
+	Commodity graph.Commodity
+	// Fraction is the share of the commodity's bandwidth on this path.
+	Fraction float64
+	// Routers is the router sequence from inject to eject router.
+	Routers []int
+	// LinkIDs are the traversed link IDs; len(LinkIDs) = len(Routers)-1.
+	LinkIDs []int
+}
+
+// Hops returns the number of routers traversed (the paper's hop count).
+func (p FlowPath) Hops() int { return len(p.Routers) }
+
+// Result is the outcome of routing every commodity.
+type Result struct {
+	// LinkLoads holds the traffic on each link, indexed by link ID.
+	LinkLoads []float64
+	// RouterLoads holds the traffic through each router (every flit both
+	// enters and leaves a router once, so this counts each flow once per
+	// traversed router); the power model multiplies it by the switch bit
+	// energy.
+	RouterLoads []float64
+	// Paths lists every flow path with its bandwidth fraction.
+	Paths []FlowPath
+	// MaxLinkLoad is the largest entry of LinkLoads: the minimum link
+	// capacity that would make this routing feasible (Fig. 9a's metric).
+	MaxLinkLoad float64
+	// HopSumMBps is the bandwidth-weighted hop total Σ vl(d)·hops(d).
+	HopSumMBps float64
+	// TotalMBps is the summed commodity bandwidth.
+	TotalMBps float64
+	// Feasible reports MaxLinkLoad <= capacity (true when capacity is
+	// unconstrained).
+	Feasible bool
+}
+
+// AvgHops returns the bandwidth-weighted average hop count, the paper's
+// "average communication delay" metric (Fig. 3d, Fig. 6a, Fig. 7b).
+func (r *Result) AvgHops() float64 {
+	if r.TotalMBps == 0 {
+		return 0
+	}
+	return r.HopSumMBps / r.TotalMBps
+}
+
+// feasTolerance absorbs float accumulation error in the capacity check.
+const feasTolerance = 1e-6
+
+// Route routes every commodity over topo under the given core-to-terminal
+// assignment. assign[c] is the terminal hosting core c; every commodity's
+// endpoints must be assigned. Commodities are processed in the given order,
+// which per Fig. 5 should be decreasing bandwidth (graph.Commodities
+// guarantees it).
+func Route(topo topology.Topology, assign []int, comms []graph.Commodity, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	res := &Result{
+		LinkLoads:   make([]float64, len(topo.Links())),
+		RouterLoads: make([]float64, topo.NumRouters()),
+	}
+	for _, c := range comms {
+		if c.Src < 0 || c.Src >= len(assign) || c.Dst < 0 || c.Dst >= len(assign) {
+			return nil, fmt.Errorf("route: commodity %d endpoints (%d,%d) outside assignment of %d cores",
+				c.ID, c.Src, c.Dst, len(assign))
+		}
+		srcT, dstT := assign[c.Src], assign[c.Dst]
+		if srcT < 0 || srcT >= topo.NumTerminals() || dstT < 0 || dstT >= topo.NumTerminals() {
+			return nil, fmt.Errorf("route: commodity %d mapped to invalid terminals (%d,%d)", c.ID, srcT, dstT)
+		}
+		if srcT == dstT {
+			return nil, fmt.Errorf("route: commodity %d has source and destination on terminal %d", c.ID, srcT)
+		}
+		var err error
+		switch opts.Function {
+		case DimensionOrdered:
+			err = routeDO(topo, srcT, dstT, c, res)
+		case MinPath:
+			err = routeSingle(topo, srcT, dstT, c, res, !opts.DisableQuadrant)
+		case SplitMin:
+			err = routeSplit(topo, srcT, dstT, c, res, opts.Chunks, true)
+		case SplitAll:
+			err = routeSplit(topo, srcT, dstT, c, res, opts.Chunks, false)
+		default:
+			err = fmt.Errorf("route: unknown routing function %v", opts.Function)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	for _, l := range res.LinkLoads {
+		if l > res.MaxLinkLoad {
+			res.MaxLinkLoad = l
+		}
+	}
+	res.Feasible = opts.CapacityMBps <= 0 || res.MaxLinkLoad <= opts.CapacityMBps+feasTolerance
+	return res, nil
+}
+
+// commit records one flow path carrying fraction f of commodity c.
+func commit(res *Result, c graph.Commodity, f float64, verts, arcs []int) {
+	bw := c.ValueMBps * f
+	for _, id := range arcs {
+		res.LinkLoads[id] += bw
+	}
+	for _, r := range verts {
+		res.RouterLoads[r] += bw
+	}
+	res.HopSumMBps += bw * float64(len(verts))
+	res.TotalMBps += bw
+	res.Paths = append(res.Paths, FlowPath{
+		Commodity: c,
+		Fraction:  f,
+		Routers:   append([]int(nil), verts...),
+		LinkIDs:   append([]int(nil), arcs...),
+	})
+}
+
+// loadWeight builds the congestion-aware weight of Fig. 5: the accumulated
+// load on each link, plus a small per-hop bias so that among equally loaded
+// alternatives shorter paths win deterministically.
+func loadWeight(res *Result, hopBias float64) graph.WeightFunc {
+	return func(_ int, a graph.Arc) float64 {
+		return res.LinkLoads[a.ID] + hopBias
+	}
+}
+
+// hopBiasFor scales the tie-breaking bias to the commodity sizes in play so
+// it never dominates a real load difference.
+func hopBiasFor(comms float64) float64 {
+	if comms <= 0 {
+		return 1e-9
+	}
+	return comms * 1e-9
+}
+
+// routeSingle routes the whole commodity on one congestion-aware shortest
+// path, restricted to the quadrant graph when useQuadrant is set.
+func routeSingle(topo topology.Topology, srcT, dstT int, c graph.Commodity, res *Result, useQuadrant bool) error {
+	var mask []bool
+	if useQuadrant {
+		mask = topo.Quadrant(srcT, dstT)
+	}
+	src, dst := topo.InjectRouter(srcT), topo.EjectRouter(dstT)
+	verts, arcs, ok := shortest(topo, src, dst, loadWeight(res, hopBiasFor(c.ValueMBps)), mask)
+	if !ok {
+		return fmt.Errorf("route: no path for commodity %d (terminals %d->%d) on %s",
+			c.ID, srcT, dstT, topo.Name())
+	}
+	commit(res, c, 1.0, verts, arcs)
+	return nil
+}
+
+// routeSplit divides the commodity into chunks and water-fills them over
+// the minimum-hop DAG (SM) or the whole router graph (SA).
+func routeSplit(topo topology.Topology, srcT, dstT int, c graph.Commodity, res *Result, chunks int, minOnly bool) error {
+	src, dst := topo.InjectRouter(srcT), topo.EjectRouter(dstT)
+	var mask []bool
+	var dagArcs map[int]bool
+	if minOnly {
+		mask = topo.Quadrant(srcT, dstT)
+		dagArcs = topo.Graph().AllMinHopArcs(src, dst, mask)
+	}
+	bias := hopBiasFor(c.ValueMBps)
+	base := loadWeight(res, bias)
+	w := base
+	if minOnly {
+		w = func(from int, a graph.Arc) float64 {
+			if !dagArcs[a.ID] {
+				return math.Inf(1)
+			}
+			return base(from, a)
+		}
+	}
+	// Accumulate identical consecutive chunk paths into one FlowPath to
+	// keep Paths compact; loads must still be updated per chunk so later
+	// chunks see the congestion earlier ones created.
+	frac := 1.0 / float64(chunks)
+	type accum struct {
+		verts, arcs []int
+		fraction    float64
+	}
+	var acc []accum
+	for i := 0; i < chunks; i++ {
+		verts, arcs, ok := shortest(topo, src, dst, w, mask)
+		if !ok {
+			return fmt.Errorf("route: no path for commodity %d chunk %d on %s", c.ID, i, topo.Name())
+		}
+		bw := c.ValueMBps * frac
+		for _, id := range arcs {
+			res.LinkLoads[id] += bw
+		}
+		merged := false
+		for j := range acc {
+			if equalInts(acc[j].arcs, arcs) {
+				acc[j].fraction += frac
+				merged = true
+				break
+			}
+		}
+		if !merged {
+			acc = append(acc, accum{verts: verts, arcs: arcs, fraction: frac})
+		}
+	}
+	// Loads for links were applied per chunk above; undo and let commit
+	// re-apply once per merged path so bookkeeping has a single source of
+	// truth for router loads and hop sums.
+	for _, a := range acc {
+		bw := c.ValueMBps * a.fraction
+		for _, id := range a.arcs {
+			res.LinkLoads[id] -= bw
+		}
+	}
+	for _, a := range acc {
+		commit(res, c, a.fraction, a.verts, a.arcs)
+	}
+	return nil
+}
+
+// shortest wraps Digraph.ShortestPath handling the degenerate star case
+// where inject and eject are the same router (a one-router path).
+func shortest(topo topology.Topology, src, dst int, w graph.WeightFunc, mask []bool) (verts, arcs []int, ok bool) {
+	if src == dst {
+		return []int{src}, nil, true
+	}
+	return topo.Graph().ShortestPath(src, dst, w, mask)
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// RequiredBandwidth maps the commodity set with the given function and
+// returns the minimum uniform link capacity that makes it feasible — the
+// metric of Fig. 9(a).
+func RequiredBandwidth(topo topology.Topology, assign []int, comms []graph.Commodity, fn Function) (float64, error) {
+	res, err := Route(topo, assign, comms, Options{Function: fn})
+	if err != nil {
+		return 0, err
+	}
+	return res.MaxLinkLoad, nil
+}

@@ -1,0 +1,476 @@
+// Package sim is a cycle-accurate flit-level network-on-chip simulator:
+// input-buffered wormhole routers with credit-based flow control and
+// round-robin switch allocation, matching the ×pipes-style networks whose
+// SystemC simulations produce the paper's Figs. 8(b) and 10(c). It stands
+// in for the paper's cycle-accurate SystemC runs (see DESIGN.md).
+//
+// Packets follow statically precomputed routes (per source/destination
+// terminal pair, possibly several weighted paths — Clos middle diversity is
+// modelled by picking a path per packet). Flits advance one link per
+// ChannelDelay+RouterDelay cycles when buffers and credits allow; a packet
+// holds an output port from head to tail (wormhole).
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sunmap/internal/topology"
+	"sunmap/internal/traffic"
+)
+
+// Path is one static route between two terminals: the link IDs traversed
+// in order (empty for hub topologies where inject == eject router).
+type Path struct {
+	LinkIDs []int
+	Weight  float64
+}
+
+// RouteTable holds the static routes for every ordered terminal pair.
+type RouteTable struct {
+	n     int
+	paths [][]Path // index src*n+dst
+}
+
+// Paths returns the route set for (src, dst).
+func (rt *RouteTable) Paths(src, dst int) []Path { return rt.paths[src*rt.n+dst] }
+
+// Config parameterizes one simulation run.
+type Config struct {
+	// Topo is the network topology.
+	Topo topology.Topology
+	// Routes are the static routes (see BuildRoutes).
+	Routes *RouteTable
+	// Pattern generates packet destinations.
+	Pattern traffic.Pattern
+	// InjectionRate is the offered load in flits/cycle/terminal (the x
+	// axis of Fig. 8b).
+	InjectionRate float64
+	// SourceShare optionally skews per-terminal injection (trace-driven
+	// runs); nil means uniform. Values are normalized internally.
+	SourceShare []float64
+	// ActiveTerminals restricts injection to the listed terminals (the
+	// mapped cores); nil means all terminals inject.
+	ActiveTerminals []int
+	// PacketFlits is the packet length (default 4).
+	PacketFlits int
+	// BufDepthFlits is the input buffer capacity (default 4).
+	BufDepthFlits int
+	// ChannelDelay and RouterDelay are per-hop pipeline cycles (defaults
+	// 1 and 1: two cycles per hop, ×pipes-like).
+	ChannelDelay, RouterDelay int
+	// WarmupCycles, MeasureCycles and DrainCycles structure the run
+	// (defaults 1000, 4000, 4000).
+	WarmupCycles, MeasureCycles, DrainCycles int
+	// Seed makes runs reproducible.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.PacketFlits <= 0 {
+		c.PacketFlits = 4
+	}
+	if c.BufDepthFlits <= 0 {
+		c.BufDepthFlits = 4
+	}
+	if c.ChannelDelay <= 0 {
+		c.ChannelDelay = 1
+	}
+	if c.RouterDelay < 0 {
+		c.RouterDelay = 0
+	} else if c.RouterDelay == 0 {
+		c.RouterDelay = 1
+	}
+	if c.WarmupCycles <= 0 {
+		c.WarmupCycles = 1000
+	}
+	if c.MeasureCycles <= 0 {
+		c.MeasureCycles = 4000
+	}
+	if c.DrainCycles <= 0 {
+		c.DrainCycles = 4000
+	}
+	return c
+}
+
+// Stats is the outcome of a run.
+type Stats struct {
+	// AvgLatencyCycles is the mean packet latency (injection of the head
+	// flit into the source queue to ejection of the tail) over packets
+	// created in the measurement window and delivered by the end of the
+	// drain.
+	AvgLatencyCycles float64
+	// P95LatencyCycles is the 95th-percentile latency of the same set.
+	P95LatencyCycles float64
+	// MeasuredPackets counts delivered measured packets.
+	MeasuredPackets int
+	// UnfinishedPackets counts measured packets still in flight after the
+	// drain: a large value flags saturation.
+	UnfinishedPackets int
+	// ThroughputFPC is delivered flits per cycle per terminal during the
+	// measurement window.
+	ThroughputFPC float64
+	// Saturated is set when more than 10% of measured packets failed to
+	// drain (latency numbers then underestimate the true mean).
+	Saturated bool
+	// Cycles is the total simulated cycle count.
+	Cycles int
+}
+
+// packet is one in-flight message.
+type packet struct {
+	dst       int
+	links     []int
+	createdAt int
+	measured  bool
+	done      bool
+}
+
+// flit is the unit of flow control.
+type flit struct {
+	pkt  *packet
+	seq  int // 0 = head, PacketFlits-1 = tail
+	hop  int // links already traversed
+	tail bool
+}
+
+// fifo is a bounded flit queue.
+type fifo struct {
+	q   []flit
+	cap int
+}
+
+func (f *fifo) full() bool  { return len(f.q) >= f.cap }
+func (f *fifo) empty() bool { return len(f.q) == 0 }
+func (f *fifo) head() *flit { return &f.q[0] }
+func (f *fifo) push(x flit) { f.q = append(f.q, x) }
+func (f *fifo) pop() flit {
+	x := f.q[0]
+	f.q = f.q[1:]
+	return x
+}
+
+// inTransit is a flit travelling on a channel.
+type inTransit struct {
+	fl      flit
+	arrive  int
+	destBuf int
+}
+
+// Run simulates the configured network and returns its statistics.
+func Run(cfg Config) (*Stats, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Topo == nil {
+		return nil, fmt.Errorf("sim: nil topology")
+	}
+	if cfg.Routes == nil {
+		return nil, fmt.Errorf("sim: nil route table")
+	}
+	if cfg.Pattern == nil {
+		return nil, fmt.Errorf("sim: nil traffic pattern")
+	}
+	if cfg.InjectionRate <= 0 || cfg.InjectionRate > 1 {
+		return nil, fmt.Errorf("sim: injection rate %g outside (0, 1]", cfg.InjectionRate)
+	}
+	topo := cfg.Topo
+	nTerm := topo.NumTerminals()
+	links := topo.Links()
+
+	active := cfg.ActiveTerminals
+	if active == nil {
+		active = make([]int, nTerm)
+		for i := range active {
+			active[i] = i
+		}
+	}
+	share := make([]float64, nTerm)
+	if cfg.SourceShare == nil {
+		for _, t := range active {
+			share[t] = 1
+		}
+	} else {
+		if len(cfg.SourceShare) > nTerm {
+			return nil, fmt.Errorf("sim: %d source shares for %d terminals", len(cfg.SourceShare), nTerm)
+		}
+		var sum float64
+		for _, t := range active {
+			if t < len(cfg.SourceShare) {
+				sum += cfg.SourceShare[t]
+			}
+		}
+		if sum <= 0 {
+			return nil, fmt.Errorf("sim: source shares sum to zero over active terminals")
+		}
+		for _, t := range active {
+			if t < len(cfg.SourceShare) {
+				share[t] = cfg.SourceShare[t] / sum * float64(len(active))
+			}
+		}
+	}
+
+	// Buffer layout: one input buffer per link (at its To router) and one
+	// injection buffer per terminal (at its inject router).
+	numBufs := len(links) + nTerm
+	bufs := make([]fifo, numBufs)
+	for i := range bufs {
+		bufs[i] = fifo{cap: cfg.BufDepthFlits}
+	}
+	linkBuf := func(linkID int) int { return linkID }
+	injBuf := func(term int) int { return len(links) + term }
+
+	// Router input ports: buffers feeding each router.
+	inputsOf := make([][]int, topo.NumRouters())
+	for _, l := range links {
+		inputsOf[l.To] = append(inputsOf[l.To], linkBuf(l.ID))
+	}
+	for t := 0; t < nTerm; t++ {
+		inputsOf[topo.InjectRouter(t)] = append(inputsOf[topo.InjectRouter(t)], injBuf(t))
+	}
+
+	// Output state per link: wormhole owner (buffer index or -1), credits
+	// (free downstream slots) and round-robin pointer.
+	owner := make([]int, len(links))
+	credits := make([]int, len(links))
+	rr := make([]int, topo.NumRouters())
+	for i := range owner {
+		owner[i] = -1
+		credits[i] = cfg.BufDepthFlits
+	}
+	// Ejection: one port per terminal, one flit per cycle, wormhole owner.
+	ejOwner := make([]int, nTerm)
+	for i := range ejOwner {
+		ejOwner[i] = -1
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	srcQueues := make([][]flit, nTerm) // unbounded source queues
+	var transit []inTransit
+	var latencies []float64
+	var measuredCreated, measuredDone int
+	var measuredFlits int
+	perHop := cfg.ChannelDelay + cfg.RouterDelay
+
+	total := cfg.WarmupCycles + cfg.MeasureCycles + cfg.DrainCycles
+	inFlight := 0
+
+	for cycle := 0; cycle < total; cycle++ {
+		// 1. Deliver channel arrivals.
+		keep := transit[:0]
+		for _, tr := range transit {
+			if tr.arrive <= cycle {
+				bufs[tr.destBuf].push(tr.fl)
+			} else {
+				keep = append(keep, tr)
+			}
+		}
+		transit = keep
+
+		// 2. Ejection: flits whose packets have traversed all their links
+		// leave through their terminal's ejection port (1 flit/cycle),
+		// held by the owning packet until the tail passes.
+		for _, term := range active {
+			r := topo.EjectRouter(term)
+			chosen := -1
+			ins := inputsOf[r]
+			n := len(ins)
+			for k := 0; k < n; k++ {
+				bi := ins[(rr[r]+k)%n]
+				if bufs[bi].empty() {
+					continue
+				}
+				h := bufs[bi].head()
+				if h.hop != len(h.pkt.links) || h.pkt.dst != term {
+					continue
+				}
+				if ejOwner[term] != -1 && ejOwner[term] != bi {
+					continue
+				}
+				chosen = bi
+				break
+			}
+			if chosen == -1 {
+				continue
+			}
+			fl := bufs[chosen].pop()
+			returnCredit(chosen, len(links), credits)
+			ejOwner[term] = chosen
+			if fl.tail {
+				ejOwner[term] = -1
+				fl.pkt.done = true
+				inFlight--
+				if fl.pkt.measured {
+					measuredDone++
+					latencies = append(latencies, float64(cycle-fl.pkt.createdAt))
+				}
+				if cycle >= cfg.WarmupCycles && cycle < cfg.WarmupCycles+cfg.MeasureCycles {
+					measuredFlits += cfg.PacketFlits
+				}
+			}
+		}
+
+		// 3. Switch allocation and traversal, per output link.
+		for li := range links {
+			if credits[li] <= 0 {
+				continue
+			}
+			r := links[li].From
+			ins := inputsOf[r]
+			n := len(ins)
+			chosen := -1
+			if owner[li] != -1 {
+				bi := owner[li]
+				if !bufs[bi].empty() {
+					h := bufs[bi].head()
+					if wantsLink(h, li) {
+						chosen = bi
+					}
+				}
+			} else {
+				for k := 0; k < n; k++ {
+					bi := ins[(rr[r]+k)%n]
+					if bufs[bi].empty() {
+						continue
+					}
+					h := bufs[bi].head()
+					if h.seq != 0 { // only head flits acquire new ports
+						continue
+					}
+					if wantsLink(h, li) && !claimedElsewhere(bi, li, owner) {
+						chosen = bi
+						rr[r] = (rr[r] + k + 1) % n
+						break
+					}
+				}
+			}
+			if chosen == -1 {
+				continue
+			}
+			fl := bufs[chosen].pop()
+			returnCredit(chosen, len(links), credits)
+			fl.hop++
+			credits[li]--
+			owner[li] = chosen
+			if fl.tail {
+				owner[li] = -1
+			}
+			transit = append(transit, inTransit{fl: fl, arrive: cycle + perHop, destBuf: linkBuf(li)})
+		}
+
+		// 4. Injection: generate packets and feed injection buffers.
+		genRate := cfg.InjectionRate / float64(cfg.PacketFlits)
+		for _, term := range active {
+			if cycle < cfg.WarmupCycles+cfg.MeasureCycles && rng.Float64() < genRate*share[term] {
+				dst := cfg.Pattern.Dest(term, nTerm, rng)
+				if dst == term {
+					continue
+				}
+				paths := cfg.Routes.Paths(term, dst)
+				if len(paths) == 0 {
+					return nil, fmt.Errorf("sim: no route %d->%d", term, dst)
+				}
+				p := pickPath(paths, rng)
+				pk := &packet{
+					dst:       dst,
+					links:     p.LinkIDs,
+					createdAt: cycle,
+					measured:  cycle >= cfg.WarmupCycles,
+				}
+				if pk.measured {
+					measuredCreated++
+				}
+				inFlight++
+				for s := 0; s < cfg.PacketFlits; s++ {
+					srcQueues[term] = append(srcQueues[term], flit{
+						pkt: pk, seq: s, tail: s == cfg.PacketFlits-1,
+					})
+				}
+			}
+			// One flit per cycle from the source queue into the inject
+			// buffer.
+			if len(srcQueues[term]) > 0 && !bufs[injBuf(term)].full() {
+				bufs[injBuf(term)].push(srcQueues[term][0])
+				srcQueues[term] = srcQueues[term][1:]
+			}
+		}
+
+		// Early exit once drained.
+		if cycle >= cfg.WarmupCycles+cfg.MeasureCycles && inFlight == 0 {
+			total = cycle + 1
+			break
+		}
+	}
+
+	st := &Stats{
+		MeasuredPackets:   measuredDone,
+		UnfinishedPackets: measuredCreated - measuredDone,
+		Cycles:            total,
+	}
+	if len(latencies) > 0 {
+		var sum float64
+		for _, l := range latencies {
+			sum += l
+		}
+		st.AvgLatencyCycles = sum / float64(len(latencies))
+		st.P95LatencyCycles = percentile(latencies, 0.95)
+	}
+	if cfg.MeasureCycles > 0 && len(active) > 0 {
+		st.ThroughputFPC = float64(measuredFlits) / float64(cfg.MeasureCycles) / float64(len(active))
+	}
+	if measuredCreated > 0 && float64(st.UnfinishedPackets) > 0.1*float64(measuredCreated) {
+		st.Saturated = true
+	}
+	return st, nil
+}
+
+// wantsLink reports whether the flit's next traversal is link li.
+func wantsLink(h *flit, li int) bool {
+	return h.hop < len(h.pkt.links) && h.pkt.links[h.hop] == li
+}
+
+// claimedElsewhere prevents one input buffer from owning two outputs
+// (its head packet can only be walking one path).
+func claimedElsewhere(bi, li int, owner []int) bool {
+	for o, ob := range owner {
+		if o != li && ob == bi {
+			return true
+		}
+	}
+	return false
+}
+
+// returnCredit frees a slot: link buffers return a credit to their link;
+// injection buffers have no upstream credits.
+func returnCredit(bufIdx, numLinks int, credits []int) {
+	if bufIdx < numLinks {
+		credits[bufIdx]++
+	}
+}
+
+func pickPath(paths []Path, rng *rand.Rand) Path {
+	if len(paths) == 1 {
+		return paths[0]
+	}
+	var total float64
+	for _, p := range paths {
+		total += p.Weight
+	}
+	x := rng.Float64() * total
+	for _, p := range paths {
+		x -= p.Weight
+		if x <= 0 {
+			return p
+		}
+	}
+	return paths[len(paths)-1]
+}
+
+func percentile(xs []float64, p float64) float64 {
+	sorted := append([]float64(nil), xs...)
+	for i := 1; i < len(sorted); i++ { // insertion sort; latency sets are small
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	idx := int(p * float64(len(sorted)-1))
+	return sorted[idx]
+}

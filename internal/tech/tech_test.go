@@ -1,0 +1,50 @@
+package tech
+
+import "testing"
+
+func TestAllNodesValidate(t *testing.T) {
+	for _, tc := range []Tech{Tech100nm(), Tech130nm(), Tech90nm(), Tech65nm()} {
+		if err := tc.Validate(); err != nil {
+			t.Errorf("%s: %v", tc.Name, err)
+		}
+	}
+}
+
+func TestValidateRejectsBad(t *testing.T) {
+	tc := Tech100nm()
+	tc.FlitBits = 0
+	if err := tc.Validate(); err == nil {
+		t.Error("zero flit width accepted")
+	}
+	tc = Tech100nm()
+	tc.XbarPJ = -1
+	if err := tc.Validate(); err == nil {
+		t.Error("negative energy accepted")
+	}
+}
+
+func TestScalingIsMonotone(t *testing.T) {
+	// Newer nodes must be smaller and lower energy, older ones bigger.
+	n130, n100, n90, n65 := Tech130nm(), Tech100nm(), Tech90nm(), Tech65nm()
+	if !(n130.XbarAreaMM2 > n100.XbarAreaMM2 && n100.XbarAreaMM2 > n90.XbarAreaMM2 && n90.XbarAreaMM2 > n65.XbarAreaMM2) {
+		t.Error("area coefficients not monotone across nodes")
+	}
+	if !(n130.XbarPJ > n100.XbarPJ && n100.XbarPJ > n90.XbarPJ && n90.XbarPJ > n65.XbarPJ) {
+		t.Error("energy coefficients not monotone across nodes")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"100nm", "0.1um", "130nm", "90nm", "65nm"} {
+		tc, err := ByName(name)
+		if err != nil {
+			t.Errorf("ByName(%s): %v", name, err)
+		}
+		if tc.FeatureNM == 0 {
+			t.Errorf("ByName(%s): zero feature size", name)
+		}
+	}
+	if _, err := ByName("28nm"); err == nil {
+		t.Error("unknown node accepted")
+	}
+}

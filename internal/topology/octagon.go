@@ -1,0 +1,36 @@
+package topology
+
+// octagonTopology is the OC-768 octagon network of Karim et al. [6]: 8
+// routers on a ring with cross links between opposite routers, so any pair
+// is at most 2 link hops apart. It is one of the "easily added" library
+// extensions mentioned in Section 1.
+type octagonTopology struct {
+	*base
+}
+
+// NewOctagon constructs the 8-node octagon.
+func NewOctagon() (Topology, error) {
+	o := &octagonTopology{base: newBase("octagon", Octagon, 8, 8)}
+	// Octagon placement on the perimeter of a 3x3 grid, clockwise.
+	perimeter := [8][2]float64{
+		{0, 0}, {1, 0}, {2, 0}, {2, 1}, {2, 2}, {1, 2}, {0, 2}, {0, 1},
+	}
+	for u := 0; u < 8; u++ {
+		o.addBiLink(u, (u+1)%8) // ring
+		if u < 4 {
+			o.addBiLink(u, u+4) // cross links
+		}
+		o.inject[u] = u
+		o.eject[u] = u
+		o.pos[u] = perimeter[u]
+		o.tpos[u] = perimeter[u]
+	}
+	return o, nil
+}
+
+// Quadrant admits all 8 routers: the network is small enough that the
+// shortest-path search over the whole graph is already cheap, and any
+// smaller mask risks excluding the cross links that realize 2-hop routes.
+func (o *octagonTopology) Quadrant(src, dst int) []bool {
+	return o.allRouters()
+}

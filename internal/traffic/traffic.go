@@ -1,0 +1,313 @@
+// Package traffic provides the synthetic traffic generators of the
+// paper's Section 6.2 ("we use traffic generators to generate adversarial
+// traffic pattern for each topology") plus trace-driven generation from an
+// application core graph for the DSP study of Section 6.4.
+package traffic
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sunmap/internal/graph"
+	"sunmap/internal/topology"
+)
+
+// Pattern maps a source terminal to a destination terminal for one packet.
+// Implementations must be safe for sequential reuse with the supplied rng
+// and must never return dst == src.
+type Pattern interface {
+	// Name identifies the pattern in reports.
+	Name() string
+	// Dest picks the destination for a packet injected at src among n
+	// terminals.
+	Dest(src, n int, rng *rand.Rand) int
+}
+
+// Uniform sends each packet to a uniformly random other terminal.
+type Uniform struct{}
+
+// Name implements Pattern.
+func (Uniform) Name() string { return "uniform" }
+
+// Dest implements Pattern.
+func (Uniform) Dest(src, n int, rng *rand.Rand) int {
+	d := rng.Intn(n - 1)
+	if d >= src {
+		d++
+	}
+	return d
+}
+
+// Transpose treats terminals as a square matrix and sends (r,c) -> (c,r);
+// nodes on the diagonal fall back to the opposite node. A classic
+// adversarial pattern for meshes and tori.
+type Transpose struct{ Cols int }
+
+// Name implements Pattern.
+func (t Transpose) Name() string { return "transpose" }
+
+// Dest implements Pattern.
+func (t Transpose) Dest(src, n int, rng *rand.Rand) int {
+	cols := t.Cols
+	if cols <= 0 {
+		cols = intSqrt(n)
+	}
+	r, c := src/cols, src%cols
+	d := c*cols + r
+	if d == src || d >= n {
+		d = (src + n/2) % n
+	}
+	if d == src {
+		d = (src + 1) % n
+	}
+	return d
+}
+
+// BitComplement sends node b to ^b, the worst case for dimension-ordered
+// hypercube routing (every packet crosses every dimension).
+type BitComplement struct{}
+
+// Name implements Pattern.
+func (BitComplement) Name() string { return "bit-complement" }
+
+// Dest implements Pattern.
+func (BitComplement) Dest(src, n int, rng *rand.Rand) int {
+	mask := n - 1
+	d := (^src) & mask
+	if d == src || d >= n {
+		d = (src + n/2) % n
+	}
+	if d == src {
+		d = (src + 1) % n
+	}
+	return d
+}
+
+// BitReverse reverses the address bits.
+type BitReverse struct{}
+
+// Name implements Pattern.
+func (BitReverse) Name() string { return "bit-reverse" }
+
+// Dest implements Pattern.
+func (BitReverse) Dest(src, n int, rng *rand.Rand) int {
+	bits := 0
+	for 1<<bits < n {
+		bits++
+	}
+	d := 0
+	for b := 0; b < bits; b++ {
+		if src&(1<<b) != 0 {
+			d |= 1 << (bits - 1 - b)
+		}
+	}
+	if d == src || d >= n {
+		d = (src + n/2) % n
+	}
+	if d == src {
+		d = (src + 1) % n
+	}
+	return d
+}
+
+// Shuffle rotates the address bits left by one (the perfect-shuffle
+// permutation), which serializes onto single butterfly paths.
+type Shuffle struct{}
+
+// Name implements Pattern.
+func (Shuffle) Name() string { return "shuffle" }
+
+// Dest implements Pattern.
+func (Shuffle) Dest(src, n int, rng *rand.Rand) int {
+	bits := 0
+	for 1<<bits < n {
+		bits++
+	}
+	d := ((src << 1) | (src >> (bits - 1))) & (n - 1)
+	if d == src || d >= n {
+		d = (src + n/2) % n
+	}
+	if d == src {
+		d = (src + 1) % n
+	}
+	return d
+}
+
+// Tornado sends each node halfway around its row ring, adversarial for
+// tori (defeats the shorter-direction heuristic).
+type Tornado struct{ Cols int }
+
+// Name implements Pattern.
+func (t Tornado) Name() string { return "tornado" }
+
+// Dest implements Pattern.
+func (t Tornado) Dest(src, n int, rng *rand.Rand) int {
+	cols := t.Cols
+	if cols <= 0 {
+		cols = intSqrt(n)
+	}
+	r, c := src/cols, src%cols
+	d := r*cols + (c+(cols-1)/2)%cols
+	if d == src || d >= n {
+		d = (src + n/2) % n
+	}
+	if d == src {
+		d = (src + 1) % n
+	}
+	return d
+}
+
+// GroupShift sends every member of a size-K terminal group to the
+// corresponding member of the next group: with K equal to a butterfly's
+// radix, all K flows of a first-stage switch serialize onto the single
+// link toward one second-stage switch, saturating the stage at 1/K offered
+// load — the adversarial pattern for networks without path diversity.
+type GroupShift struct{ K int }
+
+// Name implements Pattern.
+func (g GroupShift) Name() string { return fmt.Sprintf("group-shift-%d", g.K) }
+
+// Dest implements Pattern.
+func (g GroupShift) Dest(src, n int, rng *rand.Rand) int {
+	k := g.K
+	if k <= 1 || n%k != 0 {
+		k = 2
+		if n%2 != 0 {
+			return Uniform{}.Dest(src, n, rng)
+		}
+	}
+	groups := n / k
+	d := ((src/k+1)%groups)*k + src%k
+	if d == src {
+		d = (src + k) % n
+	}
+	if d == src {
+		d = (src + 1) % n
+	}
+	return d
+}
+
+// Hotspot sends packets to one hot terminal with the given probability and
+// uniformly otherwise.
+type Hotspot struct {
+	Node int
+	Frac float64
+}
+
+// Name implements Pattern.
+func (h Hotspot) Name() string { return fmt.Sprintf("hotspot-%d", h.Node) }
+
+// Dest implements Pattern.
+func (h Hotspot) Dest(src, n int, rng *rand.Rand) int {
+	if h.Node != src && rng.Float64() < h.Frac {
+		return h.Node % n
+	}
+	return Uniform{}.Dest(src, n, rng)
+}
+
+// Adversarial returns the pattern Section 6.2's methodology would pick to
+// stress a given topology: transpose for grids and tori, bit-complement
+// for hypercubes (dimension-ordered worst case) and group-shift at the
+// radix for butterflies (their single paths cannot escape it). Clos
+// networks have no single worst case thanks to middle-stage diversity;
+// transpose is used as the common stressor.
+func Adversarial(t topology.Topology) Pattern {
+	switch t.Kind() {
+	case topology.Hypercube:
+		return BitComplement{}
+	case topology.Butterfly:
+		if fly, ok := t.(topology.FlyLike); ok {
+			return GroupShift{K: fly.Radix()}
+		}
+		return GroupShift{K: 2}
+	default:
+		if grid, ok := t.(topology.GridLike); ok {
+			_, cols := grid.GridDims()
+			return Transpose{Cols: cols}
+		}
+		return Transpose{}
+	}
+}
+
+// Trace generates (src, dst) terminal pairs with probability proportional
+// to the core graph's flow bandwidths under a given core-to-terminal
+// assignment — the transaction-level workload of the DSP study.
+type Trace struct {
+	name    string
+	pairs   [][2]int
+	weights []float64
+	total   float64
+	rates   []float64 // per-source share of total injected bandwidth
+}
+
+// NewTrace builds a trace generator from an application and its mapping.
+func NewTrace(g *graph.CoreGraph, assign []int) (*Trace, error) {
+	if g.NumEdges() == 0 {
+		return nil, fmt.Errorf("traffic: %s has no flows", g.Name())
+	}
+	t := &Trace{name: "trace-" + g.Name()}
+	nTerm := 0
+	for _, term := range assign {
+		if term+1 > nTerm {
+			nTerm = term + 1
+		}
+	}
+	t.rates = make([]float64, nTerm)
+	for _, e := range g.Edges() {
+		if e.From >= len(assign) || e.To >= len(assign) {
+			return nil, fmt.Errorf("traffic: edge endpoints outside assignment")
+		}
+		t.pairs = append(t.pairs, [2]int{assign[e.From], assign[e.To]})
+		t.weights = append(t.weights, e.BandwidthMBps)
+		t.total += e.BandwidthMBps
+		t.rates[assign[e.From]] += e.BandwidthMBps
+	}
+	for i := range t.rates {
+		t.rates[i] /= t.total
+	}
+	return t, nil
+}
+
+// Name implements Pattern.
+func (t *Trace) Name() string { return t.name }
+
+// Dest implements Pattern: destinations are drawn from the flows leaving
+// the source terminal, weighted by bandwidth. Sources with no outgoing
+// flow fall back to uniform.
+func (t *Trace) Dest(src, n int, rng *rand.Rand) int {
+	var local float64
+	for i, p := range t.pairs {
+		if p[0] == src {
+			local += t.weights[i]
+		}
+	}
+	if local == 0 {
+		return Uniform{}.Dest(src, n, rng)
+	}
+	x := rng.Float64() * local
+	for i, p := range t.pairs {
+		if p[0] != src {
+			continue
+		}
+		x -= t.weights[i]
+		if x <= 0 {
+			return p[1]
+		}
+	}
+	return t.pairs[len(t.pairs)-1][1]
+}
+
+// SourceShare returns the fraction of total trace bandwidth injected by
+// each terminal; the simulator scales per-terminal injection rates with it
+// so heavy producers inject proportionally more.
+func (t *Trace) SourceShare() []float64 {
+	return append([]float64(nil), t.rates...)
+}
+
+func intSqrt(n int) int {
+	r := 1
+	for (r+1)*(r+1) <= n {
+		r++
+	}
+	return r
+}

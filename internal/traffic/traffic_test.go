@@ -1,0 +1,183 @@
+package traffic
+
+import (
+	"math/rand"
+	"testing"
+
+	"sunmap/internal/apps"
+	"sunmap/internal/topology"
+)
+
+func TestPatternsNeverSelfAddress(t *testing.T) {
+	pats := []Pattern{
+		Uniform{}, Transpose{}, Transpose{Cols: 4}, BitComplement{},
+		BitReverse{}, Shuffle{}, Tornado{}, Tornado{Cols: 4},
+		Hotspot{Node: 3, Frac: 0.5},
+	}
+	rng := rand.New(rand.NewSource(1))
+	for _, p := range pats {
+		for _, n := range []int{4, 8, 16, 32} {
+			for src := 0; src < n; src++ {
+				for trial := 0; trial < 20; trial++ {
+					d := p.Dest(src, n, rng)
+					if d == src {
+						t.Fatalf("%s: Dest(%d, %d) returned the source", p.Name(), src, n)
+					}
+					if d < 0 || d >= n {
+						t.Fatalf("%s: Dest(%d, %d) = %d out of range", p.Name(), src, n, d)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestTransposeIsInvolutionOffDiagonal(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	p := Transpose{Cols: 4}
+	// (r,c) -> (c,r): applying twice returns the source for off-diagonal
+	// nodes of a 4x4.
+	for src := 0; src < 16; src++ {
+		if src/4 == src%4 {
+			continue
+		}
+		d := p.Dest(src, 16, rng)
+		if back := p.Dest(d, 16, rng); back != src {
+			t.Errorf("transpose not involutive: %d -> %d -> %d", src, d, back)
+		}
+	}
+}
+
+func TestBitComplement(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if d := (BitComplement{}).Dest(0b0101, 16, rng); d != 0b1010 {
+		t.Errorf("complement of 0101 = %04b, want 1010", d)
+	}
+}
+
+func TestBitReverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if d := (BitReverse{}).Dest(0b0001, 16, rng); d != 0b1000 {
+		t.Errorf("reverse of 0001 = %04b, want 1000", d)
+	}
+}
+
+func TestShuffleRotatesBits(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if d := (Shuffle{}).Dest(0b0011, 16, rng); d != 0b0110 {
+		t.Errorf("shuffle of 0011 = %04b, want 0110", d)
+	}
+	if d := (Shuffle{}).Dest(0b1000, 16, rng); d != 0b0001 {
+		t.Errorf("shuffle of 1000 = %04b, want 0001", d)
+	}
+}
+
+func TestHotspotConcentratesTraffic(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	h := Hotspot{Node: 5, Frac: 0.8}
+	hits := 0
+	const trials = 2000
+	for i := 0; i < trials; i++ {
+		if h.Dest(0, 16, rng) == 5 {
+			hits++
+		}
+	}
+	if frac := float64(hits) / trials; frac < 0.7 || frac > 0.9 {
+		t.Errorf("hotspot fraction = %g, want ~0.8", frac)
+	}
+}
+
+func mustTopo(topo topology.Topology, err error) topology.Topology {
+	if err != nil {
+		panic(err)
+	}
+	return topo
+}
+
+func TestAdversarialPerKind(t *testing.T) {
+	cases := []struct {
+		topo topology.Topology
+		want string
+	}{
+		{mustTopo(topology.NewMesh(4, 4)), "transpose"},
+		{mustTopo(topology.NewTorus(4, 4)), "transpose"},
+		{mustTopo(topology.NewHypercube(4)), "bit-complement"},
+		{mustTopo(topology.NewButterfly(4, 2)), "group-shift-4"},
+		{mustTopo(topology.NewClos(4, 4, 4)), "transpose"},
+	}
+	for _, c := range cases {
+		if got := Adversarial(c.topo).Name(); got != c.want {
+			t.Errorf("Adversarial(%s) = %s, want %s", c.topo.Name(), got, c.want)
+		}
+	}
+}
+
+func TestGroupShiftSerializesButterflyGroups(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := GroupShift{K: 4}
+	// All four members of group 0 must land in group 1, preserving their
+	// intra-group offset.
+	for src := 0; src < 4; src++ {
+		if d := g.Dest(src, 16, rng); d != 4+src {
+			t.Errorf("group-shift(%d) = %d, want %d", src, d, 4+src)
+		}
+	}
+	// Wraps around at the last group.
+	if d := g.Dest(13, 16, rng); d != 1 {
+		t.Errorf("group-shift(13) = %d, want 1", d)
+	}
+	// Degenerate K falls back without self-addressing.
+	bad := GroupShift{K: 0}
+	for src := 0; src < 6; src++ {
+		if d := bad.Dest(src, 6, rng); d == src {
+			t.Errorf("degenerate group shift self-addressed %d", src)
+		}
+	}
+}
+
+func TestTraceFollowsFlowWeights(t *testing.T) {
+	g := apps.DSPFilter()
+	assign := []int{0, 1, 2, 3, 4, 5}
+	tr, err := NewTrace(g, assign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// fft (core 2) sends only to filter (core 4): destination must always
+	// be terminal 4.
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 50; i++ {
+		if d := tr.Dest(2, 6, rng); d != 4 {
+			t.Fatalf("fft sent to terminal %d, want 4 (filter)", d)
+		}
+	}
+	// memory (core 1) splits between arm, fft and display; over many
+	// samples each must appear.
+	seen := make(map[int]int)
+	for i := 0; i < 3000; i++ {
+		seen[tr.Dest(1, 6, rng)]++
+	}
+	for _, want := range []int{0, 2, 5} {
+		if seen[want] == 0 {
+			t.Errorf("memory never sent to terminal %d (histogram %v)", want, seen)
+		}
+	}
+	// Source shares must sum to 1 and weight heavy producers more.
+	shares := tr.SourceShare()
+	var sum float64
+	for _, s := range shares {
+		sum += s
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("source shares sum to %g", sum)
+	}
+	if shares[2] <= shares[0] {
+		t.Errorf("fft share %g <= arm share %g despite 600 vs 400 MB/s", shares[2], shares[0])
+	}
+}
+
+func TestNewTraceErrors(t *testing.T) {
+	g := apps.DSPFilter()
+	if _, err := NewTrace(g, []int{0, 1}); err == nil {
+		t.Error("short assignment accepted")
+	}
+}

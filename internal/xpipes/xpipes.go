@@ -1,0 +1,304 @@
+// Package xpipes implements SUNMAP's Phase 3 (Section 3): generation of
+// the selected network as SystemC soft macros in the style of the ×pipes
+// architecture [17] and ×pipesCompiler [18]. Given a mapped design it
+// emits parameterized switch, link and network-interface modules plus a
+// top-level netlist binding the cores to the network, alongside a DOT
+// rendering and a floorplan report. The emitted SystemC is structural and
+// cycle-oriented like ×pipes; it is not tested against a SystemC
+// toolchain (this repository's cycle-accurate runs use internal/sim — see
+// DESIGN.md).
+package xpipes
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"sunmap/internal/graph"
+	"sunmap/internal/mapping"
+	"sunmap/internal/tech"
+)
+
+// Output is a generated SystemC design.
+type Output struct {
+	// Files maps relative file names to contents.
+	Files map[string]string
+	// TopModule is the name of the top-level module.
+	TopModule string
+}
+
+// FileNames returns the generated names in sorted order.
+func (o *Output) FileNames() []string {
+	names := make([]string, 0, len(o.Files))
+	for n := range o.Files {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// WriteTo materializes the generated files under dir, creating it if
+// needed.
+func (o *Output) WriteTo(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("xpipes: %v", err)
+	}
+	for name, content := range o.Files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			return fmt.Errorf("xpipes: %v", err)
+		}
+	}
+	return nil
+}
+
+// Generate emits the SystemC description of a mapped design.
+func Generate(g *graph.CoreGraph, res *mapping.Result, t tech.Tech) (*Output, error) {
+	if g == nil || res == nil {
+		return nil, fmt.Errorf("xpipes: nil design")
+	}
+	if len(res.Assign) != g.NumCores() {
+		return nil, fmt.Errorf("xpipes: mapping covers %d cores, graph has %d", len(res.Assign), g.NumCores())
+	}
+	topo := res.Topology
+	out := &Output{
+		Files:     make(map[string]string),
+		TopModule: sanitize(g.Name()) + "_noc",
+	}
+	out.Files["xpipes_switch.h"] = switchHeader(res)
+	out.Files["xpipes_link.h"] = linkHeader()
+	out.Files["xpipes_ni.h"] = niHeader(t)
+	out.Files[out.TopModule+".cpp"] = topModule(g, res, out.TopModule)
+	out.Files["design.dot"] = designDOT(g, res)
+	if res.Floorplan != nil {
+		out.Files["floorplan.txt"] = floorplanReport(res)
+	}
+	out.Files["README.txt"] = fmt.Sprintf(
+		"SUNMAP-generated NoC for application %q\ntopology: %s\nswitches: %d  links: %d  cores: %d\n"+
+			"avg hops: %.3f  design area: %.2f mm^2  power: %.1f mW\n",
+		g.Name(), topo.Name(), topo.NumRouters(), len(topo.Links()), g.NumCores(),
+		res.AvgHops, res.DesignAreaMM2, res.PowerMW)
+	return out, nil
+}
+
+// switchHeader emits the parameterized ×pipes switch soft macro with one
+// specialization comment per instantiated configuration.
+func switchHeader(res *mapping.Result) string {
+	var sb strings.Builder
+	sb.WriteString(`// xpipes_switch.h -- parameterized xpipes switch soft macro (generated)
+#ifndef XPIPES_SWITCH_H
+#define XPIPES_SWITCH_H
+#include <systemc.h>
+
+// Input-buffered wormhole switch with round-robin allocation and
+// credit-based flow control, after the xpipes architecture (ICCD'03).
+template <int NIN, int NOUT, int BUF_DEPTH, int FLIT_BITS>
+SC_MODULE(xpipes_switch) {
+    sc_in<bool>                clock;
+    sc_in<bool>                reset;
+    sc_in<sc_uint<FLIT_BITS> > flit_in[NIN];
+    sc_in<bool>                req_in[NIN];
+    sc_out<bool>               ack_in[NIN];
+    sc_out<sc_uint<FLIT_BITS> > flit_out[NOUT];
+    sc_out<bool>               req_out[NOUT];
+    sc_in<bool>                ack_out[NOUT];
+
+    sc_uint<FLIT_BITS> buffer[NIN][BUF_DEPTH];
+    int head[NIN], tail[NIN], credits[NOUT], owner[NOUT], rr;
+
+    void arbitrate();
+    void traverse();
+
+    SC_CTOR(xpipes_switch) : rr(0) {
+        SC_METHOD(arbitrate); sensitive << clock.pos();
+        SC_METHOD(traverse);  sensitive << clock.pos();
+    }
+};
+`)
+	// Unique configurations, for the library report.
+	uniq := make(map[string]int)
+	for _, c := range res.SwitchConfigs {
+		uniq[fmt.Sprintf("xpipes_switch<%d, %d, %d, %d>", c.In, c.Out, c.BufDepthFlits, c.FlitBits)]++
+	}
+	keys := make([]string, 0, len(uniq))
+	for k := range uniq {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	sb.WriteString("\n// Switch configurations instantiated by this design:\n")
+	for _, k := range keys {
+		fmt.Fprintf(&sb, "//   %s  x%d\n", k, uniq[k])
+	}
+	sb.WriteString("\n#endif // XPIPES_SWITCH_H\n")
+	return sb.String()
+}
+
+func linkHeader() string {
+	return `// xpipes_link.h -- pipelined link soft macro (generated)
+#ifndef XPIPES_LINK_H
+#define XPIPES_LINK_H
+#include <systemc.h>
+
+// Latency-insensitive pipelined link: N_STAGES relay stages decouple the
+// switch clock from wire delay (xpipes' latency-insensitive operation).
+template <int N_STAGES, int FLIT_BITS>
+SC_MODULE(xpipes_link) {
+    sc_in<bool>                 clock;
+    sc_in<sc_uint<FLIT_BITS> >  flit_in;
+    sc_in<bool>                 req_in;
+    sc_out<bool>                ack_in;
+    sc_out<sc_uint<FLIT_BITS> > flit_out;
+    sc_out<bool>                req_out;
+    sc_in<bool>                 ack_out;
+
+    sc_uint<FLIT_BITS> stage[N_STAGES];
+
+    void relay();
+    SC_CTOR(xpipes_link) { SC_METHOD(relay); sensitive << clock.pos(); }
+};
+
+#endif // XPIPES_LINK_H
+`
+}
+
+func niHeader(t tech.Tech) string {
+	return fmt.Sprintf(`// xpipes_ni.h -- network interface soft macro (generated)
+#ifndef XPIPES_NI_H
+#define XPIPES_NI_H
+#include <systemc.h>
+
+// Network interface: packetizes OCP-like core transactions into %d-bit
+// flits and reassembles them at the target (xpipesCompiler, DATE'04).
+template <int FLIT_BITS>
+SC_MODULE(xpipes_ni) {
+    sc_in<bool>                 clock;
+    sc_in<bool>                 reset;
+    // core side
+    sc_in<sc_uint<64> >         core_data_in;
+    sc_in<bool>                 core_valid_in;
+    sc_out<sc_uint<64> >        core_data_out;
+    sc_out<bool>                core_valid_out;
+    // network side
+    sc_out<sc_uint<FLIT_BITS> > flit_out;
+    sc_out<bool>                req_out;
+    sc_in<bool>                 ack_out;
+    sc_in<sc_uint<FLIT_BITS> >  flit_in;
+    sc_in<bool>                 req_in;
+    sc_out<bool>                ack_in;
+
+    void packetize();
+    void reassemble();
+
+    SC_CTOR(xpipes_ni) {
+        SC_METHOD(packetize);  sensitive << clock.pos();
+        SC_METHOD(reassemble); sensitive << clock.pos();
+    }
+};
+
+#endif // XPIPES_NI_H
+`, t.FlitBits)
+}
+
+// topModule emits the structural netlist.
+func topModule(g *graph.CoreGraph, res *mapping.Result, name string) string {
+	topo := res.Topology
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `// %s.cpp -- SUNMAP-generated top level (application %q on %s)
+#include <systemc.h>
+#include "xpipes_switch.h"
+#include "xpipes_link.h"
+#include "xpipes_ni.h"
+
+int sc_main(int argc, char* argv[]) {
+    sc_clock clock("clock", 10, SC_NS);
+    sc_signal<bool> reset;
+
+`, name, g.Name(), topo.Name())
+	// Switches.
+	sb.WriteString("    // switches\n")
+	for r := 0; r < topo.NumRouters(); r++ {
+		c := res.SwitchConfigs[r]
+		fmt.Fprintf(&sb, "    xpipes_switch<%d, %d, %d, %d> sw%d(\"sw%d\");\n",
+			c.In, c.Out, c.BufDepthFlits, c.FlitBits, r, r)
+		fmt.Fprintf(&sb, "    sw%d.clock(clock); sw%d.reset(reset);\n", r, r)
+	}
+	// Links with per-link signal bundles.
+	sb.WriteString("\n    // inter-switch links\n")
+	for _, l := range topo.Links() {
+		fmt.Fprintf(&sb, "    sc_signal<sc_uint<%d> > flit_l%d; sc_signal<bool> req_l%d, ack_l%d;\n",
+			res.SwitchConfigs[0].FlitBits, l.ID, l.ID, l.ID)
+		fmt.Fprintf(&sb, "    xpipes_link<1, %d> link%d(\"link%d\"); // sw%d -> sw%d\n",
+			res.SwitchConfigs[0].FlitBits, l.ID, l.ID, l.From, l.To)
+	}
+	// NIs and core bindings.
+	sb.WriteString("\n    // network interfaces (one per core)\n")
+	cores := g.Cores()
+	for i, c := range cores {
+		term := res.Assign[i]
+		fmt.Fprintf(&sb, "    xpipes_ni<%d> ni_%s(\"ni_%s\"); // core %q on terminal %d (inject sw%d, eject sw%d)\n",
+			res.SwitchConfigs[0].FlitBits, sanitize(c.Name), sanitize(c.Name), c.Name, term,
+			topo.InjectRouter(term), topo.EjectRouter(term))
+	}
+	fmt.Fprintf(&sb, `
+    sc_start(-1);
+    return 0;
+}
+`)
+	return sb.String()
+}
+
+// designDOT renders the mapped network for graphviz.
+func designDOT(g *graph.CoreGraph, res *mapping.Result) string {
+	topo := res.Topology
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph %q {\n  rankdir=LR;\n", g.Name()+"-on-"+topo.Name())
+	for r := 0; r < topo.NumRouters(); r++ {
+		c := res.SwitchConfigs[r]
+		fmt.Fprintf(&sb, "  sw%d [shape=diamond, label=\"sw%d\\n%dx%d\"];\n", r, r, c.In, c.Out)
+	}
+	for _, l := range topo.Links() {
+		fmt.Fprintf(&sb, "  sw%d -> sw%d;\n", l.From, l.To)
+	}
+	cores := g.Cores()
+	for i, c := range cores {
+		term := res.Assign[i]
+		fmt.Fprintf(&sb, "  %q [shape=box];\n", c.Name)
+		fmt.Fprintf(&sb, "  %q -> sw%d [style=dashed];\n", c.Name, topo.InjectRouter(term))
+		if topo.EjectRouter(term) != topo.InjectRouter(term) {
+			fmt.Fprintf(&sb, "  sw%d -> %q [style=dashed];\n", topo.EjectRouter(term), c.Name)
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// floorplanReport prints the block placements (Fig. 10b-style).
+func floorplanReport(res *mapping.Result) string {
+	fp := res.Floorplan
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "floorplan: chip %.2f x %.2f mm (%.2f mm^2, aspect %.2f)\n",
+		fp.ChipWMM, fp.ChipHMM, fp.ChipAreaMM2(), fp.AspectRatio())
+	fmt.Fprintf(&sb, "%-16s %8s %8s %8s %8s\n", "block", "x(mm)", "y(mm)", "w(mm)", "h(mm)")
+	for _, b := range fp.Blocks {
+		fmt.Fprintf(&sb, "%-16s %8.2f %8.2f %8.2f %8.2f\n", b.Name, b.X, b.Y, b.W, b.H)
+	}
+	fmt.Fprintf(&sb, "avg link length: %.2f mm\n", fp.AvgLinkLengthMM())
+	return sb.String()
+}
+
+func sanitize(s string) string {
+	var sb strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			sb.WriteRune(r)
+		default:
+			sb.WriteByte('_')
+		}
+	}
+	if sb.Len() == 0 {
+		return "design"
+	}
+	return sb.String()
+}

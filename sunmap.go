@@ -1,0 +1,191 @@
+// Package sunmap is a Go reproduction of SUNMAP (Murali & De Micheli,
+// DAC 2004): a tool for automatic NoC topology selection and generation.
+//
+// Given an application core graph (cores plus communication bandwidths),
+// SUNMAP maps it onto every topology in a library (mesh, torus, hypercube,
+// butterfly, Clos — plus octagon and star extensions) under a chosen
+// routing function (dimension-ordered, minimum-path, or traffic splitting)
+// and design objective (minimum delay, area or power), enforces link
+// bandwidth and chip area constraints using built-in area/power models and
+// an LP floorplanner, selects the best feasible topology, and generates a
+// SystemC description of the resulting network in the ×pipes style. A
+// cycle-accurate flit-level simulator validates designs under synthetic or
+// trace-driven traffic.
+//
+// Quick start:
+//
+//	app := sunmap.App("vopd")
+//	sel, err := sunmap.Select(sunmap.SelectConfig{
+//		App: app,
+//		Mapping: sunmap.MapOptions{
+//			Routing:      sunmap.MinPath,
+//			Objective:    sunmap.MinDelay,
+//			CapacityMBps: 500,
+//		},
+//	})
+//	// sel.Best holds the chosen topology and mapping.
+//
+// See the examples directory for complete programs.
+package sunmap
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"sunmap/internal/apps"
+	"sunmap/internal/core"
+	"sunmap/internal/graph"
+	"sunmap/internal/mapping"
+	"sunmap/internal/route"
+	"sunmap/internal/sim"
+	"sunmap/internal/tech"
+	"sunmap/internal/topology"
+	"sunmap/internal/traffic"
+	"sunmap/internal/xpipes"
+)
+
+// Core application-model types.
+type (
+	// CoreGraph is the application model of Definition 1: cores and
+	// directed bandwidth-weighted flows.
+	CoreGraph = graph.CoreGraph
+	// Core is one IP block (name, area, soft-block aspect bounds).
+	Core = graph.Core
+	// Commodity is one single-commodity flow d_k.
+	Commodity = graph.Commodity
+	// Topology is a network from the library (Definition 2).
+	Topology = topology.Topology
+	// LibraryOptions tunes topology configuration enumeration.
+	LibraryOptions = topology.LibraryOptions
+	// Tech is a technology operating point for the area/power models.
+	Tech = tech.Tech
+)
+
+// Mapping and selection types.
+type (
+	// MapOptions configures one mapping run (Fig. 5 of the paper).
+	MapOptions = mapping.Options
+	// MapResult is a mapped, evaluated design point.
+	MapResult = mapping.Result
+	// Weights are the coefficients of the weighted objective.
+	Weights = mapping.Weights
+	// SelectConfig drives the two-phase topology selection.
+	SelectConfig = core.Config
+	// Selection is the outcome: all candidates plus the chosen one.
+	Selection = core.Selection
+	// SummaryRow is one per-topology comparison line.
+	SummaryRow = core.SummaryRow
+	// RoutingSweepRow is one Fig. 9(a) bar.
+	RoutingSweepRow = core.RoutingSweepRow
+	// ParetoPoint is one Fig. 9(b) design point.
+	ParetoPoint = core.ParetoPoint
+)
+
+// Simulation and generation types.
+type (
+	// SimConfig parameterizes the cycle-accurate simulator.
+	SimConfig = sim.Config
+	// SimStats is one simulation outcome.
+	SimStats = sim.Stats
+	// RouteTable holds static simulator routes.
+	RouteTable = sim.RouteTable
+	// TrafficPattern generates packet destinations.
+	TrafficPattern = traffic.Pattern
+	// SystemC is a generated ×pipes design.
+	SystemC = xpipes.Output
+)
+
+// Routing functions (Sections 1, 6.3).
+const (
+	DimensionOrdered = route.DimensionOrdered
+	MinPath          = route.MinPath
+	SplitMin         = route.SplitMin
+	SplitAll         = route.SplitAll
+)
+
+// Design objectives (Section 4.1).
+const (
+	MinDelay = mapping.MinDelay
+	MinArea  = mapping.MinArea
+	MinPower = mapping.MinPower
+	Weighted = mapping.Weighted
+)
+
+// App returns a built-in benchmark application ("vopd", "mpeg4",
+// "netproc" or "dsp"); it panics on unknown names (use LoadApp for
+// user-supplied data).
+func App(name string) *CoreGraph {
+	g, err := apps.ByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// AppNames lists the built-in applications.
+func AppNames() []string { return apps.Names() }
+
+// LoadApp parses a core graph from SUNMAP's text format.
+func LoadApp(r io.Reader) (*CoreGraph, error) { return graph.Parse(r) }
+
+// LoadAppFile parses a core-graph file.
+func LoadAppFile(path string) (*CoreGraph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("sunmap: %v", err)
+	}
+	defer f.Close()
+	return graph.Parse(f)
+}
+
+// Library enumerates the topology configurations able to host n cores.
+func Library(n int, opts LibraryOptions) ([]Topology, error) {
+	return topology.Library(n, opts)
+}
+
+// TopologyByName rebuilds a topology from its canonical name
+// (e.g. "mesh-3x4", "butterfly-4ary2fly", "clos-m4n4r4").
+func TopologyByName(name string) (Topology, error) { return topology.ByName(name) }
+
+// Select runs SUNMAP Phases 1 and 2: map onto every library topology,
+// evaluate, and pick the best feasible network.
+func Select(cfg SelectConfig) (*Selection, error) { return core.Select(cfg) }
+
+// Map runs the Fig. 5 mapping algorithm on one topology.
+func Map(app *CoreGraph, topo Topology, opts MapOptions) (*MapResult, error) {
+	return mapping.Map(app, topo, opts)
+}
+
+// RoutingSweep reports the minimum required link bandwidth per routing
+// function (Fig. 9a).
+func RoutingSweep(app *CoreGraph, topo Topology, opts MapOptions) ([]RoutingSweepRow, error) {
+	return core.RoutingSweep(app, topo, opts)
+}
+
+// ParetoExplore sweeps weighted objectives and returns area-power design
+// points with the Pareto front marked (Fig. 9b).
+func ParetoExplore(app *CoreGraph, topo Topology, opts MapOptions, steps int) ([]ParetoPoint, error) {
+	return core.ParetoExplore(app, topo, opts, steps)
+}
+
+// Generate emits the SystemC description of a mapped design (Phase 3).
+func Generate(app *CoreGraph, res *MapResult, t Tech) (*SystemC, error) {
+	return xpipes.Generate(app, res, t)
+}
+
+// Tech100nm returns the paper's 0.1 µm technology point.
+func Tech100nm() Tech { return tech.Tech100nm() }
+
+// BuildRoutes precomputes simulator routes for synthetic traffic.
+func BuildRoutes(topo Topology) (*RouteTable, error) { return sim.BuildRoutes(topo) }
+
+// Simulate runs the cycle-accurate simulator.
+func Simulate(cfg SimConfig) (*SimStats, error) { return sim.Run(cfg) }
+
+// AdversarialPattern returns the stress pattern Section 6.2 would use for
+// a topology.
+func AdversarialPattern(topo Topology) TrafficPattern { return traffic.Adversarial(topo) }
+
+// UniformPattern returns uniform random traffic.
+func UniformPattern() TrafficPattern { return traffic.Uniform{} }

@@ -1,0 +1,116 @@
+package sunmap_test
+
+import (
+	"strings"
+	"testing"
+
+	"sunmap"
+)
+
+func TestPublicAPIQuickstartFlow(t *testing.T) {
+	app := sunmap.App("vopd")
+	if app.NumCores() != 12 {
+		t.Fatalf("vopd has %d cores", app.NumCores())
+	}
+	sel, err := sunmap.Select(sunmap.SelectConfig{
+		App: app,
+		Mapping: sunmap.MapOptions{
+			Routing:      sunmap.MinPath,
+			Objective:    sunmap.MinDelay,
+			CapacityMBps: 500,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Best == nil {
+		t.Fatal("no feasible topology")
+	}
+	if !strings.HasPrefix(sel.Best.Topology.Name(), "butterfly") {
+		t.Errorf("selected %s, want the butterfly (paper Section 6.1)", sel.Best.Topology.Name())
+	}
+	gen, err := sunmap.Generate(app, sel.Best, sunmap.Tech100nm())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gen.Files) < 5 {
+		t.Errorf("only %d generated files", len(gen.Files))
+	}
+}
+
+func TestPublicAPILoadApp(t *testing.T) {
+	src := `
+app tiny
+core a area=2
+core b area=3
+flow a -> b 100
+`
+	app, err := sunmap.LoadApp(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo, err := sunmap.TopologyByName("mesh-1x2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sunmap.Map(app, topo, sunmap.MapOptions{
+		Routing:      sunmap.MinPath,
+		CapacityMBps: 500,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AvgHops != 2 {
+		t.Errorf("two adjacent cores: hops = %g, want 2", res.AvgHops)
+	}
+}
+
+func TestPublicAPISimulation(t *testing.T) {
+	topo, err := sunmap.TopologyByName("mesh-4x4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	routes, err := sunmap.BuildRoutes(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := sunmap.Simulate(sunmap.SimConfig{
+		Topo:          topo,
+		Routes:        routes,
+		Pattern:       sunmap.UniformPattern(),
+		InjectionRate: 0.1,
+		Seed:          1,
+		WarmupCycles:  200,
+		MeasureCycles: 1000,
+		DrainCycles:   2000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MeasuredPackets == 0 || st.AvgLatencyCycles <= 0 {
+		t.Errorf("degenerate sim stats: %+v", st)
+	}
+	if sunmap.AdversarialPattern(topo).Name() == "" {
+		t.Error("adversarial pattern unnamed")
+	}
+}
+
+func TestPublicAPILibrary(t *testing.T) {
+	lib, err := sunmap.Library(12, sunmap.LibraryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lib) < 5 {
+		t.Errorf("library has %d configs", len(lib))
+	}
+	if len(sunmap.AppNames()) != 4 {
+		t.Errorf("AppNames = %v", sunmap.AppNames())
+	}
+	sweep, err := sunmap.RoutingSweep(sunmap.App("mpeg4"), lib[0], sunmap.MapOptions{CapacityMBps: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sweep) != 4 {
+		t.Errorf("routing sweep has %d rows", len(sweep))
+	}
+}
