@@ -7,9 +7,11 @@
 //	nocsim -topo mesh-4x4 -pattern transpose -rates 0.05,0.1,0.2,0.3,0.4,0.5
 //	nocsim -topo clos-m4n4r4 -pattern adversarial
 //	nocsim -topo butterfly-4ary2fly -pattern uniform -packet 8 -seed 3
+//	nocsim -topo torus-4x4 -j 6 -timeout 1m
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -41,8 +43,16 @@ func run(args []string, out io.Writer) error {
 	warmup := fs.Int("warmup", 1000, "warmup cycles")
 	measure := fs.Int("measure", 4000, "measurement cycles")
 	drain := fs.Int("drain", 6000, "drain cycles")
+	jobs := fs.Int("j", 0, "parallel per-rate simulations (0 = all cores, 1 = sequential)")
+	timeout := fs.Duration("timeout", 0, "abort the sweep after this long (0 = no limit)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
 	topo, err := sunmap.TopologyByName(*topoName)
@@ -61,7 +71,7 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	stats, err := sim.Sweep(sim.Config{
+	stats, err := sim.SweepContext(ctx, sim.Config{
 		Topo:          topo,
 		Routes:        rt,
 		Pattern:       pat,
@@ -71,7 +81,7 @@ func run(args []string, out io.Writer) error {
 		WarmupCycles:  *warmup,
 		MeasureCycles: *measure,
 		DrainCycles:   *drain,
-	}, rateList)
+	}, rateList, *jobs)
 	if err != nil {
 		return err
 	}

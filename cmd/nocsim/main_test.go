@@ -55,3 +55,25 @@ func TestParseRates(t *testing.T) {
 		t.Fatalf("parseRates: %v %v", got, err)
 	}
 }
+
+func TestRunParallelSweepMatchesSequential(t *testing.T) {
+	args := []string{"-topo", "mesh-4x4", "-rates", "0.05,0.1", "-measure", "500", "-drain", "500"}
+	var seq, par strings.Builder
+	if err := run(args, &seq); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append([]string{"-j", "2"}, args...), &par); err != nil {
+		t.Fatal(err)
+	}
+	if seq.String() != par.String() {
+		t.Errorf("parallel sweep output differs from sequential:\n%s\nvs\n%s", par.String(), seq.String())
+	}
+}
+
+func TestRunTimeoutAborts(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-topo", "mesh-4x4", "-timeout", "1ns"}, &sb)
+	if err == nil || !strings.Contains(err.Error(), "context deadline exceeded") {
+		t.Fatalf("err = %v, want a deadline error", err)
+	}
+}

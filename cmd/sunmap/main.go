@@ -8,13 +8,16 @@
 //	sunmap -file design.cg -objective power -routing SM -gen out/
 //	sunmap -app mpeg4 -escalate            # retries with split routing
 //	sunmap -app dsp -topo butterfly-3ary2fly
+//	sunmap -app vopd -j 8 -timeout 30s -progress
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"sunmap"
 	"sunmap/internal/mapping"
@@ -43,8 +46,18 @@ func run(args []string, out io.Writer) error {
 	escalate := fs.Bool("escalate", false, "escalate to split routing if nothing is feasible")
 	extras := fs.Bool("extras", false, "include octagon and star in the library")
 	genDir := fs.String("gen", "", "write the generated SystemC design to this directory")
+	jobs := fs.Int("j", 0, "parallel mapping workers (0 = all cores, 1 = sequential)")
+	timeout := fs.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
+	progress := fs.Bool("progress", false, "stream per-topology progress as candidates finish")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
 	app, err := loadApp(*appName, *file)
@@ -77,17 +90,32 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		best, err = sunmap.Map(app, topo, opts)
+		best, err = sunmap.MapContext(ctx, app, topo, opts)
 		if err != nil {
 			return err
 		}
 		printResult(out, app, best)
 	} else {
-		sel, err := sunmap.Select(sunmap.SelectConfig{
+		var onProgress sunmap.Progress
+		if *progress {
+			onProgress = func(ev sunmap.ProgressEvent) {
+				status := fmt.Sprintf("mapped in %v", ev.Elapsed.Round(time.Millisecond))
+				switch {
+				case ev.CacheHit:
+					status = "cache hit"
+				case ev.Err != nil:
+					status = "unmappable"
+				}
+				fmt.Fprintf(out, "[%d/%d] %-22s %s %s\n", ev.Done, ev.Total, ev.Topology, ev.Routing, status)
+			}
+		}
+		sel, err := sunmap.SelectContext(ctx, sunmap.SelectConfig{
 			App:             app,
 			Mapping:         opts,
 			EscalateRouting: *escalate,
 			LibraryOpts:     topology.LibraryOptions{IncludeExtras: *extras},
+			Parallelism:     *jobs,
+			Progress:        onProgress,
 		})
 		if err != nil {
 			return err

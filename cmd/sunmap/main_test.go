@@ -80,3 +80,25 @@ func TestRunErrors(t *testing.T) {
 		}
 	}
 }
+
+func TestRunParallelWithProgress(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-app", "vopd", "-j", "2", "-progress"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "selected: butterfly-4ary2fly") {
+		t.Errorf("parallel selection differs from sequential:\n%s", out)
+	}
+	if !strings.Contains(out, "[1/") || !strings.Contains(out, "mapped in") {
+		t.Errorf("progress stream missing:\n%s", out)
+	}
+}
+
+func TestRunTimeoutAborts(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-app", "vopd", "-timeout", "1ns"}, &sb)
+	if err == nil || !strings.Contains(err.Error(), "context deadline exceeded") {
+		t.Fatalf("err = %v, want a deadline error", err)
+	}
+}

@@ -1,0 +1,3 @@
+module sunmap
+
+go 1.24

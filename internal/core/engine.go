@@ -1,16 +1,21 @@
-// Package core implements the SUNMAP engine: Phase 1 maps the application
-// onto every topology in the library under the chosen routing function and
-// objective; Phase 2 evaluates the candidates and selects the best feasible
-// topology (Section 3 of the paper). The package also hosts the
-// design-space explorers behind Fig. 9: the routing-function bandwidth
-// sweep and the area-power Pareto search.
+// Package core is SUNMAP's selection policy layer: Phase 1 maps the
+// application onto every topology in the library under the chosen routing
+// function and objective; Phase 2 evaluates the candidates and selects the
+// best feasible topology (Section 3 of the paper). The actual Phase-1
+// evaluations run on internal/engine's concurrent worker pool with a
+// shared content-addressed cache; core decides what to evaluate (library
+// enumeration, routing escalation) and how to rank the outcomes. The
+// package also hosts the design-space explorers behind Fig. 9: the
+// routing-function bandwidth sweep and the area-power Pareto search.
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 
+	"sunmap/internal/engine"
 	"sunmap/internal/graph"
 	"sunmap/internal/mapping"
 	"sunmap/internal/route"
@@ -35,6 +40,18 @@ type Config struct {
 	// mirroring Section 6.1's MPEG4 flow ("So we apply multi-path
 	// routing, splitting the traffic across many paths").
 	EscalateRouting bool
+	// Parallelism bounds the engine worker pool for Phase 1. 0 selects
+	// GOMAXPROCS; 1 forces the sequential path. Results are identical at
+	// every setting.
+	Parallelism int
+	// Cache, when non-nil, memoizes Phase-1 evaluations so repeated
+	// Select calls, RoutingSweep and ParetoExplore on the same app share
+	// work. Nil disables memoization (a single Select never revisits a
+	// design point — escalation changes the routing function — so a
+	// private cache would buy nothing).
+	Cache *engine.Cache
+	// Progress, when non-nil, streams one event per evaluated candidate.
+	Progress engine.Progress
 }
 
 // Candidate is one evaluated (topology, mapping) pair.
@@ -140,6 +157,13 @@ var escalation = []route.Function{route.DimensionOrdered, route.MinPath, route.S
 // Select runs Phase 1 (map onto every library topology) and Phase 2
 // (choose the best feasible candidate under the objective).
 func Select(cfg Config) (*Selection, error) {
+	return SelectContext(context.Background(), cfg)
+}
+
+// SelectContext is Select with cancellation: ctx aborts the Phase-1 sweep
+// (including evaluations already in flight on the worker pool) and the
+// routing-escalation retries, returning the context's error.
+func SelectContext(ctx context.Context, cfg Config) (*Selection, error) {
 	if cfg.App == nil {
 		return nil, fmt.Errorf("core: nil application")
 	}
@@ -157,6 +181,7 @@ func Select(cfg Config) (*Selection, error) {
 	if len(lib) == 0 {
 		return nil, fmt.Errorf("core: empty topology library")
 	}
+	eo := engine.Options{Parallelism: cfg.Parallelism, Cache: cfg.Cache, Progress: cfg.Progress}
 
 	fns := []route.Function{cfg.Mapping.Routing}
 	if cfg.EscalateRouting {
@@ -170,7 +195,11 @@ func Select(cfg Config) (*Selection, error) {
 	for _, fn := range fns {
 		opts := cfg.Mapping
 		opts.Routing = fn
-		s, err := sweep(cfg.App, lib, opts)
+		outcomes, err := engine.Sweep(ctx, cfg.App, lib, opts, eo)
+		if err != nil {
+			return nil, err
+		}
+		s, err := phase2(outcomes)
 		if err != nil {
 			return nil, err
 		}
@@ -183,19 +212,16 @@ func Select(cfg Config) (*Selection, error) {
 	return sel, nil
 }
 
-// sweep is Phase 1 + Phase 2 for one routing function.
-func sweep(app *graph.CoreGraph, lib []topology.Topology, opts mapping.Options) (*Selection, error) {
-	s := &Selection{}
-	for _, topo := range lib {
-		res, err := mapping.Map(app, topo, opts)
-		if err != nil {
-			// Too few terminals or a structural mismatch: record and
-			// continue; a configuration error in the options themselves
-			// would fail for every topology and surfaces below.
-			s.Candidates = append(s.Candidates, Candidate{MapErr: err})
-			continue
-		}
-		s.Candidates = append(s.Candidates, Candidate{Result: res})
+// phase2 ranks one routing function's library-ordered outcomes: lowest
+// cost among feasible candidates; ties break on fewer routers, then name,
+// for determinism.
+func phase2(outcomes []engine.Outcome) (*Selection, error) {
+	s := &Selection{Candidates: make([]Candidate, 0, len(outcomes))}
+	for _, o := range outcomes {
+		// A per-topology error (too few terminals, structural mismatch) is
+		// recorded and skipped; a configuration error in the options
+		// themselves fails every topology and surfaces below.
+		s.Candidates = append(s.Candidates, Candidate{Result: o.Result, MapErr: o.Err})
 	}
 	allFailed := true
 	for _, c := range s.Candidates {
@@ -207,8 +233,6 @@ func sweep(app *graph.CoreGraph, lib []topology.Topology, opts mapping.Options) 
 	if allFailed {
 		return nil, fmt.Errorf("core: every topology failed to map: %v", s.Candidates[0].MapErr)
 	}
-	// Phase 2: lowest cost among feasible candidates; ties break on
-	// fewer routers, then name, for determinism.
 	best := -1
 	for i, c := range s.Candidates {
 		if c.Result == nil || !c.Feasible() {

@@ -1,15 +1,21 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
+	"sunmap/internal/engine"
 	"sunmap/internal/graph"
 	"sunmap/internal/mapping"
 	"sunmap/internal/route"
 	"sunmap/internal/tech"
 	"sunmap/internal/topology"
 )
+
+// ExploreOptions tunes the engine run backing an explorer call: worker
+// pool width, shared evaluation cache and progress stream.
+type ExploreOptions = engine.Options
 
 // RoutingSweepRow reports the minimum link bandwidth a routing function
 // needs on one topology — the bars of Fig. 9(a).
@@ -26,16 +32,32 @@ type RoutingSweepRow struct {
 // itself is re-optimized per function, as the tool does when the designer
 // flips the routing input.
 func RoutingSweep(app *graph.CoreGraph, topo topology.Topology, opts mapping.Options) ([]RoutingSweepRow, error) {
-	var rows []RoutingSweepRow
-	for _, fn := range escalation {
+	return RoutingSweepContext(context.Background(), app, topo, opts, ExploreOptions{})
+}
+
+// RoutingSweepContext is RoutingSweep on the engine pool: the four routing
+// functions evaluate concurrently (bounded by xo.Parallelism), reusing any
+// design points already memoized in xo.Cache — e.g. by an escalated Select
+// on the same application.
+func RoutingSweepContext(ctx context.Context, app *graph.CoreGraph, topo topology.Topology, opts mapping.Options, xo ExploreOptions) ([]RoutingSweepRow, error) {
+	jobs := make([]engine.Job, len(escalation))
+	for i, fn := range escalation {
 		o := opts
 		o.Routing = fn
-		res, err := mapping.Map(app, topo, o)
-		if err != nil {
-			return nil, fmt.Errorf("core: routing sweep %v: %v", fn, err)
+		jobs[i] = engine.Job{Topo: topo, Opts: o}
+	}
+	outcomes, err := engine.Evaluate(ctx, app, jobs, xo)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]RoutingSweepRow, 0, len(outcomes))
+	for i, o := range outcomes {
+		if o.Err != nil {
+			return nil, fmt.Errorf("core: routing sweep %v: %v", escalation[i], o.Err)
 		}
+		res := o.Result
 		rows = append(rows, RoutingSweepRow{
-			Function:      fn,
+			Function:      escalation[i],
 			RequiredMBps:  res.Route.MaxLinkLoad,
 			AvgHops:       res.AvgHops,
 			FeasibleAt500: res.Route.MaxLinkLoad <= 500+1e-6,
@@ -63,13 +85,22 @@ type ParetoPoint struct {
 // buffers cost area, shallower ones concentrate traffic onto fewer
 // alternatives).
 func ParetoExplore(app *graph.CoreGraph, topo topology.Topology, opts mapping.Options, steps int) ([]ParetoPoint, error) {
+	return ParetoExploreContext(context.Background(), app, topo, opts, steps, ExploreOptions{})
+}
+
+// ParetoExploreContext is ParetoExplore on the engine pool: every
+// (weight vector, buffer depth) grid point is an independent evaluation,
+// fanned out across xo.Parallelism workers and memoized in xo.Cache, so
+// repeated explorations and overlapping grids stop re-mapping identical
+// design points. Point order and front marking match the sequential path.
+func ParetoExploreContext(ctx context.Context, app *graph.CoreGraph, topo topology.Topology, opts mapping.Options, steps int, xo ExploreOptions) ([]ParetoPoint, error) {
 	if steps < 2 {
 		steps = 5
 	}
 	if opts.Tech.FlitBits == 0 {
 		opts.Tech = tech.Tech100nm()
 	}
-	var pts []ParetoPoint
+	var jobs []engine.Job
 	for _, depth := range []int{2, 4, 8} {
 		for ai := 0; ai < steps; ai++ {
 			for pi := 0; pi < steps-ai; pi++ {
@@ -83,21 +114,29 @@ func ParetoExplore(app *graph.CoreGraph, topo topology.Topology, opts mapping.Op
 				o.Tech.BufDepthFlits = depth
 				o.Objective = mapping.Weighted
 				o.Weights = mapping.Weights{Delay: wd, Area: wa, Power: wp}
-				res, err := mapping.Map(app, topo, o)
-				if err != nil {
-					return nil, fmt.Errorf("core: pareto explore: %v", err)
-				}
-				if !res.Feasible() {
-					continue
-				}
-				pts = append(pts, ParetoPoint{
-					Weights: o.Weights,
-					AreaMM2: res.DesignAreaMM2,
-					PowerMW: res.PowerMW,
-					AvgHops: res.AvgHops,
-				})
+				jobs = append(jobs, engine.Job{Topo: topo, Opts: o})
 			}
 		}
+	}
+	outcomes, err := engine.Evaluate(ctx, app, jobs, xo)
+	if err != nil {
+		return nil, err
+	}
+	var pts []ParetoPoint
+	for i, o := range outcomes {
+		if o.Err != nil {
+			return nil, fmt.Errorf("core: pareto explore: %v", o.Err)
+		}
+		res := o.Result
+		if !res.Feasible() {
+			continue
+		}
+		pts = append(pts, ParetoPoint{
+			Weights: jobs[i].Opts.Weights,
+			AreaMM2: res.DesignAreaMM2,
+			PowerMW: res.PowerMW,
+			AvgHops: res.AvgHops,
+		})
 	}
 	// Different weight vectors often converge to the same mapping; keep
 	// one representative per distinct (area, power, hops) point.

@@ -1,0 +1,170 @@
+// Package engine is the concurrent evaluation engine underneath SUNMAP's
+// selection and exploration flows. Phase 1 of the paper maps the
+// application onto every topology in the library independently — an
+// embarrassingly parallel sweep. The engine runs those evaluations on a
+// bounded worker pool, memoizes them in a content-addressed cache so
+// routing escalation and the Fig. 9 explorers never re-map an identical
+// design point, streams per-candidate progress to interactive consumers,
+// and threads context cancellation down into the mapping inner loops.
+//
+// Results are deterministic and independent of Parallelism: each job's
+// outcome lands at its input index, so consumers observe exactly the
+// sequential, library-ordered result list.
+package engine
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"time"
+
+	"sunmap/internal/graph"
+	"sunmap/internal/mapping"
+	"sunmap/internal/pool"
+	"sunmap/internal/topology"
+)
+
+// Job is one evaluation request: map the application onto Topo under Opts.
+type Job struct {
+	Topo topology.Topology
+	Opts mapping.Options
+}
+
+// Outcome is one evaluated job. Exactly one of Result and Err is set; Err
+// records a hard mapping failure (e.g. too few terminals), mirroring
+// core.Candidate.
+type Outcome struct {
+	Result *mapping.Result
+	Err    error
+}
+
+// Event is one streaming progress notification, emitted after a job
+// finishes (successfully, as a cache hit, or with a mapping error).
+type Event struct {
+	// Index is the job's position in the submitted job list; Total is the
+	// list length. Events arrive in completion order, not index order.
+	Index, Total int
+	// Done counts finished jobs including this one.
+	Done int
+	// Topology names the evaluated topology.
+	Topology string
+	// Routing is the routing function the job ran under.
+	Routing string
+	// CacheHit marks an evaluation served from the shared cache.
+	CacheHit bool
+	// Err is the job's mapping error, if any.
+	Err error
+	// Elapsed is the wall time of this evaluation (≈0 for cache hits).
+	Elapsed time.Duration
+}
+
+// Progress receives streaming Events. Callbacks are serialized by the
+// engine (never concurrent) but run on worker goroutines; they must not
+// block for long.
+type Progress func(Event)
+
+// Options tunes one engine run.
+type Options struct {
+	// Parallelism bounds the worker pool. 0 (or negative) selects
+	// GOMAXPROCS; 1 evaluates sequentially in submission order.
+	Parallelism int
+	// Cache, when non-nil, memoizes evaluations across runs.
+	Cache *Cache
+	// Progress, when non-nil, streams per-job completion events.
+	Progress Progress
+}
+
+func (o Options) workers(jobs int) int {
+	n := o.Parallelism
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n > jobs {
+		n = jobs
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Sweep maps the application onto every topology in lib under one shared
+// option set — SUNMAP Phase 1. Outcomes are returned in library order
+// regardless of Parallelism.
+func Sweep(ctx context.Context, app *graph.CoreGraph, lib []topology.Topology, opts mapping.Options, eo Options) ([]Outcome, error) {
+	jobs := make([]Job, len(lib))
+	for i, topo := range lib {
+		jobs[i] = Job{Topo: topo, Opts: opts}
+	}
+	return Evaluate(ctx, app, jobs, eo)
+}
+
+// Evaluate runs an arbitrary job list (the generalization behind Sweep,
+// the routing sweep and the Pareto explorer) on the bounded pool.
+// Outcomes are returned in job order regardless of Parallelism. The first
+// context cancellation aborts the run and returns the context's error;
+// per-job mapping failures do not abort and are recorded in the outcome.
+func Evaluate(ctx context.Context, app *graph.CoreGraph, jobs []Job, eo Options) ([]Outcome, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if len(jobs) == 0 {
+		return nil, nil
+	}
+	var digest string
+	if eo.Cache != nil {
+		digest = app.Digest() // only the cache key consumes it
+	}
+	out := make([]Outcome, len(jobs))
+	workers := eo.workers(len(jobs))
+
+	var progressMu sync.Mutex
+	done := 0
+	emit := func(ev Event) {
+		if eo.Progress == nil {
+			return
+		}
+		progressMu.Lock()
+		done++
+		ev.Done = done
+		eo.Progress(ev)
+		progressMu.Unlock()
+	}
+
+	runJob := func(i int) {
+		j := jobs[i]
+		ev := Event{
+			Index:    i,
+			Total:    len(jobs),
+			Topology: j.Topo.Name(),
+			Routing:  j.Opts.Routing.String(),
+		}
+		var key string
+		if eo.Cache != nil {
+			key = Key(digest, j.Topo, j.Opts)
+			if e, ok := eo.Cache.get(key); ok {
+				out[i] = Outcome{Result: e.res, Err: e.err}
+				ev.CacheHit = true
+				ev.Err = e.err
+				emit(ev)
+				return
+			}
+		}
+		start := time.Now()
+		res, err := mapping.MapContext(ctx, app, j.Topo, j.Opts)
+		if ctx.Err() != nil {
+			return // canceled mid-map: don't cache or report partial work
+		}
+		eo.Cache.put(key, entry{res: res, err: err})
+		out[i] = Outcome{Result: res, Err: err}
+		ev.Err = err
+		ev.Elapsed = time.Since(start)
+		emit(ev)
+	}
+
+	pool.ForEach(ctx, len(jobs), workers, runJob)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

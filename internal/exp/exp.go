@@ -7,11 +7,13 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"sunmap/internal/apps"
 	"sunmap/internal/core"
+	"sunmap/internal/engine"
 	"sunmap/internal/mapping"
 	"sunmap/internal/route"
 	"sunmap/internal/topology"
@@ -51,7 +53,12 @@ type Fig3dResult struct {
 }
 
 // Fig3d reproduces the motivating mesh-vs-torus table for VOPD.
-func Fig3d() (*Fig3dResult, error) {
+func Fig3d() (*Fig3dResult, error) { return Runner{}.Fig3d(context.Background()) }
+
+// Fig3d reproduces the motivating mesh-vs-torus table on the runner's
+// engine: both mappings go through the pool and the shared cache, so
+// fig6's later library sweep reuses the identical design points.
+func (r Runner) Fig3d(ctx context.Context) (*Fig3dResult, error) {
 	g := apps.VOPD()
 	mesh, err := topology.NewMesh(3, 4)
 	if err != nil {
@@ -62,14 +69,16 @@ func Fig3d() (*Fig3dResult, error) {
 		return nil, err
 	}
 	opts := videoOptions(route.MinPath, mapping.MinDelay)
-	mres, err := mapping.Map(g, mesh, opts)
+	outcomes, err := engine.Sweep(ctx, g, []topology.Topology{mesh, torus}, opts, r.explore())
 	if err != nil {
 		return nil, err
 	}
-	tres, err := mapping.Map(g, torus, opts)
-	if err != nil {
-		return nil, err
+	for _, o := range outcomes {
+		if o.Err != nil {
+			return nil, o.Err
+		}
 	}
+	mres, tres := outcomes[0].Result, outcomes[1].Result
 	return &Fig3dResult{
 		Mesh:            toRow(mres),
 		Torus:           toRow(tres),
@@ -101,11 +110,14 @@ type Fig6Result struct {
 
 // Fig6 reproduces the VOPD topology comparison: minimum-path routing,
 // min-delay mapping objective, best configuration per family.
-func Fig6() (*Fig6Result, error) {
-	sel, err := core.Select(core.Config{
+func Fig6() (*Fig6Result, error) { return Runner{}.Fig6(context.Background()) }
+
+// Fig6 reproduces the VOPD topology comparison on the runner's engine.
+func (r Runner) Fig6(ctx context.Context) (*Fig6Result, error) {
+	sel, err := core.SelectContext(ctx, r.selectConfig(core.Config{
 		App:     apps.VOPD(),
 		Mapping: videoOptions(route.MinPath, mapping.MinDelay),
-	})
+	}))
 	if err != nil {
 		return nil, err
 	}
@@ -161,12 +173,15 @@ type Fig7bResult struct {
 
 // Fig7b reproduces the MPEG4 mapping table: min-path fails everywhere, the
 // tool escalates to split-traffic routing, the butterfly stays infeasible.
-func Fig7b() (*Fig7bResult, error) {
-	sel, err := core.Select(core.Config{
+func Fig7b() (*Fig7bResult, error) { return Runner{}.Fig7b(context.Background()) }
+
+// Fig7b reproduces the MPEG4 mapping table on the runner's engine.
+func (r Runner) Fig7b(ctx context.Context) (*Fig7bResult, error) {
+	sel, err := core.SelectContext(ctx, r.selectConfig(core.Config{
 		App:             apps.MPEG4(),
 		Mapping:         videoOptions(route.MinPath, mapping.MinDelay),
 		EscalateRouting: true,
-	})
+	}))
 	if err != nil {
 		return nil, err
 	}
@@ -225,15 +240,18 @@ type Fig9aResult struct {
 }
 
 // Fig9a reproduces the minimum-bandwidth bars for MPEG4 on a mesh.
-func Fig9a() (*Fig9aResult, error) {
+func Fig9a() (*Fig9aResult, error) { return Runner{}.Fig9a(context.Background()) }
+
+// Fig9a reproduces the minimum-bandwidth bars on the runner's engine.
+func (r Runner) Fig9a(ctx context.Context) (*Fig9aResult, error) {
 	mesh, err := topology.NewMesh(3, 4)
 	if err != nil {
 		return nil, err
 	}
-	rows, err := core.RoutingSweep(apps.MPEG4(), mesh, mapping.Options{
+	rows, err := core.RoutingSweepContext(ctx, apps.MPEG4(), mesh, mapping.Options{
 		Objective:    mapping.MinDelay,
 		CapacityMBps: apps.DefaultCapacityMBps,
-	})
+	}, r.explore())
 	if err != nil {
 		return nil, err
 	}
@@ -258,15 +276,18 @@ type Fig9bResult struct {
 }
 
 // Fig9b reproduces the MPEG4 mesh area-power Pareto exploration.
-func Fig9b() (*Fig9bResult, error) {
+func Fig9b() (*Fig9bResult, error) { return Runner{}.Fig9b(context.Background()) }
+
+// Fig9b reproduces the Pareto exploration on the runner's engine.
+func (r Runner) Fig9b(ctx context.Context) (*Fig9bResult, error) {
 	mesh, err := topology.NewMesh(3, 4)
 	if err != nil {
 		return nil, err
 	}
-	pts, err := core.ParetoExplore(apps.MPEG4(), mesh, mapping.Options{
+	pts, err := core.ParetoExploreContext(ctx, apps.MPEG4(), mesh, mapping.Options{
 		Routing:      route.SplitMin,
 		CapacityMBps: apps.DefaultCapacityMBps,
-	}, 5)
+	}, 5, r.explore())
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -51,6 +52,12 @@ type Fig8bResult struct {
 // under its adversarial traffic pattern across injection rates; the Clos's
 // path diversity keeps it lowest at high load.
 func Fig8b(rates []float64) (*Fig8bResult, error) {
+	return Runner{}.Fig8b(context.Background(), rates)
+}
+
+// Fig8b reproduces the NetProc latency study on the runner's engine: the
+// per-rate simulations of each topology fan out across the worker pool.
+func (r Runner) Fig8b(ctx context.Context, rates []float64) (*Fig8bResult, error) {
 	if len(rates) == 0 {
 		rates = DefaultRates
 	}
@@ -65,7 +72,7 @@ func Fig8b(rates []float64) (*Fig8bResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		stats, err := sim.Sweep(sim.Config{
+		stats, err := sim.SweepContext(ctx, sim.Config{
 			Topo:          topo,
 			Routes:        rt,
 			Pattern:       traffic.Adversarial(topo),
@@ -73,7 +80,7 @@ func Fig8b(rates []float64) (*Fig8bResult, error) {
 			WarmupCycles:  1000,
 			MeasureCycles: 4000,
 			DrainCycles:   6000,
-		}, rates)
+		}, rates, r.Parallelism)
 		if err != nil {
 			return nil, err
 		}
@@ -114,8 +121,11 @@ type Fig8cdResult struct {
 
 // Fig8cd reproduces the NetProc area and power bars: mappings with relaxed
 // bandwidth constraints (Section 6.2), best configuration per family.
-func Fig8cd() (*Fig8cdResult, error) {
-	sel, err := core.Select(core.Config{
+func Fig8cd() (*Fig8cdResult, error) { return Runner{}.Fig8cd(context.Background()) }
+
+// Fig8cd reproduces the NetProc area/power bars on the runner's engine.
+func (r Runner) Fig8cd(ctx context.Context) (*Fig8cdResult, error) {
+	sel, err := core.SelectContext(ctx, r.selectConfig(core.Config{
 		App: apps.NetProc(),
 		Mapping: mapping.Options{
 			Routing:   route.MinPath,
@@ -123,7 +133,7 @@ func Fig8cd() (*Fig8cdResult, error) {
 			// Relaxed bandwidth constraints per the paper.
 			CapacityMBps: 0,
 		},
-	})
+	}))
 	if err != nil {
 		return nil, err
 	}
@@ -162,16 +172,19 @@ type Fig10Result struct {
 // Fig10 reproduces the DSP filter flow: SUNMAP selection (butterfly wins),
 // its floorplan (Fig. 10b) and trace-driven cycle-accurate latency for the
 // best mapping of each family (Fig. 10c).
-func Fig10() (*Fig10Result, error) {
+func Fig10() (*Fig10Result, error) { return Runner{}.Fig10(context.Background()) }
+
+// Fig10 reproduces the DSP filter flow on the runner's engine.
+func (r Runner) Fig10(ctx context.Context) (*Fig10Result, error) {
 	g := apps.DSPFilter()
-	sel, err := core.Select(core.Config{
+	sel, err := core.SelectContext(ctx, r.selectConfig(core.Config{
 		App: g,
 		Mapping: mapping.Options{
 			Routing:      route.MinPath,
 			Objective:    mapping.MinDelay,
 			CapacityMBps: apps.DSPCapacityMBps,
 		},
-	})
+	}))
 	if err != nil {
 		return nil, err
 	}
@@ -203,7 +216,7 @@ func Fig10() (*Fig10Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		st, err := sim.Run(sim.Config{
+		st, err := sim.RunContext(ctx, sim.Config{
 			Topo:            res.Topology,
 			Routes:          rt,
 			Pattern:         tr,
@@ -250,16 +263,20 @@ type Fig11Result struct {
 
 // Fig11 generates the SystemC design for the DSP filter's selected
 // butterfly — the artifact whose simulation Fig. 11 snapshots.
-func Fig11() (*Fig11Result, error) {
+func Fig11() (*Fig11Result, error) { return Runner{}.Fig11(context.Background()) }
+
+// Fig11 generates the DSP SystemC artifact on the runner's engine; with a
+// shared cache the selection is a pure cache hit after Fig10.
+func (r Runner) Fig11(ctx context.Context) (*Fig11Result, error) {
 	g := apps.DSPFilter()
-	sel, err := core.Select(core.Config{
+	sel, err := core.SelectContext(ctx, r.selectConfig(core.Config{
 		App: g,
 		Mapping: mapping.Options{
 			Routing:      route.MinPath,
 			Objective:    mapping.MinDelay,
 			CapacityMBps: apps.DSPCapacityMBps,
 		},
-	})
+	}))
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,27 @@
+package graph
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+)
+
+// Digest returns a content hash of the core graph: cores (name, area,
+// softness, aspect bounds) and edges (endpoints, bandwidth) in insertion
+// order. Two graphs with the same digest produce identical mappings under
+// identical options, so the digest keys the evaluation cache. The
+// application name is deliberately excluded: renaming an app does not
+// change its design points.
+func (g *CoreGraph) Digest() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "cores:%d\n", len(g.cores))
+	for _, c := range g.cores {
+		lo, hi := c.AspectBounds()
+		fmt.Fprintf(h, "%s|%g|%t|%g|%g\n", c.Name, c.AreaMM2, c.Soft, lo, hi)
+	}
+	fmt.Fprintf(h, "edges:%d\n", len(g.edges))
+	for _, e := range g.edges {
+		fmt.Fprintf(h, "%d>%d|%g\n", e.From, e.To, e.BandwidthMBps)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -1,0 +1,43 @@
+package graph
+
+import "testing"
+
+func digestGraph(name string, bw float64) *CoreGraph {
+	g := NewCoreGraph(name)
+	g.MustAddCore(Core{Name: "a", AreaMM2: 1})
+	g.MustAddCore(Core{Name: "b", AreaMM2: 2})
+	g.MustConnect("a", "b", bw)
+	return g
+}
+
+func TestDigestStableAndNameIndependent(t *testing.T) {
+	a := digestGraph("one", 100)
+	if a.Digest() != a.Digest() {
+		t.Fatal("digest not stable across calls")
+	}
+	if a.Digest() != digestGraph("two", 100).Digest() {
+		t.Error("digest depends on the application name; renames should not invalidate the cache")
+	}
+	if a.Digest() != a.Clone().Digest() {
+		t.Error("clone changed the digest")
+	}
+}
+
+func TestDigestSensitiveToContent(t *testing.T) {
+	base := digestGraph("app", 100)
+	if base.Digest() == digestGraph("app", 200).Digest() {
+		t.Error("bandwidth change did not change the digest")
+	}
+	moreCores := digestGraph("app", 100)
+	moreCores.MustAddCore(Core{Name: "c", AreaMM2: 3})
+	if base.Digest() == moreCores.Digest() {
+		t.Error("extra core did not change the digest")
+	}
+	softer := NewCoreGraph("app")
+	softer.MustAddCore(Core{Name: "a", AreaMM2: 1, Soft: true})
+	softer.MustAddCore(Core{Name: "b", AreaMM2: 2})
+	softer.MustConnect("a", "b", 100)
+	if base.Digest() == softer.Digest() {
+		t.Error("soft-block flag did not change the digest")
+	}
+}

@@ -8,6 +8,7 @@
 package mapping
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -142,6 +143,16 @@ func (r *Result) Feasible() bool { return r.BandwidthOK && r.AreaOK && r.AspectO
 // in decreasing order, cost evaluation, pairwise-swap improvement, and a
 // final exact floorplan + feasibility check.
 func Map(g *graph.CoreGraph, topo topology.Topology, opts Options) (*Result, error) {
+	return MapContext(context.Background(), g, topo, opts)
+}
+
+// MapContext is Map with cancellation: the swap-improvement search checks
+// ctx between sweep rows and aborts with the context's error, so a long
+// library sweep can be cut short by a deadline or a user interrupt.
+func MapContext(ctx context.Context, g *graph.CoreGraph, topo topology.Topology, opts Options) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := g.Validate(); err != nil {
 		return nil, fmt.Errorf("mapping: %v", err)
 	}
@@ -181,6 +192,9 @@ func Map(g *graph.CoreGraph, topo topology.Topology, opts Options) (*Result, err
 	for pass := 0; pass < opts.SwapPasses; pass++ {
 		improved := false
 		for a := 0; a < topo.NumTerminals(); a++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			for b := a + 1; b < topo.NumTerminals(); b++ {
 				if occupant[a] == -1 && occupant[b] == -1 {
 					continue
@@ -205,6 +219,9 @@ func Map(g *graph.CoreGraph, topo topology.Topology, opts Options) (*Result, err
 	}
 
 	// Final exact evaluation with the LP floorplanner.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	final, err := ev.cost(assign, &exactMode{})
 	if err != nil {
 		return nil, err

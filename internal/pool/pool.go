@@ -1,0 +1,54 @@
+// Package pool provides the bounded worker-pool skeleton shared by the
+// evaluation engine and the simulator's rate sweeps: fan N index-addressed
+// jobs across a fixed number of goroutines, drain without working once the
+// context is cancelled, and return only when every worker has exited.
+// Callers own result collection (typically index-disjoint slice writes,
+// which need no locking) and decide after the fact whether the run ended
+// by completion or cancellation.
+package pool
+
+import (
+	"context"
+	"sync"
+)
+
+// ForEach runs fn(i) for every i in [0, n) on up to workers goroutines
+// (clamped to [1, n]). With one worker it runs inline in index order.
+// Cancellation stops further fn calls; jobs already started finish (fn is
+// expected to observe ctx itself for mid-job aborts).
+func ForEach(ctx context.Context, n, workers int, fn func(int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				return
+			}
+			fn(i)
+		}
+		return
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				if ctx.Err() != nil {
+					continue // drain the channel without working
+				}
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}

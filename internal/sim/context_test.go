@@ -1,0 +1,78 @@
+package sim
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"sunmap/internal/topology"
+	"sunmap/internal/traffic"
+)
+
+func meshSimConfig(t *testing.T) Config {
+	t.Helper()
+	topo, err := topology.NewMesh(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := BuildRoutes(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Config{
+		Topo:          topo,
+		Routes:        rt,
+		Pattern:       traffic.Uniform{},
+		InjectionRate: 0.1,
+		Seed:          1,
+	}
+}
+
+func TestRunContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunContext(ctx, meshSimConfig(t)); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestSweepContextParallelMatchesSequential(t *testing.T) {
+	// Each rate simulates with its own seeded RNG, so the parallel sweep
+	// must reproduce the sequential stats bit for bit, in rate order.
+	cfg := meshSimConfig(t)
+	rates := []float64{0.05, 0.1, 0.2}
+	seq, err := Sweep(cfg, rates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := SweepContext(context.Background(), cfg, rates, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(par) != len(seq) {
+		t.Fatalf("parallel sweep returned %d stats, want %d", len(par), len(seq))
+	}
+	for i := range seq {
+		if *par[i] != *seq[i] {
+			t.Errorf("rate %g: parallel stats %+v != sequential %+v", rates[i], *par[i], *seq[i])
+		}
+	}
+}
+
+func TestSweepContextAbortsOnFirstError(t *testing.T) {
+	// An invalid rate must fail the sweep with its own error (not a
+	// cancellation) and stop the remaining rates from simulating.
+	cfg := meshSimConfig(t)
+	_, err := SweepContext(context.Background(), cfg, []float64{1.5, 0.5}, 2)
+	if err == nil || !strings.Contains(err.Error(), "rate 1.5") {
+		t.Fatalf("err = %v, want the rate-1.5 validation failure", err)
+	}
+}
+
+func TestSweepContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := SweepContext(ctx, meshSimConfig(t), []float64{0.1, 0.2}, 2); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

@@ -1,9 +1,13 @@
 package sim
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"runtime"
 
 	"sunmap/internal/graph"
+	"sunmap/internal/pool"
 	"sunmap/internal/route"
 	"sunmap/internal/topology"
 )
@@ -90,15 +94,49 @@ func findLink(topo topology.Topology, u, v int) (int, error) {
 // Sweep runs the simulator across injection rates and returns the stats
 // per rate — one curve of Fig. 8(b).
 func Sweep(cfg Config, rates []float64) ([]*Stats, error) {
-	out := make([]*Stats, 0, len(rates))
-	for _, r := range rates {
+	return SweepContext(context.Background(), cfg, rates, 1)
+}
+
+// SweepContext is Sweep with cancellation and a bounded worker pool: up to
+// parallelism rates simulate concurrently (each run is an independent,
+// seeded simulation, so results are identical to the sequential sweep and
+// stay in rate order). parallelism <= 0 selects GOMAXPROCS. The first
+// per-rate failure cancels the remaining simulations, matching the
+// sequential sweep's abort-at-first-error behavior.
+func SweepContext(parent context.Context, cfg Config, rates []float64, parallelism int) ([]*Stats, error) {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > len(rates) {
+		parallelism = len(rates)
+	}
+	ctx, cancel := context.WithCancel(parent)
+	defer cancel()
+	out := make([]*Stats, len(rates))
+	errs := make([]error, len(rates))
+	pool.ForEach(ctx, len(rates), parallelism, func(i int) {
 		c := cfg
-		c.InjectionRate = r
-		st, err := Run(c)
+		c.InjectionRate = rates[i]
+		st, err := RunContext(ctx, c)
 		if err != nil {
-			return nil, fmt.Errorf("sim: sweep at rate %g: %v", r, err)
+			// A cancellation-induced abort isn't this rate's fault; the
+			// genuine failure (or the parent's error) is reported by
+			// whoever triggered it.
+			if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+				errs[i] = fmt.Errorf("sim: sweep at rate %g: %v", rates[i], err)
+			}
+			cancel()
+			return
 		}
-		out = append(out, st)
+		out[i] = st
+	})
+	if err := parent.Err(); err != nil {
+		return nil, err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
 	}
 	return out, nil
 }

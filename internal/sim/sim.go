@@ -12,6 +12,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -159,6 +160,17 @@ type inTransit struct {
 
 // Run simulates the configured network and returns its statistics.
 func Run(cfg Config) (*Stats, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// ctxCheckCycles is how often (in simulated cycles) RunContext polls the
+// context; coarse enough to be free, fine enough to abort within
+// microseconds of wall time.
+const ctxCheckCycles = 1024
+
+// RunContext is Run with cancellation: the cycle loop polls ctx every
+// ctxCheckCycles cycles and aborts with the context's error.
+func RunContext(ctx context.Context, cfg Config) (*Stats, error) {
 	cfg = cfg.withDefaults()
 	if cfg.Topo == nil {
 		return nil, fmt.Errorf("sim: nil topology")
@@ -254,6 +266,11 @@ func Run(cfg Config) (*Stats, error) {
 	inFlight := 0
 
 	for cycle := 0; cycle < total; cycle++ {
+		if cycle%ctxCheckCycles == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		// 1. Deliver channel arrivals.
 		keep := transit[:0]
 		for _, tr := range transit {

@@ -1,0 +1,96 @@
+package sunmap_test
+
+import (
+	"context"
+	"runtime"
+	"testing"
+
+	"sunmap"
+)
+
+// selectConfig is the Fig. 6 / Fig. 7b library sweep for one app.
+func selectConfig(app string, parallelism int) sunmap.SelectConfig {
+	return sunmap.SelectConfig{
+		App: sunmap.App(app),
+		Mapping: sunmap.MapOptions{
+			Routing:      sunmap.MinPath,
+			Objective:    sunmap.MinDelay,
+			CapacityMBps: 500,
+		},
+		EscalateRouting: true,
+		Parallelism:     parallelism,
+	}
+}
+
+// BenchmarkSelect times the full Phase-1 library sweep sequentially and on
+// the concurrent engine — the wall-clock speedup claim of the evaluation
+// engine. Compare with:
+//
+//	go test -bench 'BenchmarkSelect/' -benchtime 3x
+func BenchmarkSelect(b *testing.B) {
+	for _, app := range []string{"vopd", "mpeg4"} {
+		b.Run(app+"/sequential", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := sunmap.Select(selectConfig(app, 1)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(app+"/parallel", func(b *testing.B) {
+			b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "workers")
+			for i := 0; i < b.N; i++ {
+				if _, err := sunmap.Select(selectConfig(app, 0)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCachedExploration times the designer loop the evaluation cache
+// accelerates: an escalated selection followed by a routing sweep and a
+// Pareto exploration on the winning mesh, all sharing one cache. The
+// second and later iterations replay almost entirely from memory.
+func BenchmarkCachedExploration(b *testing.B) {
+	run := func(b *testing.B, cache *sunmap.EvalCache) {
+		ctx := context.Background()
+		app := sunmap.App("mpeg4")
+		opts := sunmap.MapOptions{
+			Routing:      sunmap.MinPath,
+			Objective:    sunmap.MinDelay,
+			CapacityMBps: 500,
+		}
+		sel, err := sunmap.SelectContext(ctx, sunmap.SelectConfig{
+			App: app, Mapping: opts, EscalateRouting: true, Cache: cache,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		mesh, err := sunmap.TopologyByName("mesh-3x4")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sunmap.RoutingSweepContext(ctx, app, mesh, opts, sunmap.ExploreOptions{Cache: cache}); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sunmap.ParetoExploreContext(ctx, app, mesh, opts, 5, sunmap.ExploreOptions{Cache: cache}); err != nil {
+			b.Fatal(err)
+		}
+		_ = sel
+	}
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			run(b, sunmap.NewEvalCache()) // fresh cache every iteration
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		cache := sunmap.NewEvalCache()
+		run(b, cache) // populate once, outside the timer
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			run(b, cache)
+		}
+		st := cache.Stats()
+		b.ReportMetric(float64(st.Hits)/float64(st.Hits+st.Misses)*100, "hit%")
+	})
+}

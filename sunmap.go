@@ -12,6 +12,16 @@
 // cycle-accurate flit-level simulator validates designs under synthetic or
 // trace-driven traffic.
 //
+// Phase 1 is embarrassingly parallel — every topology maps independently —
+// and runs on a concurrent evaluation engine: SelectConfig.Parallelism
+// bounds the worker pool (default GOMAXPROCS; results are deterministic
+// and identical to the sequential path at every setting), SelectContext
+// threads cancellation and deadlines down into the mapping inner loops,
+// and a shared content-addressed EvalCache memoizes design points so
+// routing escalation, RoutingSweep and ParetoExplore never re-map an
+// identical configuration. A Progress callback streams per-candidate
+// completion events to interactive consumers.
+//
 // Quick start:
 //
 //	app := sunmap.App("vopd")
@@ -25,16 +35,30 @@
 //	})
 //	// sel.Best holds the chosen topology and mapping.
 //
+// With a deadline, a shared cache and full parallelism:
+//
+//	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+//	defer cancel()
+//	cache := sunmap.NewEvalCache()
+//	sel, err := sunmap.SelectContext(ctx, sunmap.SelectConfig{
+//		App: app, Mapping: opts, Cache: cache,
+//	})
+//	// Later sweeps on the same app hit the cache instead of re-mapping:
+//	rows, err := sunmap.RoutingSweepContext(ctx, app, sel.Best.Topology,
+//		opts, sunmap.ExploreOptions{Cache: cache})
+//
 // See the examples directory for complete programs.
 package sunmap
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
 
 	"sunmap/internal/apps"
 	"sunmap/internal/core"
+	"sunmap/internal/engine"
 	"sunmap/internal/graph"
 	"sunmap/internal/mapping"
 	"sunmap/internal/route"
@@ -81,6 +105,26 @@ type (
 	// ParetoPoint is one Fig. 9(b) design point.
 	ParetoPoint = core.ParetoPoint
 )
+
+// Concurrent evaluation engine types.
+type (
+	// EvalCache is the content-addressed mapping-evaluation cache shared
+	// across Select, RoutingSweep and ParetoExplore calls.
+	EvalCache = engine.Cache
+	// EvalCacheStats snapshots cache effectiveness.
+	EvalCacheStats = engine.CacheStats
+	// ProgressEvent is one streaming per-candidate completion event.
+	ProgressEvent = engine.Event
+	// Progress receives streaming ProgressEvents (serialized, never
+	// concurrent).
+	Progress = engine.Progress
+	// ExploreOptions tunes the engine run behind the explorer functions.
+	ExploreOptions = core.ExploreOptions
+)
+
+// NewEvalCache returns an empty evaluation cache for sharing design-point
+// evaluations across selection and exploration calls.
+func NewEvalCache() *EvalCache { return engine.NewCache() }
 
 // Simulation and generation types.
 type (
@@ -149,12 +193,25 @@ func Library(n int, opts LibraryOptions) ([]Topology, error) {
 func TopologyByName(name string) (Topology, error) { return topology.ByName(name) }
 
 // Select runs SUNMAP Phases 1 and 2: map onto every library topology,
-// evaluate, and pick the best feasible network.
+// evaluate, and pick the best feasible network. Phase 1 runs on the
+// concurrent engine (SelectConfig.Parallelism workers, default GOMAXPROCS)
+// and is deterministic at every parallelism setting.
 func Select(cfg SelectConfig) (*Selection, error) { return core.Select(cfg) }
+
+// SelectContext is Select with cancellation: ctx aborts the Phase-1 sweep
+// and routing escalation, including evaluations already in flight.
+func SelectContext(ctx context.Context, cfg SelectConfig) (*Selection, error) {
+	return core.SelectContext(ctx, cfg)
+}
 
 // Map runs the Fig. 5 mapping algorithm on one topology.
 func Map(app *CoreGraph, topo Topology, opts MapOptions) (*MapResult, error) {
 	return mapping.Map(app, topo, opts)
+}
+
+// MapContext is Map with cancellation threaded into the swap search.
+func MapContext(ctx context.Context, app *CoreGraph, topo Topology, opts MapOptions) (*MapResult, error) {
+	return mapping.MapContext(ctx, app, topo, opts)
 }
 
 // RoutingSweep reports the minimum required link bandwidth per routing
@@ -163,10 +220,23 @@ func RoutingSweep(app *CoreGraph, topo Topology, opts MapOptions) ([]RoutingSwee
 	return core.RoutingSweep(app, topo, opts)
 }
 
+// RoutingSweepContext is RoutingSweep on the engine pool: the four routing
+// functions evaluate concurrently and reuse design points memoized in
+// xo.Cache (e.g. by an escalated SelectContext on the same app).
+func RoutingSweepContext(ctx context.Context, app *CoreGraph, topo Topology, opts MapOptions, xo ExploreOptions) ([]RoutingSweepRow, error) {
+	return core.RoutingSweepContext(ctx, app, topo, opts, xo)
+}
+
 // ParetoExplore sweeps weighted objectives and returns area-power design
 // points with the Pareto front marked (Fig. 9b).
 func ParetoExplore(app *CoreGraph, topo Topology, opts MapOptions, steps int) ([]ParetoPoint, error) {
 	return core.ParetoExplore(app, topo, opts, steps)
+}
+
+// ParetoExploreContext is ParetoExplore on the engine pool: grid points
+// evaluate concurrently and memoize into xo.Cache.
+func ParetoExploreContext(ctx context.Context, app *CoreGraph, topo Topology, opts MapOptions, steps int, xo ExploreOptions) ([]ParetoPoint, error) {
+	return core.ParetoExploreContext(ctx, app, topo, opts, steps, xo)
 }
 
 // Generate emits the SystemC description of a mapped design (Phase 3).
@@ -182,6 +252,12 @@ func BuildRoutes(topo Topology) (*RouteTable, error) { return sim.BuildRoutes(to
 
 // Simulate runs the cycle-accurate simulator.
 func Simulate(cfg SimConfig) (*SimStats, error) { return sim.Run(cfg) }
+
+// SimulateContext is Simulate with cancellation: the cycle loop polls ctx
+// and aborts long runs with the context's error.
+func SimulateContext(ctx context.Context, cfg SimConfig) (*SimStats, error) {
+	return sim.RunContext(ctx, cfg)
+}
 
 // AdversarialPattern returns the stress pattern Section 6.2 would use for
 // a topology.
