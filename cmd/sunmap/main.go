@@ -9,6 +9,8 @@
 //	sunmap -app mpeg4 -escalate            # retries with split routing
 //	sunmap -app dsp -topo butterfly-3ary2fly
 //	sunmap -app vopd -j 8 -timeout 30s -progress
+//	sunmap -app mpeg4 -synth               # add synthesized candidates
+//	sunmap -app dsp -synth -synth-radix 6  # looser switch-radix bound
 package main
 
 import (
@@ -45,6 +47,8 @@ func run(args []string, out io.Writer) error {
 	topoName := fs.String("topo", "", "map onto one named topology instead of selecting")
 	escalate := fs.Bool("escalate", false, "escalate to split routing if nothing is feasible")
 	extras := fs.Bool("extras", false, "include octagon and star in the library")
+	synthesize := fs.Bool("synth", false, "synthesize application-specific candidate topologies")
+	synthRadix := fs.Int("synth-radix", 0, "switch radix bound for synthesized topologies (0 = default 4)")
 	genDir := fs.String("gen", "", "write the generated SystemC design to this directory")
 	jobs := fs.Int("j", 0, "parallel mapping workers (0 = all cores, 1 = sequential)")
 	timeout := fs.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
@@ -109,19 +113,24 @@ func run(args []string, out io.Writer) error {
 				fmt.Fprintf(out, "[%d/%d] %-22s %s %s\n", ev.Done, ev.Total, ev.Topology, ev.Routing, status)
 			}
 		}
+		var synthOpts *sunmap.SynthOptions
+		if *synthesize || *synthRadix > 0 {
+			synthOpts = &sunmap.SynthOptions{MaxRadix: *synthRadix}
+		}
 		sel, err := sunmap.SelectContext(ctx, sunmap.SelectConfig{
 			App:             app,
 			Mapping:         opts,
 			EscalateRouting: *escalate,
 			LibraryOpts:     topology.LibraryOptions{IncludeExtras: *extras},
+			Synth:           synthOpts,
 			Parallelism:     *jobs,
 			Progress:        onProgress,
 		})
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(out, "%s: %d candidates, %d feasible (routing %v)\n",
-			app.Name(), len(sel.Candidates), sel.FeasibleCount(), sel.RoutingUsed)
+		fmt.Fprintf(out, "%s: %d candidates (%d synthesized), %d feasible (routing %v)\n",
+			app.Name(), len(sel.Candidates), sel.SynthCount(), sel.FeasibleCount(), sel.RoutingUsed)
 		fmt.Fprintf(out, "%-22s %8s %9s %10s %9s %6s %9s\n",
 			"topology", "avg hops", "area mm2", "power mW", "max MB/s", "SW", "feasible")
 		for _, r := range sel.Summaries() {

@@ -4,9 +4,10 @@
 // best feasible topology (Section 3 of the paper). The actual Phase-1
 // evaluations run on internal/engine's concurrent worker pool with a
 // shared content-addressed cache; core decides what to evaluate (library
-// enumeration, routing escalation) and how to rank the outcomes. The
-// package also hosts the design-space explorers behind Fig. 9: the
-// routing-function bandwidth sweep and the area-power Pareto search.
+// enumeration, application-specific synthesis via internal/synth, routing
+// escalation) and how to rank the outcomes. The package also hosts the
+// design-space explorers behind Fig. 9: the routing-function bandwidth
+// sweep and the area-power Pareto search.
 package core
 
 import (
@@ -19,6 +20,7 @@ import (
 	"sunmap/internal/graph"
 	"sunmap/internal/mapping"
 	"sunmap/internal/route"
+	"sunmap/internal/synth"
 	"sunmap/internal/topology"
 )
 
@@ -32,6 +34,15 @@ type Config struct {
 	Library []topology.Topology
 	// LibraryOpts tunes the default enumeration when Library is nil.
 	LibraryOpts topology.LibraryOptions
+	// Synth, when non-nil, augments the candidate set with
+	// application-specific topologies synthesized from the core graph
+	// (internal/synth): clustered min-cut partitions, a trimmed mesh and a
+	// sparse Hamming graph. Synthesized candidates are appended after the
+	// library (or after an explicit Library) and compete in Phase 2 on
+	// equal terms. Synthesis is deterministic, so results remain
+	// independent of Parallelism, and the candidates carry structural
+	// digests so Cache memoizes them like any library member.
+	Synth *synth.Options
 	// Mapping carries the routing function, objective, constraints and
 	// technology shared by every Phase 1 mapping.
 	Mapping mapping.Options
@@ -87,6 +98,18 @@ func (s *Selection) FeasibleCount() int {
 	n := 0
 	for _, c := range s.Candidates {
 		if c.Result != nil && c.Feasible() {
+			n++
+		}
+	}
+	return n
+}
+
+// SynthCount returns the number of evaluated synthesized (Kind Synth)
+// candidates, feasible or not.
+func (s *Selection) SynthCount() int {
+	n := 0
+	for _, c := range s.Candidates {
+		if c.Result != nil && c.Result.Topology.Kind() == topology.Synth {
 			n++
 		}
 	}
@@ -177,6 +200,13 @@ func SelectContext(ctx context.Context, cfg Config) (*Selection, error) {
 		if err != nil {
 			return nil, fmt.Errorf("core: %v", err)
 		}
+	}
+	if cfg.Synth != nil {
+		cands, err := synth.Candidates(cfg.App, *cfg.Synth)
+		if err != nil {
+			return nil, fmt.Errorf("core: %v", err)
+		}
+		lib = append(append([]topology.Topology(nil), lib...), cands...)
 	}
 	if len(lib) == 0 {
 		return nil, fmt.Errorf("core: empty topology library")

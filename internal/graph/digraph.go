@@ -211,6 +211,14 @@ func (d *Digraph) AllMinHopArcs(src, dst int, allowed []bool) map[int]bool {
 	return out
 }
 
+// BFSDistances returns hop distances from src to every vertex
+// (-1 unreachable), following arcs forward or, when reverse is set,
+// backward (i.e. distances *to* src). Synthesized topologies use the two
+// directions to precompute their minimum-path quadrant masks.
+func (d *Digraph) BFSDistances(src int, reverse bool) []int {
+	return d.bfsAll(src, nil, reverse)
+}
+
 // bfsAll returns hop distances from src to every vertex (-1 unreachable),
 // following arcs forward or, when reverse is set, backward.
 func (d *Digraph) bfsAll(src int, allowed []bool, reverse bool) []int {

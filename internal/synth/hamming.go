@@ -1,0 +1,133 @@
+package synth
+
+import (
+	"fmt"
+	"sort"
+
+	"sunmap/internal/graph"
+	"sunmap/internal/topology"
+)
+
+// SparseHamming synthesizes a radix-bounded sparse Hamming-graph topology
+// (after "Sparse Hamming Graph: A Customizable Network-on-Chip Topology",
+// arXiv:2211.13980). The dense starting point is the two-dimensional
+// Hamming graph H(2, ·) over the squarest grid holding the cores — every
+// router linked to every other router in its row and column (a rook's
+// graph), so any pair is at most two hops apart. The application's flows
+// are then routed row-first over that dense graph and the generator prunes
+// it down: links no flow uses are deleted, and remaining links are removed
+// in ascending-usage order at any router whose degree exceeds maxRadix.
+//
+// A mesh-shaped spanning skeleton (row 0 plus every column) is exempt from
+// pruning, which guarantees connectivity and, because the skeleton's
+// degree never exceeds 3, guarantees the radix bound is reachable for any
+// maxRadix >= 3.
+func SparseHamming(g *graph.CoreGraph, maxRadix int) (topology.Topology, error) {
+	if maxRadix < 3 {
+		return nil, fmt.Errorf("synth: sparse Hamming generator needs maxRadix >= 3, got %d", maxRadix)
+	}
+	n := g.NumCores()
+	if n < 2 {
+		return nil, fmt.Errorf("synth: %s has %d cores; need at least 2", g.Name(), n)
+	}
+	rows, cols := gridShape(n)
+	nR := rows * cols
+
+	// Dense rook's-graph link set and the protected mesh skeleton.
+	links := make(map[[2]int]bool)
+	protected := make(map[[2]int]bool)
+	for r := 0; r < rows; r++ {
+		for c1 := 0; c1 < cols; c1++ {
+			for c2 := c1 + 1; c2 < cols; c2++ {
+				links[linkKey(r*cols+c1, r*cols+c2)] = true
+			}
+		}
+	}
+	for c := 0; c < cols; c++ {
+		for r1 := 0; r1 < rows; r1++ {
+			for r2 := r1 + 1; r2 < rows; r2++ {
+				links[linkKey(r1*cols+c, r2*cols+c)] = true
+			}
+		}
+	}
+	for c := 0; c+1 < cols; c++ {
+		protected[linkKey(c, c+1)] = true // row 0, adjacent columns
+	}
+	for c := 0; c < cols; c++ {
+		for r := 0; r+1 < rows; r++ {
+			protected[linkKey(r*cols+c, (r+1)*cols+c)] = true
+		}
+	}
+
+	// Place cores and profile usage: row hop to the destination column,
+	// then column hop — at most two links per flow on the dense graph.
+	hamming := func(a, b int) int {
+		d := 0
+		if a/cols != b/cols {
+			d++
+		}
+		if a%cols != b%cols {
+			d++
+		}
+		return d
+	}
+	place := placeCores(g, nR, (rows/2)*cols+cols/2, hamming)
+	usage := make(map[[2]int]float64)
+	for _, c := range g.Commodities() {
+		u, v := place[c.Src], place[c.Dst]
+		mid := (u/cols)*cols + v%cols // same row as u, same column as v
+		for _, hop := range [][2]int{{u, mid}, {mid, v}} {
+			if hop[0] != hop[1] {
+				usage[linkKey(hop[0], hop[1])] += c.ValueMBps
+			}
+		}
+	}
+
+	// Prune: drop unused unprotected links outright, then enforce the
+	// radix bound by deleting the least-used links at over-budget routers.
+	deg := make([]int, nR)
+	for l := range links {
+		deg[l[0]]++
+		deg[l[1]]++
+	}
+	removable := make([][2]int, 0, len(links))
+	for _, l := range sortedLinks(links) {
+		if protected[l] {
+			continue
+		}
+		if usage[l] == 0 {
+			delete(links, l)
+			deg[l[0]]--
+			deg[l[1]]--
+			continue
+		}
+		removable = append(removable, l)
+	}
+	sort.SliceStable(removable, func(i, j int) bool {
+		return usage[removable[i]] < usage[removable[j]]
+	})
+	for _, l := range removable {
+		if deg[l[0]] > maxRadix || deg[l[1]] > maxRadix {
+			delete(links, l)
+			deg[l[0]]--
+			deg[l[1]]--
+		}
+	}
+
+	terminals := make([]int, nR)
+	routerPos := make([][2]float64, nR)
+	termPos := make([][2]float64, nR)
+	for u := 0; u < nR; u++ {
+		terminals[u] = u
+		routerPos[u] = [2]float64{float64(u % cols), float64(u / cols)}
+		termPos[u] = routerPos[u]
+	}
+	return topology.NewCustom(topology.CustomSpec{
+		Name:        fmt.Sprintf("synth-hamming%dx%dr%d-%s", rows, cols, maxRadix, g.Name()),
+		NumRouters:  nR,
+		BiLinks:     sortedLinks(links),
+		Terminals:   terminals,
+		RouterPos:   routerPos,
+		TerminalPos: termPos,
+	})
+}

@@ -1,0 +1,224 @@
+package synth
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"sunmap/internal/graph"
+	"sunmap/internal/topology"
+)
+
+// Cluster synthesizes a clustered custom topology: the communication graph
+// is recursively bipartitioned with a Kernighan–Lin-style min-cut
+// refinement until every cluster holds at most clusterSize cores, each
+// cluster becomes one switch hosting its cores, and the switches are wired
+// by a degree-bounded maximum-bandwidth spanning tree plus extra links for
+// the heaviest remaining inter-cluster flows. Heavily communicating cores
+// therefore share a switch (zero network hops between them) and heavy
+// cluster pairs get direct links — the topology the application's
+// communication structure asks for, rather than the nearest library shape.
+//
+// maxRadix bounds the inter-switch links per switch and must be at least 2
+// (a ring is always constructible within that bound, so synthesis never
+// fails for connectivity reasons).
+func Cluster(g *graph.CoreGraph, clusterSize, maxRadix int) (topology.Topology, error) {
+	if clusterSize < 1 {
+		return nil, fmt.Errorf("synth: cluster size %d < 1", clusterSize)
+	}
+	if maxRadix < 2 {
+		return nil, fmt.Errorf("synth: cluster generator needs maxRadix >= 2, got %d", maxRadix)
+	}
+	n := g.NumCores()
+	w := commMatrix(g)
+
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+	}
+	clusters := bisectRecursive(all, clusterSize, w)
+	// Deterministic cluster order: ascending members, then by first member.
+	for _, c := range clusters {
+		sort.Ints(c)
+	}
+	sort.Slice(clusters, func(i, j int) bool { return clusters[i][0] < clusters[j][0] })
+	k := len(clusters)
+	if k < 2 {
+		return nil, fmt.Errorf("synth: %s collapses to a single %d-core cluster (no network to build)",
+			g.Name(), n)
+	}
+
+	// Inter-cluster bandwidth matrix.
+	cw := make([][]float64, k)
+	for i := range cw {
+		cw[i] = make([]float64, k)
+	}
+	coreCluster := make([]int, n)
+	for ci, c := range clusters {
+		for _, core := range c {
+			coreCluster[core] = ci
+		}
+	}
+	for _, e := range g.Edges() {
+		a, b := coreCluster[e.From], coreCluster[e.To]
+		if a != b {
+			cw[a][b] += e.BandwidthMBps
+			cw[b][a] += e.BandwidthMBps
+		}
+	}
+
+	links, deg := spanningLinks(cw, maxRadix)
+
+	// Extra links for the heaviest unconnected cluster pairs, inside the
+	// remaining degree budget, in decreasing bandwidth order.
+	type pair struct {
+		u, v int
+		bw   float64
+	}
+	var extras []pair
+	have := make(map[[2]int]bool, len(links))
+	for _, l := range links {
+		have[linkKey(l[0], l[1])] = true
+	}
+	for u := 0; u < k; u++ {
+		for v := u + 1; v < k; v++ {
+			if cw[u][v] > 0 && !have[linkKey(u, v)] {
+				extras = append(extras, pair{u, v, cw[u][v]})
+			}
+		}
+	}
+	sort.Slice(extras, func(i, j int) bool {
+		if extras[i].bw != extras[j].bw {
+			return extras[i].bw > extras[j].bw
+		}
+		if extras[i].u != extras[j].u {
+			return extras[i].u < extras[j].u
+		}
+		return extras[i].v < extras[j].v
+	})
+	for _, p := range extras {
+		if deg[p.u] < maxRadix && deg[p.v] < maxRadix {
+			links = append(links, [2]int{p.u, p.v})
+			deg[p.u]++
+			deg[p.v]++
+		}
+	}
+
+	// Switches on a near-square grid two units apart; each cluster's cores
+	// in a sub-grid around their switch.
+	gcols := int(math.Ceil(math.Sqrt(float64(k))))
+	routerPos := make([][2]float64, k)
+	for i := range routerPos {
+		routerPos[i] = [2]float64{2 * float64(i%gcols), 2 * float64(i/gcols)}
+	}
+	terminals := make([]int, n)
+	termPos := make([][2]float64, n)
+	member := make([]int, k)
+	for t := 0; t < n; t++ {
+		ci := coreCluster[t]
+		j := member[ci]
+		member[ci]++
+		dx := -0.5 + float64(j%2) + 0.2*float64(j/4)
+		dy := -0.5 + float64((j/2)%2) + 0.2*float64(j/4)
+		terminals[t] = ci
+		termPos[t] = [2]float64{routerPos[ci][0] + dx, routerPos[ci][1] + dy}
+	}
+
+	return topology.NewCustom(topology.CustomSpec{
+		// The radix is part of the name because the link structure depends
+		// on it: same-named registrations must be structurally identical.
+		Name:        fmt.Sprintf("synth-cluster%dr%d-%s", clusterSize, maxRadix, g.Name()),
+		NumRouters:  k,
+		BiLinks:     links,
+		Terminals:   terminals,
+		RouterPos:   routerPos,
+		TerminalPos: termPos,
+	})
+}
+
+// bisectRecursive splits the index set in half, refines the cut with
+// pairwise swaps, and recurses until parts fit the cluster size.
+func bisectRecursive(idx []int, clusterSize int, w [][]float64) [][]int {
+	if len(idx) <= clusterSize {
+		return [][]int{append([]int(nil), idx...)}
+	}
+	a, b := klBisect(idx, w)
+	return append(bisectRecursive(a, clusterSize, w), bisectRecursive(b, clusterSize, w)...)
+}
+
+// klBisect splits idx into two balanced halves and improves the cut with
+// Kernighan–Lin-style pairwise swaps: a swap of (a in A, b in B) is applied
+// whenever it strictly reduces the cut bandwidth, and passes repeat until
+// one completes with no improvement. First-improvement order over the
+// deterministic index lists keeps the result reproducible.
+func klBisect(idx []int, w [][]float64) (a, b []int) {
+	half := (len(idx) + 1) / 2
+	a = append([]int(nil), idx[:half]...)
+	b = append([]int(nil), idx[half:]...)
+
+	// d(x, own, other) is KL's gain term: external minus internal cost.
+	d := func(x int, own, other []int) float64 {
+		var external, internal float64
+		for _, y := range other {
+			external += w[x][y]
+		}
+		for _, y := range own {
+			if y != x {
+				internal += w[x][y]
+			}
+		}
+		return external - internal
+	}
+	const eps = 1e-9
+	for pass := 0; pass < len(idx); pass++ {
+		improved := false
+		for i := range a {
+			for j := range b {
+				gain := d(a[i], a, b) + d(b[j], b, a) - 2*w[a[i]][b[j]]
+				if gain > eps {
+					a[i], b[j] = b[j], a[i]
+					improved = true
+				}
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return a, b
+}
+
+// spanningLinks builds a degree-bounded spanning tree over the k clusters
+// maximizing the bandwidth carried on tree links (Prim-style greedy: grow
+// from cluster 0, always attaching the non-tree cluster whose connection
+// to a degree-feasible tree cluster has the largest bandwidth; ties break
+// toward lower indices). With maxRadix >= 2 a feasible attachment always
+// exists: a t-vertex tree has total degree 2(t-1) < 2t, so some tree
+// vertex is below any bound of at least 2.
+func spanningLinks(cw [][]float64, maxRadix int) (links [][2]int, deg []int) {
+	k := len(cw)
+	deg = make([]int, k)
+	inTree := make([]bool, k)
+	inTree[0] = true
+	for t := 1; t < k; t++ {
+		bu, bv, best := -1, -1, -1.0
+		for u := 0; u < k; u++ {
+			if !inTree[u] || deg[u] >= maxRadix {
+				continue
+			}
+			for v := 0; v < k; v++ {
+				if inTree[v] {
+					continue
+				}
+				if cw[u][v] > best {
+					bu, bv, best = u, v, cw[u][v]
+				}
+			}
+		}
+		links = append(links, [2]int{bu, bv})
+		deg[bu]++
+		deg[bv]++
+		inTree[bv] = true
+	}
+	return links, deg
+}

@@ -1,0 +1,156 @@
+package synth
+
+import (
+	"math"
+	"sort"
+
+	"sunmap/internal/graph"
+)
+
+// commMatrix returns the symmetric core-to-core bandwidth matrix
+// m[i][j] = m[j][i] = total MB/s exchanged between cores i and j.
+func commMatrix(g *graph.CoreGraph) [][]float64 {
+	n := g.NumCores()
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n)
+	}
+	for _, e := range g.Edges() {
+		m[e.From][e.To] += e.BandwidthMBps
+		m[e.To][e.From] += e.BandwidthMBps
+	}
+	return m
+}
+
+// gridShape returns the squarest rows x cols grid with at least n slots
+// (rows <= cols), the shape the mesh-derived generators build on.
+func gridShape(n int) (rows, cols int) {
+	rows = int(math.Sqrt(float64(n)))
+	if rows < 1 {
+		rows = 1
+	}
+	cols = (n + rows - 1) / rows
+	return rows, cols
+}
+
+// placeCores greedily assigns cores to router slots, mirroring the mapping
+// package's initial placement: the core with the largest communication
+// volume takes the seed slot; then, repeatedly, the unplaced core
+// communicating most with placed cores takes the free slot minimizing its
+// bandwidth-weighted distance to its placed communicators. dist measures
+// slot-to-slot distance in the target router graph. The result seeds the
+// usage profile the trimming generators delete links against — the mapper
+// later re-derives its own assignment on the finished topology.
+func placeCores(g *graph.CoreGraph, nSlots, seedSlot int, dist func(a, b int) int) []int {
+	n := g.NumCores()
+	w := commMatrix(g)
+	place := make([]int, n)
+	for i := range place {
+		place[i] = -1
+	}
+	free := make([]bool, nSlots)
+	for s := range free {
+		free[s] = true
+	}
+
+	seed := 0
+	for i := 1; i < n; i++ {
+		if g.CommVolume(i) > g.CommVolume(seed) {
+			seed = i
+		}
+	}
+	place[seed] = seedSlot
+	free[seedSlot] = false
+
+	for placed := 1; placed < n; placed++ {
+		next, nextComm := -1, -1.0
+		for i := 0; i < n; i++ {
+			if place[i] != -1 {
+				continue
+			}
+			var c float64
+			for j := 0; j < n; j++ {
+				if place[j] != -1 {
+					c += w[i][j]
+				}
+			}
+			if c > nextComm || (c == nextComm && next != -1 && g.CommVolume(i) > g.CommVolume(next)) {
+				next = i
+				nextComm = c
+			}
+		}
+		bestSlot, bestCost := -1, math.Inf(1)
+		for s := 0; s < nSlots; s++ {
+			if !free[s] {
+				continue
+			}
+			var cost float64
+			for j := 0; j < n; j++ {
+				if place[j] == -1 || w[next][j] == 0 {
+					continue
+				}
+				cost += w[next][j] * float64(dist(s, place[j]))
+			}
+			if cost < bestCost {
+				bestCost = cost
+				bestSlot = s
+			}
+		}
+		place[next] = bestSlot
+		free[bestSlot] = false
+	}
+	return place
+}
+
+// linkKey canonicalizes an undirected router pair.
+func linkKey(u, v int) [2]int {
+	if u > v {
+		u, v = v, u
+	}
+	return [2]int{u, v}
+}
+
+// connectedWithout reports whether the undirected graph over n routers,
+// given by the kept links, is connected. The trimming generators call it
+// before committing each link removal.
+func connectedWithout(n int, links map[[2]int]bool) bool {
+	if n == 0 {
+		return false
+	}
+	adj := make([][]int, n)
+	for l := range links {
+		adj[l[0]] = append(adj[l[0]], l[1])
+		adj[l[1]] = append(adj[l[1]], l[0])
+	}
+	seen := make([]bool, n)
+	seen[0] = true
+	queue := []int{0}
+	count := 1
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range adj[u] {
+			if !seen[v] {
+				seen[v] = true
+				count++
+				queue = append(queue, v)
+			}
+		}
+	}
+	return count == n
+}
+
+// sortedLinks returns the kept links in deterministic (u, v) order.
+func sortedLinks(links map[[2]int]bool) [][2]int {
+	out := make([][2]int, 0, len(links))
+	for l := range links {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}

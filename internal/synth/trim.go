@@ -1,0 +1,120 @@
+package synth
+
+import (
+	"fmt"
+
+	"sunmap/internal/graph"
+	"sunmap/internal/topology"
+)
+
+// TrimmedMesh synthesizes a degree-bounded "trimmed mesh": the squarest
+// mesh holding the application's cores, minus every link the application's
+// flows never use. Cores are placed greedily (heaviest communicators
+// closest together), every flow is walked along its dimension-ordered
+// (XY) path, and unused links are then deleted in deterministic order —
+// each removal only committed when the router graph stays connected. The
+// result keeps the mesh's routability and placement template while
+// shedding the area and leakage of the links a star- or pipeline-shaped
+// application never exercises.
+//
+// Router degree never exceeds the mesh's 4, so the generator requires (and
+// Candidates only invokes it under) a radix budget of at least 4.
+func TrimmedMesh(g *graph.CoreGraph) (topology.Topology, error) {
+	n := g.NumCores()
+	if n < 2 {
+		return nil, fmt.Errorf("synth: %s has %d cores; need at least 2", g.Name(), n)
+	}
+	rows, cols := gridShape(n)
+	nR := rows * cols
+
+	manhattan := func(a, b int) int {
+		ar, ac := a/cols, a%cols
+		br, bc := b/cols, b%cols
+		return absInt(ar-br) + absInt(ac-bc)
+	}
+	center := (rows/2)*cols + cols/2
+	place := placeCores(g, nR, center, manhattan)
+
+	// Accumulate per-link usage along each flow's XY path.
+	usage := make(map[[2]int]float64)
+	for _, c := range g.Commodities() {
+		path := xyPath(place[c.Src], place[c.Dst], cols)
+		for i := 0; i+1 < len(path); i++ {
+			usage[linkKey(path[i], path[i+1])] += c.ValueMBps
+		}
+	}
+
+	// Full mesh link set, then delete unused links while connected.
+	links := make(map[[2]int]bool)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			u := r*cols + c
+			if c+1 < cols {
+				links[linkKey(u, u+1)] = true
+			}
+			if r+1 < rows {
+				links[linkKey(u, u+cols)] = true
+			}
+		}
+	}
+	for _, l := range sortedLinks(links) {
+		if usage[l] > 0 {
+			continue
+		}
+		delete(links, l)
+		if !connectedWithout(nR, links) {
+			links[l] = true // removal would disconnect; keep it
+		}
+	}
+
+	terminals := make([]int, nR)
+	routerPos := make([][2]float64, nR)
+	termPos := make([][2]float64, nR)
+	for u := 0; u < nR; u++ {
+		terminals[u] = u
+		routerPos[u] = [2]float64{float64(u % cols), float64(u / cols)}
+		termPos[u] = routerPos[u]
+	}
+	return topology.NewCustom(topology.CustomSpec{
+		Name:        fmt.Sprintf("synth-trim%dx%d-%s", rows, cols, g.Name()),
+		NumRouters:  nR,
+		BiLinks:     sortedLinks(links),
+		Terminals:   terminals,
+		RouterPos:   routerPos,
+		TerminalPos: termPos,
+	})
+}
+
+// xyPath walks column-first then row-first between two routers of a
+// cols-wide grid, the dimension-ordered discipline internal/route uses on
+// meshes.
+func xyPath(src, dst, cols int) []int {
+	sr, sc := src/cols, src%cols
+	dr, dc := dst/cols, dst%cols
+	path := []int{src}
+	r, c := sr, sc
+	for c != dc {
+		if c < dc {
+			c++
+		} else {
+			c--
+		}
+		path = append(path, r*cols+c)
+	}
+	for r != dr {
+		if r < dr {
+			r++
+		} else {
+			r--
+		}
+		path = append(path, r*cols+c)
+	}
+	return path
+}
+
+func absInt(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 )
 
 // LibraryOptions tunes the configuration enumeration of Enumerate and
@@ -24,20 +25,32 @@ type LibraryOptions struct {
 	MaxTerminalSlack float64
 }
 
-func (o LibraryOptions) withDefaults() LibraryOptions {
+// withDefaults substitutes the paper's defaults for zero values and
+// rejects explicitly invalid settings: a butterfly radix or Clos fan-in
+// below 2 describes no constructible network, so such values surface as
+// errors instead of being silently coerced to the default.
+func (o LibraryOptions) withDefaults() (LibraryOptions, error) {
 	if o.MaxAspect <= 0 {
 		o.MaxAspect = 4
 	}
-	if o.MaxButterflyRadix < 2 {
+	switch {
+	case o.MaxButterflyRadix == 0:
 		o.MaxButterflyRadix = 4
+	case o.MaxButterflyRadix < 2:
+		return o, fmt.Errorf("topology: MaxButterflyRadix %d is invalid (want 0 for the default, or >= 2)",
+			o.MaxButterflyRadix)
 	}
-	if o.MaxClosFanIn < 2 {
+	switch {
+	case o.MaxClosFanIn == 0:
 		o.MaxClosFanIn = 4
+	case o.MaxClosFanIn < 2:
+		return o, fmt.Errorf("topology: MaxClosFanIn %d is invalid (want 0 for the default, or >= 2)",
+			o.MaxClosFanIn)
 	}
 	if o.MaxTerminalSlack <= 0 {
 		o.MaxTerminalSlack = 3.0
 	}
-	return o
+	return o, nil
 }
 
 // Enumerate returns the sensible configurations of one topology family able
@@ -50,7 +63,10 @@ func Enumerate(kind Kind, numCores int, opts LibraryOptions) ([]Topology, error)
 	if numCores < 2 {
 		return nil, fmt.Errorf("topology: need at least 2 cores, got %d", numCores)
 	}
-	opts = opts.withDefaults()
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
 	maxTerms := int(math.Ceil(float64(numCores) * opts.MaxTerminalSlack))
 	var out []Topology
 	add := func(t Topology, err error) error {
@@ -173,8 +189,83 @@ func Library(numCores int, opts LibraryOptions) ([]Topology, error) {
 
 // ByName constructs a topology from its canonical name (e.g. "mesh-3x4",
 // "butterfly-4ary2fly", "clos-m4n4r4", "hypercube-4", "octagon",
-// "star-12"), the format produced by Topology.Name.
+// "star-12"), the format produced by Topology.Name. Names outside the
+// library grammar resolve against the custom-topology registry, so
+// synthesized networks registered in this process (internal/synth) are
+// addressable the same way as library members.
 func ByName(name string) (Topology, error) {
+	if t, err := byLibraryName(name); err == nil {
+		return t, nil
+	}
+	if t, ok := lookupCustom(name); ok {
+		return t, nil
+	}
+	return nil, fmt.Errorf("topology: unrecognized name %q", name)
+}
+
+// customReg holds custom (synthesized) topologies registered by name.
+// Unlike the library families — reconstructible from their name alone —
+// custom topologies are application-specific instances, so the registry
+// stores them directly for the life of the process.
+var customReg struct {
+	sync.RWMutex
+	m map[string]Topology
+}
+
+// Register validates a custom topology and makes it retrievable through
+// ByName. Re-registering a name replaces the earlier entry; that is safe
+// because the evaluation cache keys on the full structural digest, never
+// on the name alone. Library-grammar names are rejected so a custom entry
+// can never shadow a standard configuration.
+func Register(t Topology) error {
+	if err := Validate(t); err != nil {
+		return err
+	}
+	name := t.Name()
+	if builtin, err := byLibraryName(name); err == nil {
+		return fmt.Errorf("topology: cannot register %q: name is taken by library topology %s",
+			name, builtin.Name())
+	}
+	customReg.Lock()
+	if customReg.m == nil {
+		customReg.m = make(map[string]Topology)
+	}
+	customReg.m[name] = t
+	customReg.Unlock()
+	return nil
+}
+
+// Registered returns the currently registered custom topologies sorted by
+// name.
+func Registered() []Topology {
+	customReg.RLock()
+	out := make([]Topology, 0, len(customReg.m))
+	for _, t := range customReg.m {
+		out = append(out, t)
+	}
+	customReg.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
+	return out
+}
+
+// Unregister removes a custom topology by name (a no-op for unknown
+// names). Tests use it to keep the process-wide registry isolated.
+func Unregister(name string) {
+	customReg.Lock()
+	delete(customReg.m, name)
+	customReg.Unlock()
+}
+
+func lookupCustom(name string) (Topology, bool) {
+	customReg.RLock()
+	t, ok := customReg.m[name]
+	customReg.RUnlock()
+	return t, ok
+}
+
+// byLibraryName is ByName restricted to the library grammar (no custom
+// registry fallback); Register uses it to detect name collisions.
+func byLibraryName(name string) (Topology, error) {
 	var a, b, c int
 	switch {
 	case matched(name, "mesh-%dx%d", &a, &b):

@@ -23,7 +23,9 @@ import (
 type Kind int
 
 // Topology families. The first five are the paper's library; Octagon and
-// Star are the extensions mentioned in Section 1.
+// Star are the extensions mentioned in Section 1. Synth marks
+// application-specific topologies synthesized from a core graph
+// (internal/synth) rather than drawn from the standard library.
 const (
 	Mesh Kind = iota
 	Torus
@@ -32,6 +34,7 @@ const (
 	Clos
 	Octagon
 	Star
+	Synth
 )
 
 // String returns the lower-case family name.
@@ -51,6 +54,8 @@ func (k Kind) String() string {
 		return "octagon"
 	case Star:
 		return "star"
+	case Synth:
+		return "synth"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -61,7 +66,10 @@ func (k Kind) String() string {
 // (indirect, Fig. 2).
 func (k Kind) Direct() bool {
 	switch k {
-	case Mesh, Torus, Hypercube, Octagon:
+	case Mesh, Torus, Hypercube, Octagon, Synth:
+		// Synthesized topologies attach each core to exactly one switch
+		// (inject and eject coincide), so they count one NI link per core
+		// like the direct families, even when a switch hosts several cores.
 		return true
 	default:
 		return false

@@ -47,6 +47,40 @@ func BenchmarkSelect(b *testing.B) {
 	}
 }
 
+// BenchmarkSelectWithSynth times the head-to-head selection — the full
+// standard library alone versus the library plus the application-specific
+// synthesized candidates — on the MPEG-4 and DSP apps. The delta is the
+// cost of topology synthesis plus the extra Phase-1 mappings; the payoff
+// is that on hub-shaped apps like MPEG-4 only synthesized candidates stay
+// feasible once links tighten below the heaviest flow (see
+// examples/custom_topology). Compare with:
+//
+//	go test -bench BenchmarkSelectWithSynth -benchtime 3x
+func BenchmarkSelectWithSynth(b *testing.B) {
+	for _, app := range []string{"mpeg4", "dsp"} {
+		b.Run(app+"/library", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := sunmap.Select(selectConfig(app, 0)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(app+"/library+synth", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := selectConfig(app, 0)
+				cfg.Synth = &sunmap.SynthOptions{}
+				sel, err := sunmap.Select(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.ReportMetric(float64(sel.SynthCount()), "synth-candidates")
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkCachedExploration times the designer loop the evaluation cache
 // accelerates: an escalated selection followed by a routing sweep and a
 // Pareto exploration on the winning mesh, all sharing one cache. The

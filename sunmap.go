@@ -12,6 +12,13 @@
 // cycle-accurate flit-level simulator validates designs under synthetic or
 // trace-driven traffic.
 //
+// Beyond the fixed library, SelectConfig.Synth turns on application-
+// specific topology synthesis (internal/synth): clustered min-cut
+// partitions of the communication graph, a trimmed mesh shedding the
+// links the application never uses, and a radix-bounded sparse Hamming
+// graph are generated from the core graph and compete with the library
+// in the same Select call. See SynthOptions and SynthCandidates.
+//
 // Phase 1 is embarrassingly parallel — every topology maps independently —
 // and runs on a concurrent evaluation engine: SelectConfig.Parallelism
 // bounds the worker pool (default GOMAXPROCS; results are deterministic
@@ -63,6 +70,7 @@ import (
 	"sunmap/internal/mapping"
 	"sunmap/internal/route"
 	"sunmap/internal/sim"
+	"sunmap/internal/synth"
 	"sunmap/internal/tech"
 	"sunmap/internal/topology"
 	"sunmap/internal/traffic"
@@ -121,6 +129,24 @@ type (
 	// ExploreOptions tunes the engine run behind the explorer functions.
 	ExploreOptions = core.ExploreOptions
 )
+
+// Application-specific topology synthesis types.
+type (
+	// SynthOptions tunes application-specific topology synthesis. Set
+	// SelectConfig.Synth to a non-nil SynthOptions to have Select append
+	// synthesized candidates — clustered min-cut partitions, a trimmed
+	// mesh and a sparse Hamming graph — to the library sweep.
+	SynthOptions = synth.Options
+)
+
+// SynthCandidates synthesizes the application-specific candidate
+// topologies for an app without running a selection, registering each so
+// TopologyByName resolves their names for the rest of the process. Use it
+// to inspect or simulate synthesized networks directly; Select performs
+// the same synthesis internally when SelectConfig.Synth is set.
+func SynthCandidates(app *CoreGraph, opts SynthOptions) ([]Topology, error) {
+	return synth.Candidates(app, opts)
+}
 
 // NewEvalCache returns an empty evaluation cache for sharing design-point
 // evaluations across selection and exploration calls.
