@@ -1,0 +1,68 @@
+package sunmap_test
+
+// API-migration enforcement: the examples are the public face of the
+// Session API, so they must not lean on the deprecated pre-Session
+// wrappers. This backs the acceptance criterion "every example compiles
+// against the Session API with zero calls to deprecated wrappers".
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// deprecatedFuncs lists the root-package identifiers kept only as
+// deprecated wrappers.
+var deprecatedFuncs = map[string]bool{
+	"App":                  true,
+	"Select":               true,
+	"SelectContext":        true,
+	"Map":                  true,
+	"MapContext":           true,
+	"RoutingSweep":         true,
+	"RoutingSweepContext":  true,
+	"ParetoExplore":        true,
+	"ParetoExploreContext": true,
+	"Simulate":             true,
+	"SimulateContext":      true,
+	"Generate":             true,
+}
+
+func TestExamplesAvoidDeprecatedAPI(t *testing.T) {
+	files, err := filepath.Glob("examples/*/main.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no example programs found")
+	}
+	fset := token.NewFileSet()
+	for _, file := range files {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		af, err := parser.ParseFile(fset, file, src, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", file, err)
+		}
+		ast.Inspect(af, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkg, ok := sel.X.(*ast.Ident)
+			if !ok || pkg.Name != "sunmap" {
+				return true
+			}
+			if deprecatedFuncs[sel.Sel.Name] {
+				t.Errorf("%s: uses deprecated sunmap.%s — migrate to the Session API",
+					file, sel.Sel.Name)
+			}
+			return true
+		})
+	}
+}

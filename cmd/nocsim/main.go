@@ -20,9 +20,6 @@ import (
 	"strings"
 
 	"sunmap"
-	"sunmap/internal/sim"
-	"sunmap/internal/topology"
-	"sunmap/internal/traffic"
 )
 
 func main() {
@@ -55,72 +52,42 @@ func run(args []string, out io.Writer) error {
 		defer cancel()
 	}
 
-	topo, err := sunmap.TopologyByName(*topoName)
-	if err != nil {
-		return err
-	}
-	pat, err := patternByName(*pattern, topo)
-	if err != nil {
-		return err
-	}
 	rateList, err := parseRates(*rates)
 	if err != nil {
 		return err
 	}
-	rt, err := sunmap.BuildRoutes(topo)
+	sess, err := sunmap.NewSession(sunmap.WithParallelism(*jobs))
 	if err != nil {
 		return err
 	}
-	stats, err := sim.SweepContext(ctx, sim.Config{
-		Topo:          topo,
-		Routes:        rt,
-		Pattern:       pat,
+	rep, err := sess.Simulate(ctx, sunmap.SimRequest{
+		Topology:      *topoName,
+		Pattern:       *pattern,
+		Rates:         rateList,
 		PacketFlits:   *packet,
 		BufDepthFlits: *bufDepth,
 		Seed:          *seed,
 		WarmupCycles:  *warmup,
 		MeasureCycles: *measure,
 		DrainCycles:   *drain,
-	}, rateList, *jobs)
+	})
 	if err != nil {
 		return err
 	}
 
-	fmt.Fprintf(out, "%s, pattern %s, %d-flit packets\n", topo.Name(), pat.Name(), *packet)
+	fmt.Fprintf(out, "%s, pattern %s, %d-flit packets\n", rep.Topology, rep.Pattern, *packet)
 	fmt.Fprintf(out, "%-8s %12s %12s %10s %10s %6s\n",
 		"rate", "avg lat(cy)", "p95 lat(cy)", "tput f/c/n", "packets", "sat")
-	for i, st := range stats {
+	for _, row := range rep.Rows {
 		sat := ""
-		if st.Saturated {
+		if row.Saturated {
 			sat = "*"
 		}
 		fmt.Fprintf(out, "%-8.3f %12.1f %12.1f %10.3f %10d %6s\n",
-			rateList[i], st.AvgLatencyCycles, st.P95LatencyCycles,
-			st.ThroughputFPC, st.MeasuredPackets, sat)
+			row.Rate, row.AvgLatencyCycles, row.P95LatencyCycles,
+			row.ThroughputFPC, row.MeasuredPackets, sat)
 	}
 	return nil
-}
-
-func patternByName(name string, topo topology.Topology) (traffic.Pattern, error) {
-	switch name {
-	case "uniform":
-		return traffic.Uniform{}, nil
-	case "transpose":
-		return traffic.Transpose{}, nil
-	case "tornado":
-		return traffic.Tornado{}, nil
-	case "bit-complement":
-		return traffic.BitComplement{}, nil
-	case "bit-reverse":
-		return traffic.BitReverse{}, nil
-	case "shuffle":
-		return traffic.Shuffle{}, nil
-	case "hotspot":
-		return traffic.Hotspot{Node: 0, Frac: 0.3}, nil
-	case "adversarial":
-		return traffic.Adversarial(topo), nil
-	}
-	return nil, fmt.Errorf("unknown pattern %q", name)
 }
 
 func parseRates(s string) ([]float64, error) {

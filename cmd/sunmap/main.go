@@ -1,6 +1,7 @@
 // Command sunmap runs the SUNMAP flow: topology selection and mapping for
 // an application core graph, optionally generating the SystemC network
-// description (Phase 3).
+// description (Phase 3). The serve subcommand runs the same pipeline as a
+// batch HTTP/JSON service.
 //
 // Usage:
 //
@@ -11,28 +12,67 @@
 //	sunmap -app vopd -j 8 -timeout 30s -progress
 //	sunmap -app mpeg4 -synth               # add synthesized candidates
 //	sunmap -app dsp -synth -synth-radix 6  # looser switch-radix bound
+//	sunmap serve -addr :8080 -j 8          # HTTP/JSON batch service
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"sunmap"
-	"sunmap/internal/mapping"
-	"sunmap/internal/route"
-	"sunmap/internal/tech"
-	"sunmap/internal/topology"
+	"sunmap/serve"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	args := os.Args[1:]
+	if len(args) > 0 && args[0] == "serve" {
+		if err := runServe(args[1:], os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "sunmap serve:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(args, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "sunmap:", err)
 		os.Exit(1)
 	}
+}
+
+// runServe runs the HTTP/JSON batch service until interrupted, then shuts
+// down gracefully.
+func runServe(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("sunmap serve", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	jobs := fs.Int("j", 0, "parallel mapping workers (0 = all cores, 1 = sequential)")
+	reqTimeout := fs.Duration("request-timeout", 2*time.Minute, "per-request processing budget")
+	maxBatch := fs.Int("max-batch", 256, "maximum requests per /v1/batch call")
+	drain := fs.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
+	synthesize := fs.Bool("synth", false, "synthesize application-specific candidates on selections")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	opts := []sunmap.SessionOption{sunmap.WithParallelism(*jobs)}
+	if *synthesize {
+		opts = append(opts, sunmap.WithSynth(sunmap.SynthOptions{}))
+	}
+	sess, err := sunmap.NewSession(opts...)
+	if err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	fmt.Fprintf(out, "sunmap service listening on %s (POST /v1/do, POST /v1/batch, GET /healthz)\n", *addr)
+	return serve.ListenAndServe(ctx, *addr, sess, serve.Options{
+		RequestTimeout: *reqTimeout,
+		MaxBatch:       *maxBatch,
+	}, *drain)
 }
 
 func run(args []string, out io.Writer) error {
@@ -64,89 +104,85 @@ func run(args []string, out io.Writer) error {
 		defer cancel()
 	}
 
-	app, err := loadApp(*appName, *file)
+	appSpec, err := appSpec(*appName, *file)
 	if err != nil {
 		return err
 	}
-	tc, err := tech.ByName(*techName)
-	if err != nil {
-		return err
-	}
-	fn, err := route.ParseFunction(*routing)
-	if err != nil {
-		return err
-	}
-	obj, err := parseObjective(*objective)
-	if err != nil {
-		return err
-	}
-	opts := sunmap.MapOptions{
-		Routing:      fn,
-		Objective:    obj,
+	mapSpec := sunmap.MapSpec{
+		Routing:      *routing,
+		Objective:    *objective,
 		CapacityMBps: *bw,
 		MaxAreaMM2:   *maxArea,
-		Tech:         tc,
+		Tech:         *techName,
 	}
 
-	var best *sunmap.MapResult
-	if *topoName != "" {
-		topo, err := sunmap.TopologyByName(*topoName)
-		if err != nil {
-			return err
-		}
-		best, err = sunmap.MapContext(ctx, app, topo, opts)
-		if err != nil {
-			return err
-		}
-		printResult(out, app, best)
-	} else {
-		var onProgress sunmap.Progress
-		if *progress {
-			onProgress = func(ev sunmap.ProgressEvent) {
-				status := fmt.Sprintf("mapped in %v", ev.Elapsed.Round(time.Millisecond))
-				switch {
-				case ev.CacheHit:
-					status = "cache hit"
-				case ev.Err != nil:
-					status = "unmappable"
-				}
-				fmt.Fprintf(out, "[%d/%d] %-22s %s %s\n", ev.Done, ev.Total, ev.Topology, ev.Routing, status)
+	sessOpts := []sunmap.SessionOption{
+		sunmap.WithParallelism(*jobs),
+		sunmap.WithLibrary(sunmap.LibraryOptions{IncludeExtras: *extras}),
+	}
+	if *synthesize || *synthRadix > 0 {
+		sessOpts = append(sessOpts, sunmap.WithSynth(sunmap.SynthOptions{MaxRadix: *synthRadix}))
+	}
+	if *progress {
+		sessOpts = append(sessOpts, sunmap.WithProgress(func(ev sunmap.ProgressEvent) {
+			status := fmt.Sprintf("mapped in %v", ev.Elapsed.Round(time.Millisecond))
+			switch {
+			case ev.CacheHit:
+				status = "cache hit"
+			case ev.Err != nil:
+				status = "unmappable"
 			}
-		}
-		var synthOpts *sunmap.SynthOptions
-		if *synthesize || *synthRadix > 0 {
-			synthOpts = &sunmap.SynthOptions{MaxRadix: *synthRadix}
-		}
-		sel, err := sunmap.SelectContext(ctx, sunmap.SelectConfig{
-			App:             app,
-			Mapping:         opts,
-			EscalateRouting: *escalate,
-			LibraryOpts:     topology.LibraryOptions{IncludeExtras: *extras},
-			Synth:           synthOpts,
-			Parallelism:     *jobs,
-			Progress:        onProgress,
-		})
+			fmt.Fprintf(out, "[%d/%d] %-22s %s %s\n", ev.Done, ev.Total, ev.Topology, ev.Routing, status)
+		}))
+	}
+	sess, err := sunmap.NewSession(sessOpts...)
+	if err != nil {
+		return err
+	}
+
+	var best *sunmap.DesignReport
+	routingUsed := *routing
+	if *topoName != "" {
+		best, err = sess.Map(ctx, sunmap.MapRequest{App: appSpec, Topology: *topoName, Mapping: mapSpec})
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(out, "%s: %d candidates (%d synthesized), %d feasible (routing %v)\n",
-			app.Name(), len(sel.Candidates), sel.SynthCount(), sel.FeasibleCount(), sel.RoutingUsed)
+		printResult(out, best)
+	} else {
+		rep, err := sess.Select(ctx, sunmap.SelectRequest{
+			App:      appSpec,
+			Mapping:  mapSpec,
+			Escalate: *escalate,
+		})
+		if err != nil && rep == nil {
+			return err
+		}
+		fmt.Fprintf(out, "%s: %d candidates (%d synthesized), %d feasible (routing %s)\n",
+			rep.App, rep.Candidates, rep.Synthesized, rep.Feasible, rep.RoutingUsed)
 		fmt.Fprintf(out, "%-22s %8s %9s %10s %9s %6s %9s\n",
 			"topology", "avg hops", "area mm2", "power mW", "max MB/s", "SW", "feasible")
-		for _, r := range sel.Summaries() {
+		for _, r := range rep.Rows {
 			fmt.Fprintf(out, "%-22s %8.2f %9.2f %10.1f %9.1f %6d %9v\n",
 				r.Topology, r.AvgHops, r.AreaMM2, r.PowerMW, r.MaxLoadMBps, r.Switches, r.Feasible)
 		}
-		if sel.Best == nil {
+		if errors.Is(err, sunmap.ErrInfeasible) {
 			return fmt.Errorf("no feasible topology; try -escalate or a higher -bw")
 		}
-		best = sel.Best
-		fmt.Fprintf(out, "\nselected: %s\n", best.Topology.Name())
-		printResult(out, app, best)
+		if err != nil {
+			return err
+		}
+		best = rep.Best
+		routingUsed = rep.RoutingUsed
+		fmt.Fprintf(out, "\nselected: %s\n", rep.Topology)
+		printResult(out, best)
 	}
 
 	if *genDir != "" {
-		gen, err := sunmap.Generate(app, best, tc)
+		// Regenerate through the session: the mapping replays from the
+		// session cache, under the routing function the selection settled on.
+		genSpec := mapSpec
+		genSpec.Routing = routingUsed
+		gen, err := sess.Generate(ctx, sunmap.GenerateRequest{App: appSpec, Topology: best.Topology, Mapping: genSpec})
 		if err != nil {
 			return err
 		}
@@ -158,43 +194,30 @@ func run(args []string, out io.Writer) error {
 	return nil
 }
 
-func loadApp(name, file string) (*sunmap.CoreGraph, error) {
+// appSpec converts the -app/-file flags to a request AppSpec.
+func appSpec(name, file string) (sunmap.AppSpec, error) {
 	switch {
 	case name != "" && file != "":
-		return nil, fmt.Errorf("give either -app or -file, not both")
+		return sunmap.AppSpec{}, fmt.Errorf("give either -app or -file, not both")
 	case file != "":
-		return sunmap.LoadAppFile(file)
-	case name != "":
-		for _, n := range sunmap.AppNames() {
-			if n == name {
-				return sunmap.App(name), nil
-			}
+		data, err := os.ReadFile(file)
+		if err != nil {
+			return sunmap.AppSpec{}, err
 		}
-		return nil, fmt.Errorf("unknown app %q (want one of %v)", name, sunmap.AppNames())
+		return sunmap.AppSpec{Text: string(data)}, nil
+	case name != "":
+		return sunmap.AppSpec{Name: name}, nil
 	default:
-		return nil, fmt.Errorf("need -app or -file")
+		return sunmap.AppSpec{}, fmt.Errorf("need -app or -file")
 	}
 }
 
-func parseObjective(s string) (mapping.Objective, error) {
-	switch s {
-	case "delay":
-		return mapping.MinDelay, nil
-	case "area":
-		return mapping.MinArea, nil
-	case "power":
-		return mapping.MinPower, nil
-	}
-	return 0, fmt.Errorf("unknown objective %q (want delay, area or power)", s)
-}
-
-func printResult(out io.Writer, app *sunmap.CoreGraph, r *sunmap.MapResult) {
+func printResult(out io.Writer, r *sunmap.DesignReport) {
 	fmt.Fprintf(out, "mapping on %s: avg hops %.3f, area %.2f mm^2, power %.1f mW, max link %.1f MB/s\n",
-		r.Topology.Name(), r.AvgHops, r.DesignAreaMM2, r.PowerMW, r.Route.MaxLinkLoad)
+		r.Topology, r.AvgHops, r.DesignAreaMM2, r.PowerMW, r.MaxLinkLoadMBps)
 	fmt.Fprintf(out, "feasible: bandwidth=%v area=%v aspect=%v, swaps applied: %d\n",
 		r.BandwidthOK, r.AreaOK, r.AspectOK, r.SwapsApplied)
-	for c, term := range r.Assign {
-		fmt.Fprintf(out, "  core %-12s -> terminal %d (router %d)\n",
-			app.Core(c).Name, term, r.Topology.InjectRouter(term))
+	for _, a := range r.Assign {
+		fmt.Fprintf(out, "  core %-12s -> terminal %d (router %d)\n", a.Core, a.Terminal, a.Router)
 	}
 }

@@ -1,17 +1,17 @@
 // Custom application: define a core graph in SUNMAP's text format (the
-// kind of file a user would write for their own SoC), load it, and explore
-// objectives across technology nodes — the design-space exploration the
-// paper's Section 1 advertises.
+// kind of file a user would write for their own SoC), embed it in a
+// request, and explore objectives across technology nodes — the
+// design-space exploration the paper's Section 1 advertises. One Session
+// hosts the whole 3x3 sweep; Batch fans the nine selections across the
+// engine pool and returns them in request order.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
-	"strings"
 
 	"sunmap"
-	"sunmap/internal/mapping"
-	"sunmap/internal/tech"
 )
 
 const design = `
@@ -38,44 +38,54 @@ flow cpu -> dma        20
 `
 
 func main() {
-	app, err := sunmap.LoadApp(strings.NewReader(design))
+	ctx := context.Background()
+	sess, err := sunmap.NewSession()
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("loaded:", app)
 
-	objectives := []struct {
-		name string
-		obj  mapping.Objective
-	}{
-		{"min-delay", sunmap.MinDelay},
-		{"min-area", sunmap.MinArea},
-		{"min-power", sunmap.MinPower},
-	}
-	nodes := []sunmap.Tech{tech.Tech130nm(), tech.Tech100nm(), tech.Tech65nm()}
+	objectives := []string{"delay", "area", "power"}
+	nodes := []string{"130nm", "100nm", "65nm"}
 
+	// One Request per (node, objective) pair; Batch preserves order, so
+	// reports[i] matches requests[i].
+	var requests []sunmap.Request
 	for _, node := range nodes {
-		fmt.Printf("\n--- %s ---\n", node.Name)
-		for _, o := range objectives {
-			sel, err := sunmap.Select(sunmap.SelectConfig{
-				App: app,
-				Mapping: sunmap.MapOptions{
-					Routing:      sunmap.MinPath,
-					Objective:    o.obj,
-					CapacityMBps: 500,
-					Tech:         node,
+		for _, obj := range objectives {
+			requests = append(requests, sunmap.Request{
+				ID: node + "/" + obj,
+				Op: sunmap.OpSelect,
+				Select: &sunmap.SelectRequest{
+					App: sunmap.AppSpec{Text: design},
+					Mapping: sunmap.MapSpec{
+						Routing:      "MP",
+						Objective:    obj,
+						CapacityMBps: 500,
+						Tech:         node,
+					},
 				},
 			})
-			if err != nil {
-				log.Fatal(err)
-			}
-			if sel.Best == nil {
-				fmt.Printf("%-10s no feasible topology\n", o.name)
-				continue
-			}
-			b := sel.Best
-			fmt.Printf("%-10s -> %-22s hops %.2f, %.1f mm2, %.1f mW\n",
-				o.name, b.Topology.Name(), b.AvgHops, b.DesignAreaMM2, b.PowerMW)
 		}
 	}
+	reports, err := sess.Batch(ctx, requests)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	i := 0
+	for _, node := range nodes {
+		fmt.Printf("\n--- %s ---\n", node)
+		for _, obj := range objectives {
+			rep := reports[i]
+			i++
+			if rep.Error != "" {
+				fmt.Printf("%-10s %s\n", "min-"+obj, rep.Error)
+				continue
+			}
+			b := rep.Select.Best
+			fmt.Printf("%-10s -> %-22s hops %.2f, %.1f mm2, %.1f mW\n",
+				"min-"+obj, rep.Select.Topology, b.AvgHops, b.DesignAreaMM2, b.PowerMW)
+		}
+	}
+	fmt.Printf("\ncache after the sweep: %+v\n", sess.CacheStats())
 }

@@ -17,15 +17,19 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"sunmap"
-	"sunmap/internal/topology"
 )
 
 func main() {
-	app := sunmap.App("mpeg4")
+	ctx := context.Background()
+	app, err := sunmap.AppByName("mpeg4")
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println("application:", app)
 
 	// Inspect the synthesized candidates on their own first.
@@ -36,52 +40,47 @@ func main() {
 	fmt.Printf("\nsynthesized candidates (switch radix <= 4):\n")
 	for _, c := range cands {
 		fmt.Printf("  %-26s %2d switches, %2d physical links, %2d terminals\n",
-			c.Name(), c.NumRouters(), topology.PhysicalLinks(c), c.NumTerminals())
+			c.Name(), c.NumRouters(), sunmap.PhysicalLinks(c), c.NumTerminals())
 	}
 
-	// One Select call: the full standard library plus the synthesized
-	// candidates, 700 MB/s links, min-delay objective.
-	sel, err := sunmap.Select(sunmap.SelectConfig{
-		App: app,
-		Mapping: sunmap.MapOptions{
-			Routing:      sunmap.MinPath,
-			Objective:    sunmap.MinDelay,
+	// One Select request on a synthesis-enabled session: the full standard
+	// library plus the synthesized candidates, 700 MB/s links, min-delay.
+	sess, err := sunmap.NewSession(sunmap.WithSynth(sunmap.SynthOptions{}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := sess.Select(ctx, sunmap.SelectRequest{
+		App: sunmap.AppSpec{Name: "mpeg4"},
+		Mapping: sunmap.MapSpec{
+			Routing:      "MP",
+			Objective:    "delay",
 			CapacityMBps: 700,
 		},
-		Synth: &sunmap.SynthOptions{},
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	fmt.Printf("\n%d candidates (%d synthesized), %d feasible at 700 MB/s links\n",
-		len(sel.Candidates), sel.SynthCount(), sel.FeasibleCount())
+		rep.Candidates, rep.Synthesized, rep.Feasible)
 	fmt.Printf("%-26s %8s %9s %10s %9s %9s\n",
 		"topology", "avg hops", "area mm2", "power mW", "max MB/s", "feasible")
-	for _, r := range sel.Summaries() {
+	for _, r := range rep.Rows {
 		fmt.Printf("%-26s %8.2f %9.2f %10.1f %9.1f %9v\n",
 			r.Topology, r.AvgHops, r.AreaMM2, r.PowerMW, r.MaxLoadMBps, r.Feasible)
 	}
 
-	if sel.Best == nil {
-		log.Fatal("no feasible topology — unexpected for this study")
-	}
-	best := sel.Best
+	best := rep.Best
 	fmt.Printf("\nselected: %s (avg hops %.2f, %.2f mm^2, %.1f mW)\n",
-		best.Topology.Name(), best.AvgHops, best.DesignAreaMM2, best.PowerMW)
+		rep.Topology, best.AvgHops, best.DesignAreaMM2, best.PowerMW)
 
 	// Synthesized winners flow through the rest of the pipeline unchanged:
-	// here the cycle-accurate simulator validates the selected network
-	// under uniform traffic.
-	routes, err := sunmap.BuildRoutes(best.Topology)
-	if err != nil {
-		log.Fatal(err)
-	}
-	stats, err := sunmap.Simulate(sunmap.SimConfig{
-		Topo:          best.Topology,
-		Routes:        routes,
-		Pattern:       sunmap.UniformPattern(),
-		InjectionRate: 0.1,
+	// the Select run registered the winner in the topology name registry,
+	// so a simulate request can reference it by name.
+	simRep, err := sess.Simulate(ctx, sunmap.SimRequest{
+		Topology:      rep.Topology,
+		Pattern:       "uniform",
+		Rates:         []float64{0.1},
 		Seed:          7,
 		WarmupCycles:  1000,
 		MeasureCycles: 4000,
@@ -90,6 +89,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	row := simRep.Rows[0]
 	fmt.Printf("simulated %s at 0.1 flits/cycle/terminal: avg latency %.1f cycles, throughput %.3f flits/cycle/terminal\n",
-		best.Topology.Name(), stats.AvgLatencyCycles, stats.ThroughputFPC)
+		simRep.Topology, row.AvgLatencyCycles, row.ThroughputFPC)
 }

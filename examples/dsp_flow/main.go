@@ -1,33 +1,38 @@
 // DSP end-to-end flow: reproduce Section 6.4 — run SUNMAP on the 6-core
 // DSP filter, verify the butterfly wins, print its floorplan (Fig. 10b),
 // simulate the mapped design with trace-driven traffic (Fig. 10c) and
-// emit the SystemC network (Fig. 11's artifact) to ./dsp_noc/.
+// emit the SystemC network (Fig. 11's artifact) to ./dsp_noc/. The whole
+// flow drives one Session, so the selection, the trace simulation's
+// mapping and the generation all share memoized design points.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"sunmap"
-	"sunmap/internal/sim"
-	"sunmap/internal/traffic"
 )
 
 func main() {
-	app := sunmap.App("dsp")
-	sel, err := sunmap.Select(sunmap.SelectConfig{
-		App: app,
-		Mapping: sunmap.MapOptions{
-			Routing:      sunmap.MinPath,
-			Objective:    sunmap.MinDelay,
-			CapacityMBps: 1000, // the DSP spine runs at 600 MB/s
-		},
-	})
+	ctx := context.Background()
+	sess, err := sunmap.NewSession()
 	if err != nil {
 		log.Fatal(err)
 	}
-	best := sel.Best
-	fmt.Printf("selected: %s (avg hops %.2f)\n", best.Topology.Name(), best.AvgHops)
+	app := sunmap.AppSpec{Name: "dsp"}
+	mapping := sunmap.MapSpec{
+		Routing:      "MP",
+		Objective:    "delay",
+		CapacityMBps: 1000, // the DSP spine runs at 600 MB/s
+	}
+
+	rep, err := sess.Select(ctx, sunmap.SelectRequest{App: app, Mapping: mapping})
+	if err != nil {
+		log.Fatal(err)
+	}
+	best := rep.Best
+	fmt.Printf("selected: %s (avg hops %.2f)\n", rep.Topology, best.AvgHops)
 
 	// Fig. 10(b): the butterfly floorplan.
 	if fp := best.Floorplan; fp != nil {
@@ -37,32 +42,30 @@ func main() {
 		}
 	}
 
-	// Fig. 10(c): trace-driven cycle-accurate latency of the mapping.
-	routes, err := sim.BuildRoutesFromResult(best.Topology, best.Assign, best.Route)
-	if err != nil {
-		log.Fatal(err)
-	}
-	trace, err := traffic.NewTrace(app, best.Assign)
-	if err != nil {
-		log.Fatal(err)
-	}
-	st, err := sunmap.Simulate(sunmap.SimConfig{
-		Topo:            best.Topology,
-		Routes:          routes,
-		Pattern:         trace,
-		SourceShare:     trace.SourceShare(),
-		ActiveTerminals: best.Assign,
-		InjectionRate:   0.15,
-		Seed:            11,
+	// Fig. 10(c): trace-driven cycle-accurate latency of the mapping. The
+	// "trace" pattern re-maps the app onto the topology (a session-cache
+	// hit) and replays its flows with bandwidth-proportional injection.
+	simRep, err := sess.Simulate(ctx, sunmap.SimRequest{
+		Topology: rep.Topology,
+		Pattern:  "trace",
+		App:      &app,
+		Mapping:  &mapping,
+		Rates:    []float64{0.15},
+		Seed:     11,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	row := simRep.Rows[0]
 	fmt.Printf("trace-driven avg packet latency: %.1f cycles over %d packets\n",
-		st.AvgLatencyCycles, st.MeasuredPackets)
+		row.AvgLatencyCycles, row.MeasuredPackets)
 
 	// Fig. 11: generate the SystemC design.
-	gen, err := sunmap.Generate(app, best, sunmap.Tech100nm())
+	gen, err := sess.Generate(ctx, sunmap.GenerateRequest{
+		App:      app,
+		Topology: rep.Topology,
+		Mapping:  mapping,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}

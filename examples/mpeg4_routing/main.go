@@ -2,10 +2,12 @@
 // decoder's 910 MB/s SDRAM flow defeats every single-path routing function
 // on a mesh; only traffic splitting fits under 500 MB/s links. The program
 // prints the Fig. 9(a) bandwidth bars and the Fig. 9(b) area-power Pareto
-// points.
+// points, both through one Session so the explorations share the
+// evaluation cache.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -13,39 +15,43 @@ import (
 )
 
 func main() {
-	app := sunmap.App("mpeg4")
-	mesh, err := sunmap.TopologyByName("mesh-3x4")
+	ctx := context.Background()
+	sess, err := sunmap.NewSession()
 	if err != nil {
 		log.Fatal(err)
 	}
+	app := sunmap.AppSpec{Name: "mpeg4"}
 
 	// Fig. 9(a): minimum required link bandwidth per routing function.
-	rows, err := sunmap.RoutingSweep(app, mesh, sunmap.MapOptions{
-		Objective:    sunmap.MinDelay,
-		CapacityMBps: 500,
+	sweep, err := sess.RoutingSweep(ctx, sunmap.SweepRequest{
+		App:      app,
+		Topology: "mesh-3x4",
+		Mapping:  sunmap.MapSpec{Objective: "delay", CapacityMBps: 500},
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("minimum required link bandwidth on", mesh.Name())
-	for _, r := range rows {
+	fmt.Println("minimum required link bandwidth on", sweep.Topology)
+	for _, r := range sweep.Rows {
 		marker := ""
-		if r.FeasibleAt500 {
-			marker = "  <- fits the 500 MB/s links"
+		if r.FeasibleAtCap {
+			marker = fmt.Sprintf("  <- fits the %.0f MB/s links", sweep.CapacityMBps)
 		}
-		fmt.Printf("  %-3v %8.1f MB/s%s\n", r.Function, r.RequiredMBps, marker)
+		fmt.Printf("  %-3s %8.1f MB/s%s\n", r.Function, r.RequiredMBps, marker)
 	}
 
 	// Fig. 9(b): area-power trade-off points under split routing.
-	pts, err := sunmap.ParetoExplore(app, mesh, sunmap.MapOptions{
-		Routing:      sunmap.SplitMin,
-		CapacityMBps: 500,
-	}, 4)
+	pareto, err := sess.ParetoExplore(ctx, sunmap.ParetoRequest{
+		App:      app,
+		Topology: "mesh-3x4",
+		Mapping:  sunmap.MapSpec{Routing: "SM", CapacityMBps: 500},
+		Steps:    4,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("\narea-power design points (P = Pareto-optimal):")
-	for _, p := range pts {
+	for _, p := range pareto.Points {
 		mark := " "
 		if p.Dominant {
 			mark = "P"

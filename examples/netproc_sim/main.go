@@ -1,43 +1,42 @@
 // NetProc latency study: reproduce Fig. 8(b) — simulate the 16-node
 // network processor's candidate topologies under adversarial traffic and
 // watch the Clos network's path diversity win at high injection rates.
+// Each topology is one Session.Simulate request sweeping the full rate
+// list.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"sunmap"
-	"sunmap/internal/sim"
 )
 
 func main() {
+	ctx := context.Background()
 	rates := []float64{0.05, 0.1, 0.2, 0.3, 0.4, 0.5}
 	names := []string{"mesh-4x4", "torus-4x4", "clos-m4n4r4", "butterfly-4ary2fly"}
 
-	curves := make(map[string][]*sunmap.SimStats)
+	sess, err := sunmap.NewSession()
+	if err != nil {
+		log.Fatal(err)
+	}
+	curves := make(map[string]*sunmap.SimReport)
 	for _, name := range names {
-		topo, err := sunmap.TopologyByName(name)
-		if err != nil {
-			log.Fatal(err)
-		}
-		routes, err := sunmap.BuildRoutes(topo)
-		if err != nil {
-			log.Fatal(err)
-		}
-		stats, err := sim.Sweep(sunmap.SimConfig{
-			Topo:          topo,
-			Routes:        routes,
-			Pattern:       sunmap.AdversarialPattern(topo),
+		rep, err := sess.Simulate(ctx, sunmap.SimRequest{
+			Topology:      name,
+			Pattern:       "adversarial",
+			Rates:         rates,
 			Seed:          7,
 			WarmupCycles:  1000,
 			MeasureCycles: 4000,
 			DrainCycles:   6000,
-		}, rates)
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
-		curves[name] = stats
+		curves[name] = rep
 	}
 
 	fmt.Printf("avg packet latency (cycles), adversarial traffic per topology\n")
@@ -49,9 +48,9 @@ func main() {
 	for i, rate := range rates {
 		fmt.Printf("%-6.2f", rate)
 		for _, n := range names {
-			st := curves[n][i]
-			cell := fmt.Sprintf("%.1f", st.AvgLatencyCycles)
-			if st.Saturated {
+			row := curves[n].Rows[i]
+			cell := fmt.Sprintf("%.1f", row.AvgLatencyCycles)
+			if row.Saturated {
 				cell += " (sat)"
 			}
 			fmt.Printf(" %20s", cell)

@@ -1,9 +1,11 @@
-// Quickstart: run the full SUNMAP flow on the VOPD benchmark — select the
-// best topology under a min-delay objective with 500 MB/s links and print
-// the winning mapping (Section 6.1 of the paper; the butterfly wins).
+// Quickstart: run the full SUNMAP flow on the VOPD benchmark through the
+// Session API — select the best topology under a min-delay objective with
+// 500 MB/s links, print the winning mapping, and generate the SystemC
+// design (Section 6.1 of the paper; the butterfly wins).
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -11,14 +13,17 @@ import (
 )
 
 func main() {
-	app := sunmap.App("vopd")
-	fmt.Println("application:", app)
+	ctx := context.Background()
+	sess, err := sunmap.NewSession()
+	if err != nil {
+		log.Fatal(err)
+	}
 
-	sel, err := sunmap.Select(sunmap.SelectConfig{
-		App: app,
-		Mapping: sunmap.MapOptions{
-			Routing:      sunmap.MinPath,
-			Objective:    sunmap.MinDelay,
+	rep, err := sess.Select(ctx, sunmap.SelectRequest{
+		App: sunmap.AppSpec{Name: "vopd"},
+		Mapping: sunmap.MapSpec{
+			Routing:      "MP",
+			Objective:    "delay",
 			CapacityMBps: 500,
 		},
 	})
@@ -26,22 +31,30 @@ func main() {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("\n%-22s %8s %9s %10s\n", "topology", "avg hops", "area mm2", "power mW")
-	for _, r := range sel.Summaries() {
+	fmt.Printf("%-22s %8s %9s %10s\n", "topology", "avg hops", "area mm2", "power mW")
+	for _, r := range rep.Rows {
 		fmt.Printf("%-22s %8.2f %9.2f %10.1f\n", r.Topology, r.AvgHops, r.AreaMM2, r.PowerMW)
 	}
 
-	best := sel.Best
-	fmt.Printf("\nselected: %s (avg hops %.2f, %.1f mW)\n",
-		best.Topology.Name(), best.AvgHops, best.PowerMW)
-	for c, term := range best.Assign {
-		fmt.Printf("  %-8s -> terminal %d\n", app.Core(c).Name, term)
+	best := rep.Best
+	fmt.Printf("\nselected: %s (avg hops %.2f, %.1f mW)\n", rep.Topology, best.AvgHops, best.PowerMW)
+	for _, a := range best.Assign {
+		fmt.Printf("  %-8s -> terminal %d\n", a.Core, a.Terminal)
 	}
 
-	// Phase 3: generate the SystemC network description.
-	gen, err := sunmap.Generate(app, best, sunmap.Tech100nm())
+	// Phase 3: generate the SystemC network description. The mapping
+	// replays from the session cache — no re-evaluation.
+	gen, err := sess.Generate(ctx, sunmap.GenerateRequest{
+		App:      sunmap.AppSpec{Name: "vopd"},
+		Topology: rep.Topology,
+		Mapping:  sunmap.MapSpec{CapacityMBps: 500},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\ngenerated SystemC files: %v\n", gen.FileNames())
+	names := make([]string, 0, len(gen.Files))
+	for _, f := range gen.Files {
+		names = append(names, f.Name)
+	}
+	fmt.Printf("\ngenerated SystemC files: %v\n", names)
 }

@@ -19,6 +19,7 @@ import (
 	"sunmap/internal/engine"
 	"sunmap/internal/graph"
 	"sunmap/internal/mapping"
+	"sunmap/internal/pool"
 	"sunmap/internal/route"
 	"sunmap/internal/synth"
 	"sunmap/internal/topology"
@@ -63,6 +64,9 @@ type Config struct {
 	Cache *engine.Cache
 	// Progress, when non-nil, streams one event per evaluated candidate.
 	Progress engine.Progress
+	// Limit, when non-nil, bounds in-flight mapping evaluations across
+	// concurrent Select/explore calls sharing it (see engine.Options.Limit).
+	Limit *pool.Limiter
 }
 
 // Candidate is one evaluated (topology, mapping) pair.
@@ -191,27 +195,27 @@ func SelectContext(ctx context.Context, cfg Config) (*Selection, error) {
 		return nil, fmt.Errorf("core: nil application")
 	}
 	if err := cfg.App.Validate(); err != nil {
-		return nil, fmt.Errorf("core: %v", err)
+		return nil, fmt.Errorf("core: %w", err)
 	}
 	lib := cfg.Library
 	if lib == nil {
 		var err error
 		lib, err = topology.Library(cfg.App.NumCores(), cfg.LibraryOpts)
 		if err != nil {
-			return nil, fmt.Errorf("core: %v", err)
+			return nil, fmt.Errorf("core: %w", err)
 		}
 	}
 	if cfg.Synth != nil {
 		cands, err := synth.Candidates(cfg.App, *cfg.Synth)
 		if err != nil {
-			return nil, fmt.Errorf("core: %v", err)
+			return nil, fmt.Errorf("core: %w", err)
 		}
 		lib = append(append([]topology.Topology(nil), lib...), cands...)
 	}
 	if len(lib) == 0 {
 		return nil, fmt.Errorf("core: empty topology library")
 	}
-	eo := engine.Options{Parallelism: cfg.Parallelism, Cache: cfg.Cache, Progress: cfg.Progress}
+	eo := engine.Options{Parallelism: cfg.Parallelism, Cache: cfg.Cache, Progress: cfg.Progress, Limit: cfg.Limit}
 
 	fns := []route.Function{cfg.Mapping.Routing}
 	if cfg.EscalateRouting {
@@ -261,7 +265,7 @@ func phase2(outcomes []engine.Outcome) (*Selection, error) {
 		}
 	}
 	if allFailed {
-		return nil, fmt.Errorf("core: every topology failed to map: %v", s.Candidates[0].MapErr)
+		return nil, fmt.Errorf("core: every topology failed to map: %w", s.Candidates[0].MapErr)
 	}
 	best := -1
 	for i, c := range s.Candidates {

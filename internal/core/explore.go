@@ -53,7 +53,7 @@ func RoutingSweepContext(ctx context.Context, app *graph.CoreGraph, topo topolog
 	rows := make([]RoutingSweepRow, 0, len(outcomes))
 	for i, o := range outcomes {
 		if o.Err != nil {
-			return nil, fmt.Errorf("core: routing sweep %v: %v", escalation[i], o.Err)
+			return nil, fmt.Errorf("core: routing sweep %v: %w", escalation[i], o.Err)
 		}
 		res := o.Result
 		rows = append(rows, RoutingSweepRow{
@@ -125,7 +125,7 @@ func ParetoExploreContext(ctx context.Context, app *graph.CoreGraph, topo topolo
 	var pts []ParetoPoint
 	for i, o := range outcomes {
 		if o.Err != nil {
-			return nil, fmt.Errorf("core: pareto explore: %v", o.Err)
+			return nil, fmt.Errorf("core: pareto explore: %w", o.Err)
 		}
 		res := o.Result
 		if !res.Feasible() {

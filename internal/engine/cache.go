@@ -90,12 +90,14 @@ func (c *Cache) put(key string, e entry) {
 	c.mu.Unlock()
 }
 
-// CacheStats snapshots cache effectiveness.
+// CacheStats snapshots cache effectiveness. The JSON names are part of
+// the serve layer's wire schema (BatchResponse.cache).
 type CacheStats struct {
 	// Hits and Misses count lookups since creation.
-	Hits, Misses uint64
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
 	// Entries is the number of memoized evaluations.
-	Entries int
+	Entries int `json:"entries"`
 }
 
 // Stats returns a snapshot of the cache counters.

@@ -14,6 +14,8 @@ package engine
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"runtime"
 	"sync"
 	"time"
@@ -63,6 +65,11 @@ type Event struct {
 // block for long.
 type Progress func(Event)
 
+// ErrPanic marks an Outcome.Err produced by recovering a panic in an
+// evaluation, distinguishing genuine internal faults from the ordinary
+// structural mapping failures (bad client input) sharing the error slot.
+var ErrPanic = errors.New("engine: evaluation panic")
+
 // Options tunes one engine run.
 type Options struct {
 	// Parallelism bounds the worker pool. 0 (or negative) selects
@@ -72,6 +79,12 @@ type Options struct {
 	Cache *Cache
 	// Progress, when non-nil, streams per-job completion events.
 	Progress Progress
+	// Limit, when non-nil, is a shared admission semaphore: each mapping
+	// evaluation (cache hits excluded) holds one slot while it runs, so
+	// several concurrent engine calls — e.g. the requests of one
+	// Session.Batch — share a single session-wide parallelism budget
+	// instead of multiplying their pools.
+	Limit *pool.Limiter
 }
 
 func (o Options) workers(jobs int) int {
@@ -150,8 +163,23 @@ func Evaluate(ctx context.Context, app *graph.CoreGraph, jobs []Job, eo Options)
 				return
 			}
 		}
-		start := time.Now()
-		res, err := mapping.MapContext(ctx, app, j.Topo, j.Opts)
+		if err := eo.Limit.Acquire(ctx); err != nil {
+			return // canceled while queued for a session slot
+		}
+		start := time.Now() // after Acquire: Elapsed is evaluation time, not queue wait
+		res, err := func() (res *mapping.Result, err error) {
+			defer eo.Limit.Release()
+			// Worker goroutines must not take the process down: a panic in
+			// an evaluation (e.g. on an adversarial input) becomes this
+			// job's error outcome, preserving the isolation contract that
+			// Session.Do/Batch and the serve layer promise.
+			defer func() {
+				if r := recover(); r != nil {
+					res, err = nil, fmt.Errorf("%w evaluating %s: %v", ErrPanic, j.Topo.Name(), r)
+				}
+			}()
+			return mapping.MapContext(ctx, app, j.Topo, j.Opts)
+		}()
 		if ctx.Err() != nil {
 			return // canceled mid-map: don't cache or report partial work
 		}

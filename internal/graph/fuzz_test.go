@@ -1,0 +1,39 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse drives the text-format parser with arbitrary input: it must
+// never panic, and any graph it accepts must already be validated.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"# just a comment\n",
+		"app vopd\ncore a area=2.0\ncore b area=3.0 soft\nflow a -> b 70\n",
+		"core a area=2\ncore b area=6 soft aspect=0.5,2.0\nflow a -> b 100\nflow b -> a 50\n",
+		"app x\ncore a\ncore b area=1e3\nflow a -> b 0.5\n",
+		"core a area=2 aspect=1,1\nflow a -> a 1\n",
+		"flow a -> b 70\n",
+		"core a area=nope\n",
+		"app\n",
+		"bogus line here\n",
+		"core a area=2\ncore a area=3\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		g, err := Parse(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		if g == nil {
+			t.Fatal("Parse returned nil graph and nil error")
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("Parse accepted an invalid graph: %v\ninput: %q", err, src)
+		}
+	})
+}

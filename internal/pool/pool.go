@@ -9,8 +9,57 @@ package pool
 
 import (
 	"context"
+	"runtime"
 	"sync"
 )
+
+// Limiter is a counting semaphore bounding how many evaluations run at
+// once across any number of concurrent ForEach/engine calls. A Session
+// owns one Limiter for its lifetime, so a batch of requests fanned out
+// concurrently still keeps the process-wide mapping work within the
+// session's parallelism budget.
+type Limiter struct {
+	ch chan struct{}
+}
+
+// NewLimiter returns a limiter admitting n concurrent holders; n <= 0
+// selects GOMAXPROCS.
+func NewLimiter(n int) *Limiter {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	return &Limiter{ch: make(chan struct{}, n)}
+}
+
+// Acquire blocks until a slot is free or ctx is done, returning the
+// context's error in the latter case. A nil Limiter admits immediately.
+func (l *Limiter) Acquire(ctx context.Context) error {
+	if l == nil {
+		return nil
+	}
+	select {
+	case l.ch <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Release frees a slot taken by a successful Acquire.
+func (l *Limiter) Release() {
+	if l == nil {
+		return
+	}
+	<-l.ch
+}
+
+// Cap returns the limiter's concurrency bound (0 for nil).
+func (l *Limiter) Cap() int {
+	if l == nil {
+		return 0
+	}
+	return cap(l.ch)
+}
 
 // ForEach runs fn(i) for every i in [0, n) on up to workers goroutines
 // (clamped to [1, n]). With one worker it runs inline in index order.

@@ -104,6 +104,16 @@ func Sweep(cfg Config, rates []float64) ([]*Stats, error) {
 // per-rate failure cancels the remaining simulations, matching the
 // sequential sweep's abort-at-first-error behavior.
 func SweepContext(parent context.Context, cfg Config, rates []float64, parallelism int) ([]*Stats, error) {
+	return SweepLimited(parent, cfg, rates, parallelism, nil)
+}
+
+// SweepLimited is SweepContext gated by a shared admission semaphore:
+// each per-rate run holds one limit slot while simulating, so concurrent
+// sweeps (e.g. the simulate requests of one Session.Batch) share a single
+// session-wide parallelism budget instead of multiplying their pools. A
+// nil limit admits freely. Panics in a simulation become that rate's
+// error instead of crashing the worker goroutine's process.
+func SweepLimited(parent context.Context, cfg Config, rates []float64, parallelism int, limit *pool.Limiter) ([]*Stats, error) {
 	if parallelism <= 0 {
 		parallelism = runtime.GOMAXPROCS(0)
 	}
@@ -115,9 +125,20 @@ func SweepContext(parent context.Context, cfg Config, rates []float64, paralleli
 	out := make([]*Stats, len(rates))
 	errs := make([]error, len(rates))
 	pool.ForEach(ctx, len(rates), parallelism, func(i int) {
+		if err := limit.Acquire(ctx); err != nil {
+			return // canceled while queued for a session slot
+		}
 		c := cfg
 		c.InjectionRate = rates[i]
-		st, err := RunContext(ctx, c)
+		st, err := func() (st *Stats, err error) {
+			defer limit.Release()
+			defer func() {
+				if r := recover(); r != nil {
+					st, err = nil, fmt.Errorf("panic at rate %g: %v", rates[i], r)
+				}
+			}()
+			return RunContext(ctx, c)
+		}()
 		if err != nil {
 			// A cancellation-induced abort isn't this rate's fault; the
 			// genuine failure (or the parent's error) is reported by

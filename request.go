@@ -1,0 +1,598 @@
+package sunmap
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"sunmap/internal/apps"
+	"sunmap/internal/graph"
+	"sunmap/internal/mapping"
+	"sunmap/internal/route"
+	"sunmap/internal/synth"
+	"sunmap/internal/tech"
+)
+
+// This file defines the serializable Request/Report schema of the Session
+// API: every field is a plain Go value with stable JSON names, so a
+// Request marshals, travels over the serve layer (or a job queue, or a
+// config file) and decodes back without loss, and a Report is the exact
+// JSON the `sunmap serve` front-end returns.
+
+// Request ops understood by Session.Do and the serve layer.
+const (
+	OpSelect       = "select"
+	OpMap          = "map"
+	OpRoutingSweep = "routing-sweep"
+	OpPareto       = "pareto"
+	OpSimulate     = "simulate"
+	OpGenerate     = "generate"
+)
+
+// CoreSpec is one IP block of an inline application graph.
+type CoreSpec struct {
+	Name      string  `json:"name"`
+	AreaMM2   float64 `json:"area_mm2"`
+	Soft      bool    `json:"soft,omitempty"`
+	MinAspect float64 `json:"min_aspect,omitempty"`
+	MaxAspect float64 `json:"max_aspect,omitempty"`
+}
+
+// FlowSpec is one directed bandwidth-weighted flow of an inline
+// application graph.
+type FlowSpec struct {
+	From string  `json:"from"`
+	To   string  `json:"to"`
+	MBps float64 `json:"mbps"`
+}
+
+// AppSpec names or embeds the application core graph of a request.
+// Exactly one source must be given: Name (a built-in benchmark), Text
+// (SUNMAP's text format, as accepted by LoadApp), or Cores+Flows (a
+// structured inline graph; Label names it, defaulting to "app").
+//
+// The app's name/label also names any topologies synthesized for it
+// (e.g. "synth-cluster4r4-mpeg4") in the process-wide registry behind
+// TopologyByName, where the newest registration of a name wins. In a
+// long-running synthesis-enabled service, give distinct inline apps
+// distinct labels, or later by-name lookups (map/simulate a reported
+// winner) may resolve a newer same-named app's topology. The evaluation
+// cache itself is collision-proof — it keys on structural digests, not
+// names.
+type AppSpec struct {
+	Name  string     `json:"name,omitempty"`
+	Text  string     `json:"text,omitempty"`
+	Label string     `json:"label,omitempty"`
+	Cores []CoreSpec `json:"cores,omitempty"`
+	Flows []FlowSpec `json:"flows,omitempty"`
+}
+
+// resolve materializes the core graph an AppSpec describes.
+func (a AppSpec) resolve() (*graph.CoreGraph, error) {
+	sources := 0
+	if a.Name != "" {
+		sources++
+	}
+	if a.Text != "" {
+		sources++
+	}
+	if len(a.Cores) > 0 {
+		sources++
+	}
+	if sources != 1 {
+		return nil, fmt.Errorf("%w: app wants exactly one of name, text or cores (got %d sources)", ErrBadRequest, sources)
+	}
+	switch {
+	case a.Name != "":
+		g, err := apps.ByName(a.Name)
+		if err != nil {
+			return nil, fmt.Errorf("%w %q (want one of %v)", ErrUnknownApp, a.Name, apps.Names())
+		}
+		return g, nil
+	case a.Text != "":
+		g, err := graph.Parse(strings.NewReader(a.Text))
+		if err != nil {
+			return nil, fmt.Errorf("%w: %w", ErrBadRequest, err)
+		}
+		return g, nil
+	default:
+		label := a.Label
+		if label == "" {
+			label = "app"
+		}
+		g := graph.NewCoreGraph(label)
+		for _, c := range a.Cores {
+			if _, err := g.AddCore(graph.Core{
+				Name: c.Name, AreaMM2: c.AreaMM2, Soft: c.Soft,
+				MinAspect: c.MinAspect, MaxAspect: c.MaxAspect,
+			}); err != nil {
+				return nil, fmt.Errorf("%w: %w", ErrBadRequest, err)
+			}
+		}
+		for _, f := range a.Flows {
+			if err := g.Connect(f.From, f.To, f.MBps); err != nil {
+				return nil, fmt.Errorf("%w: %w", ErrBadRequest, err)
+			}
+		}
+		if err := g.Validate(); err != nil {
+			return nil, fmt.Errorf("%w: %w", ErrBadRequest, err)
+		}
+		return g, nil
+	}
+}
+
+// MapSpec is the serializable form of MapOptions: routing function and
+// objective by their paper abbreviations, technology node by name.
+// Zero values select the defaults (MP routing, min-delay objective, the
+// session's technology point, unconstrained capacity/area).
+type MapSpec struct {
+	// Routing is "DO", "MP", "SM" or "SA" (default "MP").
+	Routing string `json:"routing,omitempty"`
+	// Objective is "delay", "area", "power" or "weighted" (default
+	// "delay"); the min- prefixed spellings are also accepted.
+	Objective   string  `json:"objective,omitempty"`
+	WeightDelay float64 `json:"weight_delay,omitempty"`
+	WeightArea  float64 `json:"weight_area,omitempty"`
+	WeightPower float64 `json:"weight_power,omitempty"`
+	// CapacityMBps is the uniform link capacity (0 = unconstrained).
+	CapacityMBps float64 `json:"capacity_mbps,omitempty"`
+	// MaxAreaMM2 bounds the floorplanned chip area (0 = unconstrained).
+	MaxAreaMM2 float64 `json:"max_area_mm2,omitempty"`
+	// MaxChipAspect bounds the chip aspect ratio (0 = unconstrained).
+	MaxChipAspect float64 `json:"max_chip_aspect,omitempty"`
+	// Tech names the technology node ("130nm", "100nm", "90nm", "65nm");
+	// empty selects the session's WithTech point (default 100nm).
+	Tech string `json:"tech,omitempty"`
+	// SwapPasses caps improvement passes (0 = iterate to convergence).
+	SwapPasses int `json:"swap_passes,omitempty"`
+	// Chunks is the traffic-splitting granularity for SM/SA.
+	Chunks int `json:"chunks,omitempty"`
+}
+
+// options lowers the spec onto mapping.Options, filling empty fields from
+// the session defaults.
+func (m MapSpec) options(sessionTech Tech) (mapping.Options, error) {
+	opts := mapping.Options{
+		CapacityMBps:  m.CapacityMBps,
+		MaxAreaMM2:    m.MaxAreaMM2,
+		MaxChipAspect: m.MaxChipAspect,
+		SwapPasses:    m.SwapPasses,
+		Chunks:        m.Chunks,
+		Tech:          sessionTech,
+	}
+	if m.Routing != "" {
+		fn, err := route.ParseFunction(m.Routing)
+		if err != nil {
+			return opts, fmt.Errorf("%w: %w", ErrBadRequest, err)
+		}
+		opts.Routing = fn
+	} else {
+		opts.Routing = route.MinPath
+	}
+	switch strings.TrimPrefix(m.Objective, "min-") {
+	case "", "delay":
+		opts.Objective = mapping.MinDelay
+	case "area":
+		opts.Objective = mapping.MinArea
+	case "power":
+		opts.Objective = mapping.MinPower
+	case "weighted":
+		opts.Objective = mapping.Weighted
+		opts.Weights = mapping.Weights{Delay: m.WeightDelay, Area: m.WeightArea, Power: m.WeightPower}
+	default:
+		return opts, fmt.Errorf("%w: unknown objective %q (want delay, area, power or weighted)", ErrBadRequest, m.Objective)
+	}
+	if m.Tech != "" {
+		tc, err := tech.ByName(m.Tech)
+		if err != nil {
+			return opts, fmt.Errorf("%w: %w", ErrBadRequest, err)
+		}
+		opts.Tech = tc
+	}
+	return opts, nil
+}
+
+// SynthSpec is the serializable form of SynthOptions.
+type SynthSpec struct {
+	MaxRadix     int   `json:"max_radix,omitempty"`
+	ClusterSizes []int `json:"cluster_sizes,omitempty"`
+}
+
+func (s SynthSpec) options() synth.Options {
+	return synth.Options{MaxRadix: s.MaxRadix, ClusterSizes: s.ClusterSizes}
+}
+
+// SelectRequest asks for a full two-phase topology selection.
+type SelectRequest struct {
+	App     AppSpec `json:"app"`
+	Mapping MapSpec `json:"mapping"`
+	// Escalate retries with more flexible routing (MP -> SM -> SA) when
+	// nothing is feasible (Section 6.1).
+	Escalate bool `json:"escalate,omitempty"`
+	// Synth overrides the session's synthesis options for this request
+	// (nil inherits WithSynth).
+	Synth *SynthSpec `json:"synth,omitempty"`
+}
+
+// MapRequest asks for one mapping onto a named topology.
+type MapRequest struct {
+	App      AppSpec `json:"app"`
+	Topology string  `json:"topology"`
+	Mapping  MapSpec `json:"mapping"`
+}
+
+// SweepRequest asks for the per-routing-function minimum-bandwidth sweep
+// of Fig. 9(a).
+type SweepRequest struct {
+	App      AppSpec `json:"app"`
+	Topology string  `json:"topology"`
+	Mapping  MapSpec `json:"mapping"`
+}
+
+// ParetoRequest asks for the area-power design-space exploration of
+// Fig. 9(b). Steps controls the weight-grid resolution (default 5).
+type ParetoRequest struct {
+	App      AppSpec `json:"app"`
+	Topology string  `json:"topology"`
+	Mapping  MapSpec `json:"mapping"`
+	Steps    int     `json:"steps,omitempty"`
+}
+
+// SimRequest asks for cycle-accurate simulation of a topology across one
+// or more injection rates.
+type SimRequest struct {
+	Topology string `json:"topology"`
+	// Pattern is "uniform", "transpose", "tornado", "bit-complement",
+	// "bit-reverse", "shuffle", "hotspot", "adversarial" or "trace"
+	// (default "uniform"). "trace" replays the App's flows over its
+	// optimized mapping onto Topology (the Fig. 10c methodology) and
+	// requires App; Mapping then tunes that mapping.
+	Pattern     string  `json:"pattern,omitempty"`
+	HotspotNode int     `json:"hotspot_node,omitempty"`
+	HotspotFrac float64 `json:"hotspot_frac,omitempty"`
+	// Rates lists the injection rates (flits/cycle/terminal) to sweep.
+	Rates         []float64 `json:"rates"`
+	PacketFlits   int       `json:"packet_flits,omitempty"`
+	BufDepthFlits int       `json:"buf_depth_flits,omitempty"`
+	ChannelDelay  int       `json:"channel_delay,omitempty"`
+	RouterDelay   int       `json:"router_delay,omitempty"`
+	WarmupCycles  int       `json:"warmup_cycles,omitempty"`
+	MeasureCycles int       `json:"measure_cycles,omitempty"`
+	DrainCycles   int       `json:"drain_cycles,omitempty"`
+	Seed          int64     `json:"seed,omitempty"`
+	App           *AppSpec  `json:"app,omitempty"`
+	Mapping       *MapSpec  `json:"mapping,omitempty"`
+}
+
+// GenerateRequest asks for the SystemC description of a mapped design
+// (Phase 3). With Topology empty, a full selection picks the network
+// first (honoring Escalate); otherwise the app is mapped onto the named
+// topology.
+type GenerateRequest struct {
+	App      AppSpec `json:"app"`
+	Topology string  `json:"topology,omitempty"`
+	Mapping  MapSpec `json:"mapping"`
+	Escalate bool    `json:"escalate,omitempty"`
+}
+
+// Request is the serializable union Session.Do, Session.Batch and the
+// serve layer consume: Op picks the operation, and exactly the matching
+// payload field must be set.
+type Request struct {
+	// ID is an opaque correlation tag echoed into the Report.
+	ID string `json:"id,omitempty"`
+	// Op is one of the Op* constants.
+	Op string `json:"op"`
+	// TimeoutMS bounds this request's processing time (0 = no per-request
+	// limit beyond the batch context and the serve layer's default).
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+
+	Select       *SelectRequest   `json:"select,omitempty"`
+	Map          *MapRequest      `json:"map,omitempty"`
+	RoutingSweep *SweepRequest    `json:"routing_sweep,omitempty"`
+	Pareto       *ParetoRequest   `json:"pareto,omitempty"`
+	Simulate     *SimRequest      `json:"simulate,omitempty"`
+	Generate     *GenerateRequest `json:"generate,omitempty"`
+}
+
+// Validate checks the op tag and payload shape; violations wrap
+// ErrBadRequest.
+func (r *Request) Validate() error {
+	set := 0
+	for _, p := range []bool{
+		r.Select != nil, r.Map != nil, r.RoutingSweep != nil,
+		r.Pareto != nil, r.Simulate != nil, r.Generate != nil,
+	} {
+		if p {
+			set++
+		}
+	}
+	if set != 1 {
+		return fmt.Errorf("%w: want exactly one payload, got %d", ErrBadRequest, set)
+	}
+	var want bool
+	switch r.Op {
+	case OpSelect:
+		want = r.Select != nil
+	case OpMap:
+		want = r.Map != nil
+	case OpRoutingSweep:
+		want = r.RoutingSweep != nil
+	case OpPareto:
+		want = r.Pareto != nil
+	case OpSimulate:
+		want = r.Simulate != nil
+	case OpGenerate:
+		want = r.Generate != nil
+	default:
+		return fmt.Errorf("%w: unknown op %q", ErrBadRequest, r.Op)
+	}
+	if !want {
+		return fmt.Errorf("%w: op %q without matching payload", ErrBadRequest, r.Op)
+	}
+	if r.TimeoutMS < 0 {
+		return fmt.Errorf("%w: negative timeout_ms %d", ErrBadRequest, r.TimeoutMS)
+	}
+	return nil
+}
+
+// ParseRequest strictly decodes one Request from JSON (unknown fields
+// and trailing data are rejected) and validates it. Decode and
+// validation failures wrap ErrBadRequest.
+func ParseRequest(data []byte) (*Request, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var r Request
+	if err := dec.Decode(&r); err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrBadRequest, err)
+	}
+	if err := expectEOF(dec); err != nil {
+		return nil, err
+	}
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// expectEOF rejects bytes after the first JSON value — the other half of
+// the strict-decoding contract.
+func expectEOF(dec *json.Decoder) error {
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		return fmt.Errorf("%w: trailing data after JSON value", ErrBadRequest)
+	}
+	return nil
+}
+
+// Error kinds recorded in Report.ErrorKind, so wire consumers can branch
+// without parsing error strings (the serve layer maps them to HTTP
+// statuses).
+const (
+	ErrorKindBadRequest = "bad_request"
+	ErrorKindInfeasible = "infeasible"
+	ErrorKindCanceled   = "canceled"
+	ErrorKindInternal   = "internal"
+)
+
+// Report is the serializable outcome of one Request: the payload field
+// matching Op is set on success; Error/ErrorKind record failures. An
+// infeasible selection carries both the error and the evaluated Select
+// report, so clients can still inspect the candidate table.
+type Report struct {
+	ID    string `json:"id,omitempty"`
+	Op    string `json:"op"`
+	Error string `json:"error,omitempty"`
+	// ErrorKind is one of the ErrorKind* constants when Error is set.
+	ErrorKind string `json:"error_kind,omitempty"`
+
+	Select       *SelectReport   `json:"select,omitempty"`
+	Map          *DesignReport   `json:"map,omitempty"`
+	RoutingSweep *SweepReport    `json:"routing_sweep,omitempty"`
+	Pareto       *ParetoReport   `json:"pareto,omitempty"`
+	Simulate     *SimReport      `json:"simulate,omitempty"`
+	Generate     *GenerateReport `json:"generate,omitempty"`
+}
+
+// ParseReport strictly decodes one Report from JSON (unknown fields and
+// trailing data are rejected).
+func ParseReport(data []byte) (*Report, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var r Report
+	if err := dec.Decode(&r); err != nil {
+		return nil, fmt.Errorf("sunmap: report: %w", err)
+	}
+	if err := expectEOF(dec); err != nil {
+		return nil, fmt.Errorf("sunmap: report: %w", err)
+	}
+	return &r, nil
+}
+
+// Err reconstructs a Go error from a failed Report, wrapping the matching
+// sentinel so errors.Is works across the wire; a successful Report
+// returns nil. The canceled kind covers both cancellation and deadline
+// expiry on the server and unwraps to context.Canceled.
+func (r *Report) Err() error {
+	if r.Error == "" {
+		return nil
+	}
+	switch r.ErrorKind {
+	case ErrorKindBadRequest:
+		return fmt.Errorf("%w: %s", ErrBadRequest, r.Error)
+	case ErrorKindInfeasible:
+		return fmt.Errorf("%w: %s", ErrInfeasible, r.Error)
+	case ErrorKindCanceled:
+		return fmt.Errorf("%w: %s", context.Canceled, r.Error)
+	default:
+		return fmt.Errorf("sunmap: %s", r.Error)
+	}
+}
+
+// TopologyRow is one per-candidate line of a SelectReport — the
+// serializable cousin of SummaryRow.
+type TopologyRow struct {
+	Topology    string  `json:"topology"`
+	Kind        string  `json:"kind"`
+	AvgHops     float64 `json:"avg_hops"`
+	AreaMM2     float64 `json:"area_mm2"`
+	PowerMW     float64 `json:"power_mw"`
+	Switches    int     `json:"switches"`
+	Links       int     `json:"links"`
+	MaxLoadMBps float64 `json:"max_load_mbps"`
+	Feasible    bool    `json:"feasible"`
+}
+
+// AssignRow records where one core landed, in core-graph order.
+type AssignRow struct {
+	Core     string `json:"core"`
+	Terminal int    `json:"terminal"`
+	Router   int    `json:"router"`
+}
+
+// BlockRow is one placed block of a floorplan.
+type BlockRow struct {
+	Name string  `json:"name"`
+	X    float64 `json:"x"`
+	Y    float64 `json:"y"`
+	W    float64 `json:"w"`
+	H    float64 `json:"h"`
+}
+
+// FloorplanReport is the exact LP floorplan of a mapped design.
+type FloorplanReport struct {
+	ChipWMM float64    `json:"chip_w_mm"`
+	ChipHMM float64    `json:"chip_h_mm"`
+	Blocks  []BlockRow `json:"blocks"`
+}
+
+// DesignReport is one mapped, evaluated design point — the serializable
+// cousin of MapResult, and the payload of an OpMap Report.
+type DesignReport struct {
+	Topology        string           `json:"topology"`
+	AvgHops         float64          `json:"avg_hops"`
+	DesignAreaMM2   float64          `json:"design_area_mm2"`
+	ChipAreaMM2     float64          `json:"chip_area_mm2"`
+	NetworkAreaMM2  float64          `json:"network_area_mm2"`
+	PowerMW         float64          `json:"power_mw"`
+	MaxLinkLoadMBps float64          `json:"max_link_load_mbps"`
+	Cost            float64          `json:"cost"`
+	BandwidthOK     bool             `json:"bandwidth_ok"`
+	AreaOK          bool             `json:"area_ok"`
+	AspectOK        bool             `json:"aspect_ok"`
+	Feasible        bool             `json:"feasible"`
+	SwapsApplied    int              `json:"swaps_applied"`
+	Assign          []AssignRow      `json:"assign,omitempty"`
+	Floorplan       *FloorplanReport `json:"floorplan,omitempty"`
+}
+
+// SelectReport is the outcome of an OpSelect Request.
+type SelectReport struct {
+	App string `json:"app"`
+	// Topology names the selected network ("" when nothing feasible).
+	Topology    string `json:"topology,omitempty"`
+	RoutingUsed string `json:"routing_used"`
+	Candidates  int    `json:"candidates"`
+	Feasible    int    `json:"feasible"`
+	Synthesized int    `json:"synthesized,omitempty"`
+	// Rows is the per-candidate comparison table, sorted by kind then name.
+	Rows []TopologyRow `json:"rows"`
+	// Best details the chosen design (nil when nothing feasible).
+	Best *DesignReport `json:"best,omitempty"`
+}
+
+// SweepRow is one routing function's bar of Fig. 9(a).
+type SweepRow struct {
+	Function      string  `json:"function"`
+	RequiredMBps  float64 `json:"required_mbps"`
+	AvgHops       float64 `json:"avg_hops"`
+	FeasibleAtCap bool    `json:"feasible_at_cap"`
+}
+
+// SweepReport is the outcome of an OpRoutingSweep Request. FeasibleAtCap
+// is judged against CapacityMBps (the request capacity, defaulting to 500
+// when unset, matching the paper's video experiments).
+type SweepReport struct {
+	App          string     `json:"app"`
+	Topology     string     `json:"topology"`
+	CapacityMBps float64    `json:"capacity_mbps"`
+	Rows         []SweepRow `json:"rows"`
+}
+
+// ParetoPointRow is one design point of Fig. 9(b).
+type ParetoPointRow struct {
+	WeightDelay float64 `json:"weight_delay"`
+	WeightArea  float64 `json:"weight_area"`
+	WeightPower float64 `json:"weight_power"`
+	AreaMM2     float64 `json:"area_mm2"`
+	PowerMW     float64 `json:"power_mw"`
+	AvgHops     float64 `json:"avg_hops"`
+	Dominant    bool    `json:"dominant"`
+}
+
+// ParetoReport is the outcome of an OpPareto Request.
+type ParetoReport struct {
+	App      string           `json:"app"`
+	Topology string           `json:"topology"`
+	Points   []ParetoPointRow `json:"points"`
+}
+
+// SimRow is one injection rate's simulation outcome.
+type SimRow struct {
+	Rate              float64 `json:"rate"`
+	AvgLatencyCycles  float64 `json:"avg_latency_cycles"`
+	P95LatencyCycles  float64 `json:"p95_latency_cycles"`
+	ThroughputFPC     float64 `json:"throughput_fpc"`
+	MeasuredPackets   int     `json:"measured_packets"`
+	UnfinishedPackets int     `json:"unfinished_packets"`
+	Saturated         bool    `json:"saturated"`
+}
+
+// SimReport is the outcome of an OpSimulate Request. Pattern is the
+// resolved pattern name (e.g. "adversarial" resolves to the topology's
+// concrete stress pattern).
+type SimReport struct {
+	Topology string   `json:"topology"`
+	Pattern  string   `json:"pattern"`
+	Rows     []SimRow `json:"rows"`
+}
+
+// GeneratedFile is one emitted SystemC source file.
+type GeneratedFile struct {
+	Name    string `json:"name"`
+	Content string `json:"content"`
+}
+
+// GenerateReport is the outcome of an OpGenerate Request: the ×pipes-style
+// SystemC sources of the mapped design, in sorted name order.
+type GenerateReport struct {
+	App       string          `json:"app"`
+	Topology  string          `json:"topology"`
+	TopModule string          `json:"top_module"`
+	Files     []GeneratedFile `json:"files"`
+}
+
+// WriteTo materializes the generated files under dir, creating it if
+// needed. File names are untrusted wire data (a Report may come from a
+// remote server), so anything but a plain local name — separators,
+// "..", absolute paths — is rejected before touching the filesystem.
+func (g *GenerateReport) WriteTo(dir string) error {
+	for _, f := range g.Files {
+		if f.Name == "" || strings.ContainsAny(f.Name, `/\`) || !filepath.IsLocal(f.Name) {
+			return fmt.Errorf("sunmap: refusing to write generated file with unsafe name %q", f.Name)
+		}
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, f := range g.Files {
+		if err := os.WriteFile(filepath.Join(dir, f.Name), []byte(f.Content), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}

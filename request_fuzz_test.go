@@ -1,0 +1,48 @@
+package sunmap_test
+
+import (
+	"encoding/json"
+	"testing"
+
+	"sunmap"
+)
+
+// FuzzParseRequest drives the Request JSON decoder with arbitrary bytes:
+// it must never panic, and anything it accepts must be valid and must
+// survive a marshal/parse round trip (the wire contract the serve layer
+// relies on).
+func FuzzParseRequest(f *testing.F) {
+	seeds := []string{
+		`{"op":"select","select":{"app":{"name":"vopd"},"mapping":{"routing":"MP","capacity_mbps":500}}}`,
+		`{"id":"x","op":"map","timeout_ms":1000,"map":{"app":{"text":"app t\ncore a area=1\ncore b area=1\nflow a -> b 5\n"},"topology":"mesh-1x2","mapping":{}}}`,
+		`{"op":"routing-sweep","routing_sweep":{"app":{"name":"mpeg4"},"topology":"mesh-3x4","mapping":{"objective":"delay"}}}`,
+		`{"op":"pareto","pareto":{"app":{"name":"mpeg4"},"topology":"mesh-3x4","mapping":{"routing":"SM"},"steps":3}}`,
+		`{"op":"simulate","simulate":{"topology":"mesh-4x4","pattern":"hotspot","hotspot_node":2,"rates":[0.1,0.2]}}`,
+		`{"op":"generate","generate":{"app":{"name":"dsp"},"topology":"butterfly-3ary2fly","mapping":{}}}`,
+		`{"op":"select","select":{"app":{"cores":[{"name":"a","area_mm2":2}],"flows":[{"from":"a","to":"a","mbps":1}]}}}`,
+		`{"op":"select"}`,
+		`{"op":"nope","select":{}}`,
+		`{}`,
+		`[]`,
+		`{"op":"select","select":{},"map":{}}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := sunmap.ParseRequest(data)
+		if err != nil {
+			return
+		}
+		if err := req.Validate(); err != nil {
+			t.Fatalf("ParseRequest accepted an invalid request: %v\ninput: %s", err, data)
+		}
+		blob, err := json.Marshal(req)
+		if err != nil {
+			t.Fatalf("accepted request does not marshal: %v", err)
+		}
+		if _, err := sunmap.ParseRequest(blob); err != nil {
+			t.Fatalf("round trip rejected: %v\noriginal: %s\nremarshaled: %s", err, data, blob)
+		}
+	})
+}

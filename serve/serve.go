@@ -1,0 +1,193 @@
+// Package serve puts an HTTP/JSON front-end on a sunmap.Session: the
+// batch optimization service the `sunmap serve` subcommand runs. Requests
+// and responses use exactly the serializable Request/Report schema of the
+// root package, so a client can marshal a sunmap.Request, POST it, and
+// decode the body back as a sunmap.Report with no service-specific types.
+//
+// Endpoints:
+//
+//	POST /v1/do     one Request  -> one Report
+//	POST /v1/batch  {"requests": [...]} -> {"reports": [...], "cache": {...}}
+//	GET  /healthz   liveness probe
+//
+// Error mapping: structurally invalid bodies are HTTP 400; valid requests
+// whose operation fails still return 200 with Report.Error/ErrorKind set
+// (an infeasible selection is a result, not a transport failure). Every
+// request is bounded by a per-request timeout, and ListenAndServe shuts
+// down gracefully when its context is cancelled.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"sunmap"
+)
+
+// Options tunes the HTTP front-end. The zero value is production-safe.
+type Options struct {
+	// RequestTimeout bounds each request's processing time when the
+	// Request itself does not carry a tighter TimeoutMS (default 2m).
+	RequestTimeout time.Duration
+	// MaxBatch caps the request count of one /v1/batch call (default 256).
+	MaxBatch int
+	// MaxBodyBytes caps the request body size (default 8 MiB).
+	MaxBodyBytes int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.RequestTimeout <= 0 {
+		o.RequestTimeout = 2 * time.Minute
+	}
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 256
+	}
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = 8 << 20
+	}
+	return o
+}
+
+// BatchRequest is the body of POST /v1/batch.
+type BatchRequest struct {
+	Requests []sunmap.Request `json:"requests"`
+}
+
+// BatchResponse is the body of a /v1/batch reply: one Report per Request
+// at the same index, plus a snapshot of the session cache — the
+// effectiveness telemetry a load balancer or dashboard scrapes.
+type BatchResponse struct {
+	Reports []sunmap.Report       `json:"reports"`
+	Cache   sunmap.EvalCacheStats `json:"cache"`
+}
+
+// errorBody is the JSON shape of transport-level failures (HTTP 4xx/5xx).
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// NewHandler builds the HTTP handler serving a session.
+func NewHandler(s *sunmap.Session, opts Options) http.Handler {
+	opts = opts.withDefaults()
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("POST /v1/do", func(w http.ResponseWriter, r *http.Request) {
+		body, err := readBody(r, opts.MaxBodyBytes)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+			return
+		}
+		req, err := sunmap.ParseRequest(body)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+			return
+		}
+		ctx, cancel := requestContext(r.Context(), *req, opts.RequestTimeout)
+		defer cancel()
+		writeJSON(w, http.StatusOK, s.Do(ctx, *req))
+	})
+	mux.HandleFunc("POST /v1/batch", func(w http.ResponseWriter, r *http.Request) {
+		body, err := readBody(r, opts.MaxBodyBytes)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+			return
+		}
+		var batch BatchRequest
+		if err := json.Unmarshal(body, &batch); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("invalid request: %v", err)})
+			return
+		}
+		if len(batch.Requests) == 0 {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: "invalid request: empty batch"})
+			return
+		}
+		if len(batch.Requests) > opts.MaxBatch {
+			writeJSON(w, http.StatusBadRequest, errorBody{
+				Error: fmt.Sprintf("invalid request: batch of %d exceeds the %d cap", len(batch.Requests), opts.MaxBatch),
+			})
+			return
+		}
+		// Each request gets its own processing budget, clocked from when a
+		// batch worker dequeues it (Do applies TimeoutMS at dispatch), so a
+		// request's budget does not shrink with its queue position. As on
+		// /v1/do, a client may tighten the operator's default but never
+		// widen it.
+		// (negative timeouts are left alone so validation rejects them)
+		defMS := int(opts.RequestTimeout / time.Millisecond)
+		for i := range batch.Requests {
+			if t := batch.Requests[i].TimeoutMS; t == 0 || t > defMS {
+				batch.Requests[i].TimeoutMS = defMS
+			}
+		}
+		reports, _ := s.Batch(r.Context(), batch.Requests) // per-request failures live in the reports
+		writeJSON(w, http.StatusOK, BatchResponse{Reports: reports, Cache: s.CacheStats()})
+	})
+	return mux
+}
+
+// requestContext derives the processing context for one request: the
+// request's own TimeoutMS when set, capped by the serve default — a
+// client may tighten the operator's budget but never widen it.
+func requestContext(parent context.Context, req sunmap.Request, def time.Duration) (context.Context, context.CancelFunc) {
+	d := def
+	if t := time.Duration(req.TimeoutMS) * time.Millisecond; req.TimeoutMS > 0 && t < d {
+		d = t
+	}
+	return context.WithTimeout(parent, d)
+}
+
+func readBody(r *http.Request, maxBytes int64) ([]byte, error) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBytes+1))
+	if err != nil {
+		return nil, fmt.Errorf("invalid request: %v", err)
+	}
+	if int64(len(body)) > maxBytes {
+		return nil, fmt.Errorf("invalid request: body exceeds %d bytes", maxBytes)
+	}
+	return body, nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+// ListenAndServe runs the service on addr until ctx is cancelled, then
+// shuts down gracefully: listeners close immediately, in-flight requests
+// get drainTimeout to finish.
+func ListenAndServe(ctx context.Context, addr string, s *sunmap.Session, opts Options, drainTimeout time.Duration) error {
+	if drainTimeout <= 0 {
+		drainTimeout = 10 * time.Second
+	}
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           NewHandler(s, opts),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			return fmt.Errorf("serve: shutdown: %w", err)
+		}
+		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		return nil
+	}
+}

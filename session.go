@@ -1,0 +1,654 @@
+package sunmap
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"sunmap/internal/core"
+	"sunmap/internal/engine"
+	"sunmap/internal/graph"
+	"sunmap/internal/mapping"
+	"sunmap/internal/pool"
+	"sunmap/internal/sim"
+	"sunmap/internal/tech"
+	"sunmap/internal/topology"
+	"sunmap/internal/traffic"
+	"sunmap/internal/xpipes"
+)
+
+// Session is the context-first handle onto the SUNMAP pipeline. It owns
+// the engine resources that matter at scale — the evaluation cache and a
+// session-wide admission pool bounding in-flight mapping work — for its
+// lifetime, and exposes every pipeline stage as a method taking
+// (ctx, request). Requests and Reports are JSON-round-trippable, Batch
+// fans a request list across the engine with per-request isolation and
+// deterministic result ordering, and the serve package serves the same
+// schema over HTTP.
+//
+// A Session is safe for concurrent use. The zero value is not usable;
+// construct with NewSession.
+type Session struct {
+	parallelism int
+	cache       *engine.Cache
+	progress    engine.Progress
+	libOpts     topology.LibraryOptions
+	synth       *SynthOptions
+	tech        tech.Tech
+	limit       *pool.Limiter
+}
+
+// SessionOption configures a Session at construction time.
+type SessionOption func(*sessionConfig) error
+
+type sessionConfig struct {
+	Session
+	cacheSet bool
+}
+
+// WithParallelism bounds the session's evaluation pool: at most n mapping
+// evaluations run at once across all concurrent calls and batch requests.
+// 0 (the default) selects GOMAXPROCS; 1 forces fully sequential
+// evaluation. Results are identical at every setting.
+func WithParallelism(n int) SessionOption {
+	return func(c *sessionConfig) error {
+		if n < 0 {
+			return fmt.Errorf("sunmap: negative parallelism %d", n)
+		}
+		c.parallelism = n
+		return nil
+	}
+}
+
+// WithCache installs a caller-owned evaluation cache, sharing memoized
+// design points across sessions. Passing nil disables memoization. By
+// default each session owns a fresh cache for its lifetime.
+func WithCache(cache *EvalCache) SessionOption {
+	return func(c *sessionConfig) error {
+		c.cache = cache
+		c.cacheSet = true
+		return nil
+	}
+}
+
+// WithProgress streams one event per evaluated candidate. Callbacks are
+// serialized session-wide (never concurrent), even across the concurrent
+// requests of a Batch.
+func WithProgress(p Progress) SessionOption {
+	return func(c *sessionConfig) error {
+		c.progress = p
+		return nil
+	}
+}
+
+// WithLibrary tunes the default topology-library enumeration backing
+// Select requests (mesh/torus aspect bounds, butterfly radix, Clos
+// fan-in, octagon/star extras).
+func WithLibrary(opts LibraryOptions) SessionOption {
+	return func(c *sessionConfig) error {
+		c.libOpts = opts
+		return nil
+	}
+}
+
+// WithSynth turns on application-specific topology synthesis for every
+// Select in the session: synthesized candidates (min-cut clusters,
+// trimmed mesh, sparse Hamming) compete with the library on equal terms.
+// A request-level SelectRequest.Synth overrides it per call.
+func WithSynth(opts SynthOptions) SessionOption {
+	return func(c *sessionConfig) error {
+		c.synth = &opts
+		return nil
+	}
+}
+
+// WithTech sets the session's default technology operating point for the
+// area/power models (default Tech100nm, the paper's 0.1 µm node). A
+// request-level MapSpec.Tech overrides it per call.
+func WithTech(t Tech) SessionOption {
+	return func(c *sessionConfig) error {
+		c.tech = t
+		return nil
+	}
+}
+
+// NewSession builds a Session from functional options.
+func NewSession(opts ...SessionOption) (*Session, error) {
+	var c sessionConfig
+	c.tech = tech.Tech100nm()
+	for _, o := range opts {
+		if err := o(&c); err != nil {
+			return nil, err
+		}
+	}
+	if !c.cacheSet {
+		c.cache = engine.NewCache()
+	}
+	s := c.Session
+	s.limit = pool.NewLimiter(s.parallelism)
+	if p := s.progress; p != nil {
+		// Serialize callbacks across the session's concurrent engine runs
+		// (the engine only serializes within one run).
+		var mu sync.Mutex
+		s.progress = func(ev ProgressEvent) {
+			mu.Lock()
+			defer mu.Unlock()
+			p(ev)
+		}
+	}
+	return &s, nil
+}
+
+// Parallelism returns the session's configured evaluation-pool bound
+// (0 = GOMAXPROCS).
+func (s *Session) Parallelism() int { return s.parallelism }
+
+// Cache returns the session's evaluation cache (nil when memoization is
+// disabled via WithCache(nil)).
+func (s *Session) Cache() *EvalCache { return s.cache }
+
+// CacheStats snapshots the session cache's effectiveness counters.
+func (s *Session) CacheStats() EvalCacheStats { return s.cache.Stats() }
+
+// workers resolves the session's parallelism to a concrete worker count
+// for n units of work.
+func (s *Session) workers(n int) int {
+	w := s.parallelism
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Select runs SUNMAP Phases 1 and 2 for one request: map the application
+// onto every candidate topology, evaluate, and pick the best feasible
+// network. When nothing is feasible it returns the evaluated report
+// together with an error wrapping ErrInfeasible, so callers can both
+// branch on errors.Is and inspect the candidate table.
+func (s *Session) Select(ctx context.Context, req SelectRequest) (*SelectReport, error) {
+	app, err := req.App.resolve()
+	if err != nil {
+		return nil, err
+	}
+	opts, err := req.Mapping.options(s.tech)
+	if err != nil {
+		return nil, err
+	}
+	synthOpts := s.synth
+	if req.Synth != nil {
+		o := req.Synth.options()
+		synthOpts = &o
+	}
+	sel, err := core.SelectContext(ctx, s.coreConfig(app, opts, req.Escalate, synthOpts))
+	if err != nil {
+		return nil, err
+	}
+	rep := buildSelectReport(app, sel)
+	if sel.Best == nil {
+		return rep, fmt.Errorf("sunmap: select %s: %w under routing %v (try escalate or a higher capacity)",
+			app.Name(), ErrInfeasible, sel.RoutingUsed)
+	}
+	return rep, nil
+}
+
+// Map maps the application onto one named topology and evaluates the
+// design point. Infeasible mappings are reported, not errors: the
+// report's feasibility flags carry the verdict.
+func (s *Session) Map(ctx context.Context, req MapRequest) (*DesignReport, error) {
+	app, err := req.App.resolve()
+	if err != nil {
+		return nil, err
+	}
+	opts, err := req.Mapping.options(s.tech)
+	if err != nil {
+		return nil, err
+	}
+	topo, err := TopologyByName(req.Topology)
+	if err != nil {
+		return nil, err
+	}
+	res, err := s.evalMap(ctx, app, topo, opts)
+	if err != nil {
+		return nil, err
+	}
+	return buildDesignReport(app, res), nil
+}
+
+// evalMap runs one mapping evaluation through the engine, so single-
+// topology requests share the session cache and admission pool like
+// full sweeps do.
+func (s *Session) evalMap(ctx context.Context, app *graph.CoreGraph, topo Topology, opts mapping.Options) (*mapping.Result, error) {
+	outcomes, err := engine.Evaluate(ctx, app, []engine.Job{{Topo: topo, Opts: opts}}, engine.Options{
+		Parallelism: 1, Cache: s.cache, Progress: s.progress, Limit: s.limit,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := outcomes[0].Err; err != nil {
+		if errors.Is(err, engine.ErrPanic) {
+			return nil, fmt.Errorf("sunmap: map %s onto %s: %w", app.Name(), topo.Name(), err)
+		}
+		// Structural mapping failures (e.g. more cores than terminals) are
+		// client-input problems, not server faults — classify accordingly.
+		return nil, fmt.Errorf("%w: map %s onto %s: %w", ErrBadRequest, app.Name(), topo.Name(), err)
+	}
+	return outcomes[0].Result, nil
+}
+
+// RoutingSweep maps the application onto the named topology once per
+// routing function (DO, MP, SM, SA) and reports the minimum required link
+// bandwidth of each — the bars of Fig. 9(a). Feasibility is judged
+// against the request capacity (500 MB/s when unset).
+func (s *Session) RoutingSweep(ctx context.Context, req SweepRequest) (*SweepReport, error) {
+	app, err := req.App.resolve()
+	if err != nil {
+		return nil, err
+	}
+	opts, err := req.Mapping.options(s.tech)
+	if err != nil {
+		return nil, err
+	}
+	topo, err := TopologyByName(req.Topology)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := core.RoutingSweepContext(ctx, app, topo, opts, s.explore())
+	if err != nil {
+		return nil, err
+	}
+	capMBps := opts.CapacityMBps
+	if capMBps <= 0 {
+		capMBps = 500
+	}
+	rep := &SweepReport{App: app.Name(), Topology: topo.Name(), CapacityMBps: capMBps}
+	for _, r := range rows {
+		rep.Rows = append(rep.Rows, SweepRow{
+			Function:      r.Function.String(),
+			RequiredMBps:  r.RequiredMBps,
+			AvgHops:       r.AvgHops,
+			FeasibleAtCap: r.RequiredMBps <= capMBps+1e-6,
+		})
+	}
+	return rep, nil
+}
+
+// ParetoExplore sweeps weighted objectives and buffer depths over the
+// named topology and reports the area-power design points with the
+// Pareto front marked — Fig. 9(b).
+func (s *Session) ParetoExplore(ctx context.Context, req ParetoRequest) (*ParetoReport, error) {
+	app, err := req.App.resolve()
+	if err != nil {
+		return nil, err
+	}
+	opts, err := req.Mapping.options(s.tech)
+	if err != nil {
+		return nil, err
+	}
+	topo, err := TopologyByName(req.Topology)
+	if err != nil {
+		return nil, err
+	}
+	pts, err := core.ParetoExploreContext(ctx, app, topo, opts, req.Steps, s.explore())
+	if err != nil {
+		return nil, err
+	}
+	rep := &ParetoReport{App: app.Name(), Topology: topo.Name()}
+	for _, p := range pts {
+		rep.Points = append(rep.Points, ParetoPointRow{
+			WeightDelay: p.Weights.Delay,
+			WeightArea:  p.Weights.Area,
+			WeightPower: p.Weights.Power,
+			AreaMM2:     p.AreaMM2,
+			PowerMW:     p.PowerMW,
+			AvgHops:     p.AvgHops,
+			Dominant:    p.Dominant,
+		})
+	}
+	return rep, nil
+}
+
+func (s *Session) explore() core.ExploreOptions {
+	return core.ExploreOptions{Parallelism: s.parallelism, Cache: s.cache, Progress: s.progress, Limit: s.limit}
+}
+
+// coreConfig assembles a selection config carrying the session's engine
+// resources — the single place session knobs map onto core.Config.
+func (s *Session) coreConfig(app *graph.CoreGraph, opts mapping.Options, escalate bool, synthOpts *SynthOptions) core.Config {
+	return core.Config{
+		App:             app,
+		LibraryOpts:     s.libOpts,
+		Synth:           synthOpts,
+		Mapping:         opts,
+		EscalateRouting: escalate,
+		Parallelism:     s.parallelism,
+		Cache:           s.cache,
+		Progress:        s.progress,
+		Limit:           s.limit,
+	}
+}
+
+// Simulate sweeps the request's injection rates over the named topology
+// with the cycle-accurate simulator. Per-rate runs evaluate concurrently
+// within the session's parallelism; results are deterministic for a given
+// seed at every setting.
+func (s *Session) Simulate(ctx context.Context, req SimRequest) (*SimReport, error) {
+	topo, err := TopologyByName(req.Topology)
+	if err != nil {
+		return nil, err
+	}
+	if len(req.Rates) == 0 {
+		return nil, fmt.Errorf("%w: simulate wants at least one injection rate", ErrBadRequest)
+	}
+	for _, r := range req.Rates {
+		if r <= 0 || r > 1 {
+			return nil, fmt.Errorf("%w: injection rate %g outside (0, 1]", ErrBadRequest, r)
+		}
+	}
+	cfg := sim.Config{
+		Topo:          topo,
+		PacketFlits:   req.PacketFlits,
+		BufDepthFlits: req.BufDepthFlits,
+		ChannelDelay:  req.ChannelDelay,
+		RouterDelay:   req.RouterDelay,
+		WarmupCycles:  req.WarmupCycles,
+		MeasureCycles: req.MeasureCycles,
+		DrainCycles:   req.DrainCycles,
+		Seed:          req.Seed,
+	}
+	pattern := req.Pattern
+	if pattern == "" {
+		pattern = "uniform"
+	}
+	if pattern == "trace" {
+		if req.App == nil {
+			return nil, fmt.Errorf("%w: trace-driven simulation wants an app", ErrBadRequest)
+		}
+		app, err := req.App.resolve()
+		if err != nil {
+			return nil, err
+		}
+		spec := MapSpec{}
+		if req.Mapping != nil {
+			spec = *req.Mapping
+		}
+		opts, err := spec.options(s.tech)
+		if err != nil {
+			return nil, err
+		}
+		res, err := s.evalMap(ctx, app, topo, opts)
+		if err != nil {
+			return nil, err
+		}
+		routes, err := sim.BuildRoutesFromResult(topo, res.Assign, res.Route)
+		if err != nil {
+			return nil, fmt.Errorf("sunmap: simulate: %w", err)
+		}
+		trace, err := traffic.NewTrace(app, res.Assign)
+		if err != nil {
+			return nil, fmt.Errorf("sunmap: simulate: %w", err)
+		}
+		cfg.Routes = routes
+		cfg.Pattern = trace
+		cfg.SourceShare = trace.SourceShare()
+		cfg.ActiveTerminals = res.Assign
+	} else {
+		pat, err := patternByName(pattern, req, topo)
+		if err != nil {
+			return nil, err
+		}
+		routes, err := sim.BuildRoutes(topo)
+		if err != nil {
+			return nil, fmt.Errorf("sunmap: simulate: %w", err)
+		}
+		cfg.Routes = routes
+		cfg.Pattern = pat
+	}
+	stats, err := sim.SweepLimited(ctx, cfg, req.Rates, s.parallelism, s.limit)
+	if err != nil {
+		return nil, err
+	}
+	rep := &SimReport{Topology: topo.Name(), Pattern: cfg.Pattern.Name()}
+	for i, st := range stats {
+		rep.Rows = append(rep.Rows, SimRow{
+			Rate:              req.Rates[i],
+			AvgLatencyCycles:  st.AvgLatencyCycles,
+			P95LatencyCycles:  st.P95LatencyCycles,
+			ThroughputFPC:     st.ThroughputFPC,
+			MeasuredPackets:   st.MeasuredPackets,
+			UnfinishedPackets: st.UnfinishedPackets,
+			Saturated:         st.Saturated,
+		})
+	}
+	return rep, nil
+}
+
+// patternByName resolves a synthetic traffic pattern (everything except
+// "trace", which Simulate handles itself).
+func patternByName(name string, req SimRequest, topo Topology) (TrafficPattern, error) {
+	switch name {
+	case "uniform":
+		return traffic.Uniform{}, nil
+	case "transpose":
+		return traffic.Transpose{}, nil
+	case "tornado":
+		return traffic.Tornado{}, nil
+	case "bit-complement":
+		return traffic.BitComplement{}, nil
+	case "bit-reverse":
+		return traffic.BitReverse{}, nil
+	case "shuffle":
+		return traffic.Shuffle{}, nil
+	case "hotspot":
+		frac := req.HotspotFrac
+		if frac <= 0 {
+			frac = 0.3
+		}
+		return traffic.Hotspot{Node: req.HotspotNode, Frac: frac}, nil
+	case "adversarial":
+		return traffic.Adversarial(topo), nil
+	}
+	return nil, fmt.Errorf("%w: unknown traffic pattern %q", ErrBadRequest, name)
+}
+
+// Generate emits the SystemC description of a mapped design (Phase 3).
+// With an empty Topology, a full selection chooses the network first —
+// reusing any design points the session cache already holds.
+func (s *Session) Generate(ctx context.Context, req GenerateRequest) (*GenerateReport, error) {
+	app, err := req.App.resolve()
+	if err != nil {
+		return nil, err
+	}
+	opts, err := req.Mapping.options(s.tech)
+	if err != nil {
+		return nil, err
+	}
+	var res *mapping.Result
+	if req.Topology == "" {
+		sel, err := core.SelectContext(ctx, s.coreConfig(app, opts, req.Escalate, s.synth))
+		if err != nil {
+			return nil, err
+		}
+		if sel.Best == nil {
+			return nil, fmt.Errorf("sunmap: generate %s: %w", app.Name(), ErrInfeasible)
+		}
+		res = sel.Best
+	} else {
+		topo, err := TopologyByName(req.Topology)
+		if err != nil {
+			return nil, err
+		}
+		if res, err = s.evalMap(ctx, app, topo, opts); err != nil {
+			return nil, err
+		}
+	}
+	gen, err := xpipes.Generate(app, res, opts.Tech)
+	if err != nil {
+		return nil, fmt.Errorf("sunmap: generate: %w", err)
+	}
+	rep := &GenerateReport{App: app.Name(), Topology: res.Topology.Name(), TopModule: gen.TopModule}
+	for _, name := range gen.FileNames() {
+		rep.Files = append(rep.Files, GeneratedFile{Name: name, Content: gen.Files[name]})
+	}
+	return rep, nil
+}
+
+// Do executes one Request and always returns a Report: operation failures
+// land in Report.Error/ErrorKind instead of propagating, panics are
+// recovered into internal-error reports, and Request.TimeoutMS bounds the
+// call. Do never panics on bad input — the isolation contract Batch and
+// the serve layer rely on.
+func (s *Session) Do(ctx context.Context, req Request) (rep Report) {
+	rep = Report{ID: req.ID, Op: req.Op}
+	defer func() {
+		if r := recover(); r != nil {
+			rep.Error = fmt.Sprintf("panic: %v", r)
+			rep.ErrorKind = ErrorKindInternal
+		}
+	}()
+	if err := req.Validate(); err != nil {
+		rep.Error = err.Error()
+		rep.ErrorKind = ErrorKindBadRequest
+		return rep
+	}
+	if req.TimeoutMS > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
+		defer cancel()
+	}
+	var err error
+	switch req.Op {
+	case OpSelect:
+		rep.Select, err = s.Select(ctx, *req.Select)
+	case OpMap:
+		rep.Map, err = s.Map(ctx, *req.Map)
+	case OpRoutingSweep:
+		rep.RoutingSweep, err = s.RoutingSweep(ctx, *req.RoutingSweep)
+	case OpPareto:
+		rep.Pareto, err = s.ParetoExplore(ctx, *req.Pareto)
+	case OpSimulate:
+		rep.Simulate, err = s.Simulate(ctx, *req.Simulate)
+	case OpGenerate:
+		rep.Generate, err = s.Generate(ctx, *req.Generate)
+	}
+	if err != nil {
+		rep.Error = err.Error()
+		rep.ErrorKind = classifyError(err)
+	}
+	return rep
+}
+
+// classifyError buckets an operation error into a wire-stable kind.
+func classifyError(err error) string {
+	switch {
+	case errors.Is(err, ErrBadRequest), errors.Is(err, ErrUnknownApp), errors.Is(err, ErrUnknownTopology):
+		return ErrorKindBadRequest
+	case errors.Is(err, ErrInfeasible):
+		return ErrorKindInfeasible
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return ErrorKindCanceled
+	default:
+		return ErrorKindInternal
+	}
+}
+
+// Batch executes the requests concurrently on the session pool and
+// returns one Report per Request, at the same index — result order is
+// deterministic and, for deterministic operations, the reports are
+// byte-identical across every parallelism setting. Requests are isolated
+// from each other: one bad or panicking request yields an error Report
+// without disturbing its neighbors. Cancelling ctx aborts in-flight
+// evaluations; requests that never produced a report are marked canceled,
+// and the context's error is returned alongside the partial results.
+func (s *Session) Batch(ctx context.Context, reqs []Request) ([]Report, error) {
+	reports := make([]Report, len(reqs))
+	pool.ForEach(ctx, len(reqs), s.workers(len(reqs)), func(i int) {
+		reports[i] = s.Do(ctx, reqs[i])
+	})
+	if err := ctx.Err(); err != nil {
+		for i := range reports {
+			if reports[i].Op == "" && reports[i].Error == "" {
+				reports[i] = Report{
+					ID: reqs[i].ID, Op: reqs[i].Op,
+					Error:     err.Error(),
+					ErrorKind: ErrorKindCanceled,
+				}
+			}
+		}
+		return reports, err
+	}
+	return reports, nil
+}
+
+// buildSelectReport lowers a core.Selection onto the wire schema.
+func buildSelectReport(app *graph.CoreGraph, sel *Selection) *SelectReport {
+	rep := &SelectReport{
+		App:         app.Name(),
+		RoutingUsed: sel.RoutingUsed.String(),
+		Candidates:  len(sel.Candidates),
+		Feasible:    sel.FeasibleCount(),
+		Synthesized: sel.SynthCount(),
+	}
+	for _, r := range sel.Summaries() {
+		rep.Rows = append(rep.Rows, TopologyRow{
+			Topology:    r.Topology,
+			Kind:        r.Kind.String(),
+			AvgHops:     r.AvgHops,
+			AreaMM2:     r.AreaMM2,
+			PowerMW:     r.PowerMW,
+			Switches:    r.Switches,
+			Links:       r.Links,
+			MaxLoadMBps: r.MaxLoadMBps,
+			Feasible:    r.Feasible,
+		})
+	}
+	if sel.Best != nil {
+		rep.Topology = sel.Best.Topology.Name()
+		rep.Best = buildDesignReport(app, sel.Best)
+	}
+	return rep
+}
+
+// buildDesignReport lowers a mapping result onto the wire schema.
+func buildDesignReport(app *graph.CoreGraph, res *mapping.Result) *DesignReport {
+	rep := &DesignReport{
+		Topology:        res.Topology.Name(),
+		AvgHops:         res.AvgHops,
+		DesignAreaMM2:   res.DesignAreaMM2,
+		ChipAreaMM2:     res.ChipAreaMM2,
+		NetworkAreaMM2:  res.NetworkAreaMM2,
+		PowerMW:         res.PowerMW,
+		MaxLinkLoadMBps: res.Route.MaxLinkLoad,
+		Cost:            res.Cost,
+		BandwidthOK:     res.BandwidthOK,
+		AreaOK:          res.AreaOK,
+		AspectOK:        res.AspectOK,
+		Feasible:        res.Feasible(),
+		SwapsApplied:    res.SwapsApplied,
+	}
+	for c, term := range res.Assign {
+		rep.Assign = append(rep.Assign, AssignRow{
+			Core:     app.Core(c).Name,
+			Terminal: term,
+			Router:   res.Topology.InjectRouter(term),
+		})
+	}
+	if fp := res.Floorplan; fp != nil {
+		fpRep := &FloorplanReport{ChipWMM: fp.ChipWMM, ChipHMM: fp.ChipHMM}
+		for _, b := range fp.Blocks {
+			fpRep.Blocks = append(fpRep.Blocks, BlockRow{Name: b.Name, X: b.X, Y: b.Y, W: b.W, H: b.H})
+		}
+		sort.Slice(fpRep.Blocks, func(i, j int) bool { return fpRep.Blocks[i].Name < fpRep.Blocks[j].Name })
+		rep.Floorplan = fpRep
+	}
+	return rep
+}

@@ -29,32 +29,41 @@
 // identical configuration. A Progress callback streams per-candidate
 // completion events to interactive consumers.
 //
+// The context-first entry point is the Session: a handle created with
+// functional options that owns the engine pool and evaluation cache for
+// its lifetime and exposes the whole pipeline — Select, Map, RoutingSweep,
+// ParetoExplore, Simulate, Generate — as methods taking (ctx, request).
+// Requests and reports are plain JSON-round-trippable structs, Batch fans
+// a request list across the engine with per-request isolation and
+// deterministic ordering, and the serve package (plus the `sunmap serve`
+// subcommand) puts an HTTP/JSON front-end on top.
+//
 // Quick start:
 //
-//	app := sunmap.App("vopd")
-//	sel, err := sunmap.Select(sunmap.SelectConfig{
-//		App: app,
-//		Mapping: sunmap.MapOptions{
-//			Routing:      sunmap.MinPath,
-//			Objective:    sunmap.MinDelay,
+//	sess, err := sunmap.NewSession(sunmap.WithParallelism(8))
+//	rep, err := sess.Select(ctx, sunmap.SelectRequest{
+//		App: sunmap.AppSpec{Name: "vopd"},
+//		Mapping: sunmap.MapSpec{
+//			Routing:      "MP",
+//			Objective:    "delay",
 //			CapacityMBps: 500,
 //		},
 //	})
-//	// sel.Best holds the chosen topology and mapping.
+//	// rep.Topology names the chosen network; rep.Rows holds the
+//	// per-candidate comparison table.
 //
-// With a deadline, a shared cache and full parallelism:
+// Follow-up sweeps on the same session replay memoized design points from
+// the session cache instead of re-mapping them:
 //
-//	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
-//	defer cancel()
-//	cache := sunmap.NewEvalCache()
-//	sel, err := sunmap.SelectContext(ctx, sunmap.SelectConfig{
-//		App: app, Mapping: opts, Cache: cache,
+//	sweep, err := sess.RoutingSweep(ctx, sunmap.SweepRequest{
+//		App:      sunmap.AppSpec{Name: "vopd"},
+//		Topology: rep.Topology,
+//		Mapping:  sunmap.MapSpec{CapacityMBps: 500},
 //	})
-//	// Later sweeps on the same app hit the cache instead of re-mapping:
-//	rows, err := sunmap.RoutingSweepContext(ctx, app, sel.Best.Topology,
-//		opts, sunmap.ExploreOptions{Cache: cache})
 //
-// See the examples directory for complete programs.
+// See the examples directory for complete programs. The pre-Session
+// top-level functions (Select/SelectContext and friends) remain as thin
+// deprecated wrappers.
 package sunmap
 
 import (
@@ -183,10 +192,13 @@ const (
 )
 
 // App returns a built-in benchmark application ("vopd", "mpeg4",
-// "netproc" or "dsp"); it panics on unknown names (use LoadApp for
-// user-supplied data).
+// "netproc" or "dsp"); it panics on unknown names.
+//
+// Deprecated: use AppByName, which returns an error instead of panicking
+// (service front-ends must never panic on bad input), or reference the
+// app by name in a Request.
 func App(name string) *CoreGraph {
-	g, err := apps.ByName(name)
+	g, err := AppByName(name)
 	if err != nil {
 		panic(err)
 	}
@@ -199,14 +211,19 @@ func AppNames() []string { return apps.Names() }
 // LoadApp parses a core graph from SUNMAP's text format.
 func LoadApp(r io.Reader) (*CoreGraph, error) { return graph.Parse(r) }
 
-// LoadAppFile parses a core-graph file.
+// LoadAppFile parses a core-graph file. File-system and parse failures are
+// wrapped with %w, so errors.Is(err, fs.ErrNotExist) and friends work.
 func LoadAppFile(path string) (*CoreGraph, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, fmt.Errorf("sunmap: %v", err)
+		return nil, fmt.Errorf("sunmap: %w", err)
 	}
 	defer f.Close()
-	return graph.Parse(f)
+	g, err := graph.Parse(f)
+	if err != nil {
+		return nil, fmt.Errorf("sunmap: %s: %w", path, err)
+	}
+	return g, nil
 }
 
 // Library enumerates the topology configurations able to host n cores.
@@ -214,58 +231,77 @@ func Library(n int, opts LibraryOptions) ([]Topology, error) {
 	return topology.Library(n, opts)
 }
 
-// TopologyByName rebuilds a topology from its canonical name
-// (e.g. "mesh-3x4", "butterfly-4ary2fly", "clos-m4n4r4").
-func TopologyByName(name string) (Topology, error) { return topology.ByName(name) }
+// PhysicalLinks counts a topology's bidirectional router-router channels
+// (each modeled internally as two directed links).
+func PhysicalLinks(t Topology) int { return topology.PhysicalLinks(t) }
 
 // Select runs SUNMAP Phases 1 and 2: map onto every library topology,
-// evaluate, and pick the best feasible network. Phase 1 runs on the
-// concurrent engine (SelectConfig.Parallelism workers, default GOMAXPROCS)
-// and is deterministic at every parallelism setting.
+// evaluate, and pick the best feasible network.
+//
+// Deprecated: use Session.Select, which carries cancellation, owns the
+// engine pool and cache, and reports in the serializable Report schema.
 func Select(cfg SelectConfig) (*Selection, error) { return core.Select(cfg) }
 
-// SelectContext is Select with cancellation: ctx aborts the Phase-1 sweep
-// and routing escalation, including evaluations already in flight.
+// SelectContext is Select with cancellation.
+//
+// Deprecated: use Session.Select — the Session method subsumes both
+// halves of the Select/SelectContext pair.
 func SelectContext(ctx context.Context, cfg SelectConfig) (*Selection, error) {
 	return core.SelectContext(ctx, cfg)
 }
 
 // Map runs the Fig. 5 mapping algorithm on one topology.
+//
+// Deprecated: use Session.Map, which carries cancellation and reports in
+// the serializable Report schema.
 func Map(app *CoreGraph, topo Topology, opts MapOptions) (*MapResult, error) {
 	return mapping.Map(app, topo, opts)
 }
 
 // MapContext is Map with cancellation threaded into the swap search.
+//
+// Deprecated: use Session.Map — the Session method subsumes both halves
+// of the Map/MapContext pair.
 func MapContext(ctx context.Context, app *CoreGraph, topo Topology, opts MapOptions) (*MapResult, error) {
 	return mapping.MapContext(ctx, app, topo, opts)
 }
 
 // RoutingSweep reports the minimum required link bandwidth per routing
 // function (Fig. 9a).
+//
+// Deprecated: use Session.RoutingSweep.
 func RoutingSweep(app *CoreGraph, topo Topology, opts MapOptions) ([]RoutingSweepRow, error) {
 	return core.RoutingSweep(app, topo, opts)
 }
 
-// RoutingSweepContext is RoutingSweep on the engine pool: the four routing
-// functions evaluate concurrently and reuse design points memoized in
-// xo.Cache (e.g. by an escalated SelectContext on the same app).
+// RoutingSweepContext is RoutingSweep on the engine pool.
+//
+// Deprecated: use Session.RoutingSweep — the Session method subsumes both
+// halves of the RoutingSweep/RoutingSweepContext pair.
 func RoutingSweepContext(ctx context.Context, app *CoreGraph, topo Topology, opts MapOptions, xo ExploreOptions) ([]RoutingSweepRow, error) {
 	return core.RoutingSweepContext(ctx, app, topo, opts, xo)
 }
 
 // ParetoExplore sweeps weighted objectives and returns area-power design
 // points with the Pareto front marked (Fig. 9b).
+//
+// Deprecated: use Session.ParetoExplore.
 func ParetoExplore(app *CoreGraph, topo Topology, opts MapOptions, steps int) ([]ParetoPoint, error) {
 	return core.ParetoExplore(app, topo, opts, steps)
 }
 
-// ParetoExploreContext is ParetoExplore on the engine pool: grid points
-// evaluate concurrently and memoize into xo.Cache.
+// ParetoExploreContext is ParetoExplore on the engine pool.
+//
+// Deprecated: use Session.ParetoExplore — the Session method subsumes
+// both halves of the ParetoExplore/ParetoExploreContext pair.
 func ParetoExploreContext(ctx context.Context, app *CoreGraph, topo Topology, opts MapOptions, steps int, xo ExploreOptions) ([]ParetoPoint, error) {
 	return core.ParetoExploreContext(ctx, app, topo, opts, steps, xo)
 }
 
 // Generate emits the SystemC description of a mapped design (Phase 3).
+//
+// Deprecated: use Session.Generate, which maps and generates in one
+// request and returns the files in the serializable Report schema.
 func Generate(app *CoreGraph, res *MapResult, t Tech) (*SystemC, error) {
 	return xpipes.Generate(app, res, t)
 }
@@ -277,10 +313,17 @@ func Tech100nm() Tech { return tech.Tech100nm() }
 func BuildRoutes(topo Topology) (*RouteTable, error) { return sim.BuildRoutes(topo) }
 
 // Simulate runs the cycle-accurate simulator.
+//
+// Deprecated: use Session.Simulate, which sweeps injection rates, resolves
+// traffic patterns (including trace-driven) by name, and reports in the
+// serializable Report schema. Simulate remains for callers that need the
+// full SimConfig surface (custom SourceShare, pre-built route tables).
 func Simulate(cfg SimConfig) (*SimStats, error) { return sim.Run(cfg) }
 
-// SimulateContext is Simulate with cancellation: the cycle loop polls ctx
-// and aborts long runs with the context's error.
+// SimulateContext is Simulate with cancellation.
+//
+// Deprecated: use Session.Simulate — the Session method subsumes both
+// halves of the Simulate/SimulateContext pair.
 func SimulateContext(ctx context.Context, cfg SimConfig) (*SimStats, error) {
 	return sim.RunContext(ctx, cfg)
 }
