@@ -13,6 +13,7 @@
 //	sunmap -app mpeg4 -synth               # add synthesized candidates
 //	sunmap -app dsp -synth -synth-radix 6  # looser switch-radix bound
 //	sunmap serve -addr :8080 -j 8          # HTTP/JSON batch service
+//	sunmap -app vopd -cpuprofile cpu.out -memprofile mem.out  # field profiling
 package main
 
 import (
@@ -23,6 +24,8 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"syscall"
 	"time"
 
@@ -93,8 +96,38 @@ func run(args []string, out io.Writer) error {
 	jobs := fs.Int("j", 0, "parallel mapping workers (0 = all cores, 1 = sequential)")
 	timeout := fs.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
 	progress := fs.Bool("progress", false, "stream per-topology progress as candidates finish")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile (post-GC) to this file on exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	// Field profiling hooks: -cpuprofile wraps the whole run, -memprofile
+	// snapshots live heap after it. Inspect with `go tool pprof`.
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %v", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "sunmap: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "sunmap: memprofile:", err)
+			}
+		}()
 	}
 
 	ctx := context.Background()

@@ -131,6 +131,12 @@ func Evaluate(ctx context.Context, app *graph.CoreGraph, jobs []Job, eo Options)
 	out := make([]Outcome, len(jobs))
 	workers := eo.workers(len(jobs))
 
+	// Per-worker mapping scratch: each running evaluation borrows a
+	// Scratch (routing solver + swap-loop buffers) for its duration, so a
+	// library sweep reuses at most `workers` scratch sets instead of
+	// allocating routing state per candidate mapping.
+	scratch := pool.NewFree(mapping.NewScratch)
+
 	var progressMu sync.Mutex
 	done := 0
 	emit := func(ev Event) {
@@ -178,7 +184,9 @@ func Evaluate(ctx context.Context, app *graph.CoreGraph, jobs []Job, eo Options)
 					res, err = nil, fmt.Errorf("%w evaluating %s: %v", ErrPanic, j.Topo.Name(), r)
 				}
 			}()
-			return mapping.MapContext(ctx, app, j.Topo, j.Opts)
+			sc := scratch.Get()
+			defer scratch.Put(sc)
+			return mapping.MapContextWith(ctx, app, j.Topo, j.Opts, sc)
 		}()
 		if ctx.Err() != nil {
 			return // canceled mid-map: don't cache or report partial work

@@ -1,10 +1,6 @@
 package graph
 
-import (
-	"container/heap"
-	"fmt"
-	"math"
-)
+import "fmt"
 
 // Arc is a directed, identified edge of a Digraph. ID indexes auxiliary
 // per-arc state kept by callers (link loads, capacities).
@@ -56,96 +52,38 @@ type WeightFunc func(from int, a Arc) float64
 // UnitWeight weighs every arc 1; shortest paths become minimum-hop paths.
 func UnitWeight(int, Arc) float64 { return 1 }
 
-// pqItem is an entry of the Dijkstra priority queue.
-type pqItem struct {
-	v    int
-	dist float64
-}
-
-type pq []pqItem
-
-func (q pq) Len() int            { return len(q) }
-func (q pq) Less(i, j int) bool  { return q[i].dist < q[j].dist }
-func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
-func (q *pq) Pop() interface{} {
-	old := *q
-	n := len(old)
-	it := old[n-1]
-	*q = old[:n-1]
-	return it
-}
-
 // Dijkstra computes single-source shortest paths from src under w. It
 // returns the distance vector and, for path recovery, the predecessor
 // vertex and the arc ID used to reach each vertex (-1 when unreached or at
 // the source). Vertices outside `allowed` (when non-nil) are skipped, which
 // is how quadrant-graph restriction is applied without copying graphs.
+//
+// Each call allocates fresh result slices; hot loops should hold an
+// SPSolver instead and query it in place.
 func (d *Digraph) Dijkstra(src int, w WeightFunc, allowed []bool) (dist []float64, prevV, prevArc []int) {
+	var s SPSolver
+	s.Dijkstra(d, src, w, allowed)
 	n := len(d.adj)
 	dist = make([]float64, n)
 	prevV = make([]int, n)
 	prevArc = make([]int, n)
-	for i := range dist {
-		dist[i] = math.Inf(1)
-		prevV[i] = -1
-		prevArc[i] = -1
-	}
-	if src < 0 || src >= n {
-		panic(fmt.Sprintf("graph: Dijkstra source %d out of range", src))
-	}
-	if allowed != nil && !allowed[src] {
-		return dist, prevV, prevArc
-	}
-	dist[src] = 0
-	q := pq{{v: src, dist: 0}}
-	done := make([]bool, n)
-	for q.Len() > 0 {
-		it := heap.Pop(&q).(pqItem)
-		u := it.v
-		if done[u] || it.dist > dist[u] {
-			continue
-		}
-		done[u] = true
-		for _, a := range d.adj[u] {
-			if allowed != nil && !a.allowedTo(allowed) {
-				continue
-			}
-			wt := w(u, a)
-			if math.IsInf(wt, 1) {
-				continue
-			}
-			if wt < 0 {
-				panic(fmt.Sprintf("graph: negative arc weight %g on %d->%d", wt, u, a.To))
-			}
-			if nd := dist[u] + wt; nd < dist[a.To] {
-				dist[a.To] = nd
-				prevV[a.To] = u
-				prevArc[a.To] = a.ID
-				heap.Push(&q, pqItem{v: a.To, dist: nd})
-			}
-		}
+	for i := 0; i < n; i++ {
+		dist[i] = s.Dist(i)
+		prevV[i], prevArc[i] = s.Prev(i)
 	}
 	return dist, prevV, prevArc
 }
-
-func (a Arc) allowedTo(allowed []bool) bool { return allowed[a.To] }
 
 // ShortestPath returns the vertex sequence and arc-ID sequence of a
 // shortest src->dst path under w restricted to `allowed` (nil = all). The
 // boolean reports reachability.
 func (d *Digraph) ShortestPath(src, dst int, w WeightFunc, allowed []bool) (verts, arcs []int, ok bool) {
-	dist, prevV, prevArc := d.Dijkstra(src, w, allowed)
-	if math.IsInf(dist[dst], 1) {
+	var s SPSolver
+	s.Dijkstra(d, src, w, allowed)
+	verts, arcs, ok = s.PathTo(src, dst, nil, nil)
+	if !ok {
 		return nil, nil, false
 	}
-	for v := dst; v != src; v = prevV[v] {
-		verts = append(verts, v)
-		arcs = append(arcs, prevArc[v])
-	}
-	verts = append(verts, src)
-	reverseInts(verts)
-	reverseInts(arcs)
 	return verts, arcs, true
 }
 

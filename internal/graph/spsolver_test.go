@@ -1,0 +1,149 @@
+package graph
+
+import (
+	"container/heap"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// oraclePQ is the old container/heap-based priority queue, kept here as the
+// reference the boxing-free heap must match pop-for-pop. Equal-distance
+// vertices are popped in a heap-shape-dependent order that decides which of
+// several equal-cost shortest paths Dijkstra reports; the rewrite must not
+// change it, or previously cached/published mapping results would shift.
+type oraclePQ []pqItem
+
+func (q oraclePQ) Len() int            { return len(q) }
+func (q oraclePQ) Less(i, j int) bool  { return q[i].dist < q[j].dist }
+func (q oraclePQ) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *oraclePQ) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
+func (q *oraclePQ) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// oracleDijkstra is the pre-rewrite Dijkstra verbatim (container/heap,
+// fresh allocations).
+func oracleDijkstra(d *Digraph, src int, w WeightFunc, allowed []bool) (dist []float64, prevV, prevArc []int) {
+	n := d.NumVertices()
+	dist = make([]float64, n)
+	prevV = make([]int, n)
+	prevArc = make([]int, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		prevV[i] = -1
+		prevArc[i] = -1
+	}
+	if allowed != nil && !allowed[src] {
+		return dist, prevV, prevArc
+	}
+	dist[src] = 0
+	q := oraclePQ{{v: src, dist: 0}}
+	done := make([]bool, n)
+	for q.Len() > 0 {
+		it := heap.Pop(&q).(pqItem)
+		u := it.v
+		if done[u] || it.dist > dist[u] {
+			continue
+		}
+		done[u] = true
+		for _, a := range d.Out(u) {
+			if allowed != nil && !allowed[a.To] {
+				continue
+			}
+			wt := w(u, a)
+			if math.IsInf(wt, 1) {
+				continue
+			}
+			if nd := dist[u] + wt; nd < dist[a.To] {
+				dist[a.To] = nd
+				prevV[a.To] = u
+				prevArc[a.To] = a.ID
+				heap.Push(&q, pqItem{v: a.To, dist: nd})
+			}
+		}
+	}
+	return dist, prevV, prevArc
+}
+
+// TestSPSolverMatchesContainerHeapOracle stresses tie-breaking: random
+// graphs whose arc weights are drawn from a tiny set, so many equal-cost
+// paths exist and the predecessor choice is decided purely by heap pop
+// order. The solver (and therefore Digraph.Dijkstra, which wraps it) must
+// agree with the container/heap oracle on every distance AND every
+// predecessor.
+func TestSPSolverMatchesContainerHeapOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s := NewSPSolver()
+	for trial := 0; trial < 200; trial++ {
+		n := 4 + rng.Intn(24)
+		d := NewDigraph(n)
+		weights := make(map[int]float64)
+		arcs := 2 * n
+		for i := 0; i < arcs; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			id := d.NumArcs()
+			d.AddArc(u, v, id)
+			weights[id] = float64(rng.Intn(3)) // heavy tie pressure
+		}
+		var allowed []bool
+		if trial%3 == 0 {
+			allowed = make([]bool, n)
+			for i := range allowed {
+				allowed[i] = rng.Intn(4) > 0
+			}
+		}
+		w := func(_ int, a Arc) float64 { return weights[a.ID] }
+		src := rng.Intn(n)
+		if allowed != nil && !allowed[src] {
+			continue
+		}
+		wantDist, wantPrevV, wantPrevArc := oracleDijkstra(d, src, w, allowed)
+		s.Dijkstra(d, src, w, allowed)
+		for v := 0; v < n; v++ {
+			if got := s.Dist(v); got != wantDist[v] && !(math.IsInf(got, 1) && math.IsInf(wantDist[v], 1)) {
+				t.Fatalf("trial %d: dist[%d] = %v, oracle %v", trial, v, got, wantDist[v])
+			}
+			gotPV, gotPA := s.Prev(v)
+			if gotPV != wantPrevV[v] || gotPA != wantPrevArc[v] {
+				t.Fatalf("trial %d: prev[%d] = (%d,%d), oracle (%d,%d)",
+					trial, v, gotPV, gotPA, wantPrevV[v], wantPrevArc[v])
+			}
+		}
+	}
+}
+
+// TestSPSolverReuseAcrossSizes checks the epoch-stamped reset: a solver
+// shrunk onto a smaller graph must not leak distances from a previous
+// larger run.
+func TestSPSolverReuseAcrossSizes(t *testing.T) {
+	s := NewSPSolver()
+	big := NewDigraph(10)
+	for i := 0; i+1 < 10; i++ {
+		big.AddArc(i, i+1, i)
+	}
+	s.Dijkstra(big, 0, UnitWeight, nil)
+	if got := s.Dist(9); got != 9 {
+		t.Fatalf("chain dist = %v, want 9", got)
+	}
+	small := NewDigraph(3)
+	small.AddArc(0, 1, 0)
+	s.Dijkstra(small, 0, UnitWeight, nil)
+	if got := s.Dist(1); got != 1 {
+		t.Errorf("small dist[1] = %v, want 1", got)
+	}
+	if got := s.Dist(2); !math.IsInf(got, 1) {
+		t.Errorf("small dist[2] = %v, want +Inf (stale state leaked)", got)
+	}
+	verts, arcs, ok := s.PathTo(0, 1, nil, nil)
+	if !ok || len(verts) != 2 || len(arcs) != 1 {
+		t.Errorf("PathTo = %v %v %v", verts, arcs, ok)
+	}
+}

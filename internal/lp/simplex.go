@@ -1,10 +1,13 @@
-// Package lp provides a small dense linear-programming solver (two-phase
-// primal simplex with Bland's anti-cycling rule) used by SUNMAP's
-// LP-based floorplanner (Section 5 of the paper, after [21]). Problems are
-// stated as minimization over non-negative variables with <=, >= or =
-// constraints. The solver targets the floorplanner's scale (tens to a few
-// hundred variables); it is exact up to floating-point tolerance, not a
-// high-performance general solver.
+// Package lp provides a small dense linear-programming solver used by
+// SUNMAP's LP-based floorplanner (Section 5 of the paper, after [21]).
+// Problems are stated as minimization over non-negative variables with
+// <=, >= or = constraints. Inequality-only problems with a non-negative
+// objective — the floorplanner's shape — are solved by dual simplex from
+// the all-slack basis (no phase-1 artificials); everything else runs
+// two-phase primal simplex with a Dantzig entering rule that falls back
+// to Bland's anti-cycling rule under degeneracy. The solver targets the
+// floorplanner's scale (tens to a few hundred variables); it is exact up
+// to floating-point tolerance, not a high-performance general solver.
 package lp
 
 import (
@@ -80,7 +83,11 @@ type Solution struct {
 
 const eps = 1e-9
 
-// Solve runs two-phase simplex on p.
+// Solve minimizes p. Inequality-only problems with a non-negative
+// objective — the floorplanner's shape — start from the all-slack basis
+// and run dual simplex, which needs no phase-1 artificials at all; every
+// other problem (or a dual run hitting its safety cap) takes the general
+// two-phase primal path.
 func Solve(p Problem) (Solution, error) {
 	if p.NumVars <= 0 {
 		return Solution{}, fmt.Errorf("lp: no variables")
@@ -95,6 +102,106 @@ func Solve(p Problem) (Solution, error) {
 		return Solution{}, fmt.Errorf("lp: objective has %d coefficients for %d variables",
 			len(p.Objective), p.NumVars)
 	}
+	if sol, ok := solveDual(p); ok {
+		return sol, nil
+	}
+	return solveTwoPhase(p)
+}
+
+// solveDual runs dual simplex from the all-slack basis. It applies only
+// when every constraint is an inequality and every objective coefficient
+// is non-negative (so the slack basis is dual-feasible and the problem can
+// never be unbounded below). Returns ok=false when the problem does not
+// qualify or the iteration cap trips, in which case the caller falls back
+// to the two-phase primal solver.
+func solveDual(p Problem) (Solution, bool) {
+	for _, c := range p.Objective {
+		if c < 0 {
+			return Solution{}, false
+		}
+	}
+	for _, c := range p.Constraints {
+		if c.Rel == EQ {
+			return Solution{}, false
+		}
+	}
+	m := len(p.Constraints)
+	n := p.NumVars
+	if m == 0 {
+		return Solution{Status: Optimal, X: make([]float64, n)}, true
+	}
+	total := n + m
+	tab := make([][]float64, m)
+	basis := make([]int, m)
+	for i, c := range p.Constraints {
+		row := make([]float64, total+1)
+		sign := 1.0
+		if c.Rel == GE { // a·x >= b  ⇔  -a·x <= -b
+			sign = -1
+		}
+		for j, v := range c.Coeffs {
+			row[j] = sign * v
+		}
+		row[total] = sign * c.RHS
+		row[n+i] = 1
+		basis[i] = n + i
+		tab[i] = row
+	}
+	// Reduced costs start at the objective itself (all basis costs are 0)
+	// and stay non-negative throughout — the dual-feasibility invariant.
+	z := make([]float64, total+1)
+	copy(z, p.Objective)
+	for iter := 0; ; iter++ {
+		if iter > 50000 {
+			return Solution{}, false // stalled; let two-phase decide
+		}
+		// Leaving row: most negative RHS (most violated constraint),
+		// ties toward the smallest basis index for determinism.
+		leave := -1
+		worst := -eps
+		for i := 0; i < m; i++ {
+			if r := tab[i][total]; r < worst-eps || (r < worst+eps && r < -eps && (leave == -1 || basis[i] < basis[leave])) {
+				worst = r
+				leave = i
+			}
+		}
+		if leave == -1 {
+			// Primal feasible and still dual feasible: optimal.
+			x := make([]float64, n)
+			for i, b := range basis {
+				if b < n {
+					x[b] = tab[i][total]
+				}
+			}
+			var objVal float64
+			for j := 0; j < n && j < len(p.Objective); j++ {
+				objVal += p.Objective[j] * x[j]
+			}
+			return Solution{Status: Optimal, X: x, Objective: objVal}, true
+		}
+		// Entering column: dual ratio test over negative row entries,
+		// ties toward the smallest column index.
+		enter := -1
+		best := math.Inf(1)
+		row := tab[leave]
+		for j := 0; j < total; j++ {
+			if a := row[j]; a < -eps {
+				if ratio := z[j] / -a; ratio < best-eps {
+					best = ratio
+					enter = j
+				}
+			}
+		}
+		if enter == -1 {
+			// The violated row has no negative coefficient: infeasible.
+			return Solution{Status: Infeasible}, true
+		}
+		pivotWithZ(tab, basis, z, leave, enter)
+	}
+}
+
+// solveTwoPhase is the general two-phase primal simplex.
+func solveTwoPhase(p Problem) (Solution, error) {
 
 	m := len(p.Constraints)
 	n := p.NumVars
@@ -219,6 +326,20 @@ func Solve(p Problem) (Solution, error) {
 		return Solution{Status: Optimal, X: make([]float64, n)}, nil
 	}
 
+	// Drop the artificial columns before phase 2: they are barred from
+	// entering and every basis index is now below artStart, so their
+	// entries are dead weight every pivot would still stream over. Moving
+	// the RHS down into the first artificial column changes no arithmetic
+	// phase 2 performs. With the floorplanner's many >=/= rows this cuts
+	// each tableau row by a third.
+	if numArt > 0 {
+		for i := range tab {
+			tab[i][artStart] = tab[i][total]
+			tab[i] = tab[i][:artStart+1]
+		}
+		total = artStart
+	}
+
 	// Phase 2: original objective, artificial columns barred.
 	cost := make([]float64, total)
 	copy(cost, p.Objective)
@@ -263,18 +384,33 @@ func simplex(tab [][]float64, basis []int, cost []float64, barFrom int) (float64
 			z[j] -= cb * tab[i][j]
 		}
 	}
+	// Entering rule: Dantzig (most negative reduced cost) converges in far
+	// fewer pivots than Bland on the floorplanner's LPs, but alone it can
+	// cycle on degenerate bases. A streak of degenerate (zero-progress)
+	// pivots therefore flips the search to Bland's rule, whose
+	// anti-cycling guarantee then ensures termination.
+	useBland := false
+	degenerate := 0
 	for iter := 0; ; iter++ {
 		if iter > 200000 {
-			// Bland's rule guarantees termination; this is a belt-and-
-			// braces guard against NaN-poisoned tableaus.
+			// Termination belt-and-braces against NaN-poisoned tableaus.
 			return -z[total], Optimal
 		}
-		// Bland: entering = smallest index with negative reduced cost.
 		enter := -1
-		for j := 0; j < barFrom; j++ {
-			if z[j] < -eps {
-				enter = j
-				break
+		if useBland {
+			for j := 0; j < barFrom; j++ {
+				if z[j] < -eps {
+					enter = j
+					break
+				}
+			}
+		} else {
+			most := -eps
+			for j := 0; j < barFrom; j++ {
+				if z[j] < most {
+					most = z[j]
+					enter = j
+				}
 			}
 		}
 		if enter == -1 {
@@ -295,6 +431,13 @@ func simplex(tab [][]float64, basis []int, cost []float64, barFrom int) (float64
 		}
 		if leave == -1 {
 			return 0, Unbounded
+		}
+		if best <= eps {
+			if degenerate++; degenerate > 256 {
+				useBland = true
+			}
+		} else {
+			degenerate = 0
 		}
 		pivotWithZ(tab, basis, z, leave, enter)
 	}

@@ -257,3 +257,56 @@ func TestSimplexMatchesBruteForce2D(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestDualMatchesTwoPhase is the regression gate for the dual-simplex
+// fast path: on random inequality-only problems with non-negative
+// objectives (the floorplanner's shape, where solveDual is live) the dual
+// and two-phase solvers must agree on status and — optima being unique in
+// value even when vertices are not — on the objective. Shapes mimic the
+// floorplanner's rows: lower/upper bounds, tangent-style couplings and
+// covering constraints, with degenerate ties common.
+func TestDualMatchesTwoPhase(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		p := Problem{NumVars: n, Objective: make([]float64, n)}
+		for j := range p.Objective {
+			p.Objective[j] = float64(rng.Intn(3)) // zeros included
+		}
+		rows := 2 + rng.Intn(12)
+		for k := 0; k < rows; k++ {
+			coeffs := make([]float64, n)
+			nz := 1 + rng.Intn(3)
+			for t := 0; t < nz; t++ {
+				coeffs[rng.Intn(n)] = float64(rng.Intn(5) - 2)
+			}
+			rhs := float64(rng.Intn(7) - 1)
+			if rng.Intn(2) == 0 {
+				p.AddConstraint(coeffs, LE, rhs)
+			} else {
+				p.AddConstraint(coeffs, GE, rhs)
+			}
+		}
+		dual, ok := solveDual(p)
+		if !ok {
+			return true // fell back; nothing to compare
+		}
+		ref, err := solveTwoPhase(p)
+		if err != nil {
+			return false
+		}
+		if dual.Status != ref.Status {
+			return false
+		}
+		if dual.Status != Optimal {
+			return true
+		}
+		if !feasible(p, dual.X) {
+			return false
+		}
+		return math.Abs(dual.Objective-ref.Objective) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,168 @@
+package mapping
+
+import (
+	"context"
+	"testing"
+
+	"sunmap/internal/apps"
+	"sunmap/internal/graph"
+	"sunmap/internal/route"
+	"sunmap/internal/topology"
+)
+
+// benchCases are the ISSUE-4 tracked configurations: the two hot apps
+// under the two objectives the swap loop most often runs with. Results
+// land in BENCH_4.json via scripts/bench.sh.
+var benchCases = []struct {
+	name string
+	app  func() *graph.CoreGraph
+	opts Options
+}{
+	{"vopd/min-delay", apps.VOPD, Options{Routing: route.MinPath, Objective: MinDelay, CapacityMBps: 500}},
+	{"vopd/weighted", apps.VOPD, Options{Routing: route.MinPath, Objective: Weighted,
+		Weights: Weights{Delay: 1, Area: 1, Power: 1}, CapacityMBps: 500}},
+	{"mpeg4/min-delay", apps.MPEG4, Options{Routing: route.MinPath, Objective: MinDelay, CapacityMBps: 500}},
+	{"mpeg4/weighted", apps.MPEG4, Options{Routing: route.MinPath, Objective: Weighted,
+		Weights: Weights{Delay: 1, Area: 1, Power: 1}, CapacityMBps: 500}},
+}
+
+// BenchmarkMap times one full Map call (greedy seed, incremental swap
+// search, final LP floorplan) on a 3x4 mesh, and — under the swap-eval
+// sub-benchmarks — the steady-state cost of evaluating one candidate swap,
+// which must stay at 0 allocs/op. Run with:
+//
+//	go test -bench BenchmarkMap -benchmem ./internal/mapping
+func BenchmarkMap(b *testing.B) {
+	for _, tc := range benchCases {
+		g := tc.app()
+		topo := mustTopo(topology.NewMesh(3, 4))
+		b.Run(tc.name+"/full", func(b *testing.B) {
+			sc := NewScratch()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := MapContextWith(context.Background(), g, topo, tc.opts, sc); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(tc.name+"/swap-eval", func(b *testing.B) {
+			st, assign, occupant := benchSweepState(b, g, topo, tc.opts)
+			pairA, pairB := benchSwapPair(occupant)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ca, cb := occupant[pairA], occupant[pairB]
+				swapTerminals(assign, occupant, pairA, pairB)
+				if _, err := st.eval(assign, ca, cb, false); err != nil {
+					b.Fatal(err)
+				}
+				swapTerminals(assign, occupant, pairA, pairB) // reject
+			}
+		})
+	}
+}
+
+// benchSweepState builds an incremental evaluator positioned after the
+// seed evaluation, the state every in-loop candidate evaluation runs from.
+func benchSweepState(tb testing.TB, g *graph.CoreGraph, topo topology.Topology, opts Options) (*incState, []int, []int) {
+	tb.Helper()
+	opts = opts.withDefaults()
+	sc := NewScratch()
+	ev := &evaluator{g: g, topo: topo, comms: g.Commodities(), opts: opts}
+	st := &sc.inc
+	st.bind(ev, sc.rt)
+	assign := greedyInitial(g, topo)
+	base, err := st.evalInitial(assign)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	ev.norm = base.raw
+	occupant := make([]int, topo.NumTerminals())
+	for t := range occupant {
+		occupant[t] = -1
+	}
+	for c, t := range assign {
+		occupant[t] = c
+	}
+	return st, assign, occupant
+}
+
+// benchSwapPair picks two occupied terminals to toggle.
+func benchSwapPair(occupant []int) (int, int) {
+	a := -1
+	for t, c := range occupant {
+		if c == -1 {
+			continue
+		}
+		if a == -1 {
+			a = t
+			continue
+		}
+		return a, t
+	}
+	panic("fewer than two occupied terminals")
+}
+
+// TestSwapEvalAllocFree is the hard gate behind the swap-eval benchmark:
+// once warmed, evaluating a candidate swap must not allocate at all, for
+// every tracked configuration and for dimension-ordered routing.
+func TestSwapEvalAllocFree(t *testing.T) {
+	cases := benchCases
+	cases = append(cases, struct {
+		name string
+		app  func() *graph.CoreGraph
+		opts Options
+	}{"vopd/do", apps.VOPD, Options{Routing: route.DimensionOrdered, Objective: MinDelay, CapacityMBps: 500}})
+	for _, tc := range cases {
+		g := tc.app()
+		topo := mustTopo(topology.NewMesh(3, 4))
+		st, assign, occupant := benchSweepState(t, g, topo, tc.opts)
+		pairA, pairB := benchSwapPair(occupant)
+		run := func() {
+			ca, cb := occupant[pairA], occupant[pairB]
+			swapTerminals(assign, occupant, pairA, pairB)
+			if _, err := st.eval(assign, ca, cb, false); err != nil {
+				t.Fatal(err)
+			}
+			swapTerminals(assign, occupant, pairA, pairB)
+		}
+		// Warm caches (quadrant masks, heap/path capacities) with a full
+		// sweep's worth of pair positions, then measure.
+		for a := 0; a < topo.NumTerminals(); a++ {
+			for b := a + 1; b < topo.NumTerminals(); b++ {
+				if occupant[a] == -1 && occupant[b] == -1 {
+					continue
+				}
+				ca, cb := occupant[a], occupant[b]
+				swapTerminals(assign, occupant, a, b)
+				if _, err := st.eval(assign, ca, cb, false); err != nil {
+					t.Fatal(err)
+				}
+				swapTerminals(assign, occupant, a, b)
+			}
+		}
+		if allocs := testing.AllocsPerRun(200, run); allocs != 0 {
+			t.Errorf("%s: steady-state swap evaluation allocates %.1f objects/op, want 0", tc.name, allocs)
+		}
+	}
+}
+
+// BenchmarkRoute is covered in internal/route; this sibling measures the
+// route stack as the mapper drives it — scratch router, loads only —
+// against the allocating public entry point, on the mapped seed
+// assignment.
+func BenchmarkRouteViaMapper(b *testing.B) {
+	g := apps.VOPD()
+	topo := mustTopo(topology.NewMesh(3, 4))
+	assign := greedyInitial(g, topo)
+	comms := g.Commodities()
+	opts := route.Options{Function: route.MinPath, CapacityMBps: 500, LoadsOnly: true}
+	rt := route.NewRouter()
+	var res route.Result
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := rt.RouteInto(&res, topo, assign, comms, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

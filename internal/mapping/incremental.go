@@ -1,0 +1,532 @@
+// Incremental swap evaluation.
+//
+// The reference sweep evaluates a candidate swap by re-routing every
+// commodity from scratch and re-running the whole area/power cost model.
+// The incremental evaluator in this file produces *bit-identical* results
+// while doing a small fraction of that work. Two facts make this possible:
+//
+//  1. Routing is a deterministic function of its visible inputs. A
+//     commodity's path depends only on its terminal pair and — for the
+//     congestion-aware MinPath function — on the link loads inside its
+//     quadrant at its position in the fixed decreasing-bandwidth order.
+//     When a candidate evaluation replays commodities in that order, any
+//     commodity whose endpoints did not move and whose quadrant contains
+//     no link where the candidate's load history diverged from the
+//     baseline's would run Dijkstra over identical weights and produce the
+//     identical path, so its cached baseline path is spliced in instead.
+//     Divergence ("dirty" links) only arises from commodities that were
+//     actually re-routed onto a different path, which a swap keeps local.
+//     Dimension-ordered paths read no loads at all, so only the moved
+//     commodities ever re-route. The splitting functions splice at the
+//     whole-commodity granularity: a commodity's chunk decomposition is a
+//     deterministic function of the loads it can read (the minimum-hop
+//     DAG's arcs for SM, everything for SA), so when none of those
+//     diverged, the recorded merged-path/chunk structure is replayed with
+//     the identical add/undo/commit arithmetic.
+//
+//  2. The scalar cost folds are replayed, not patched. Candidate link and
+//     router loads are rebuilt in commodity order into reusable arrays
+//     (bitwise equal to a from-scratch route because each element sees the
+//     same additions in the same order), and the area/power aggregation
+//     then runs the very same loops over them — same functions, same
+//     iteration order, so the floats match to the last ulp and every swap
+//     accept/reject decision lands exactly as the reference's would.
+//     Assignment-independent terms (estimated link lengths and their
+//     wiring area, total core area, NI hookup power) are computed once per
+//     Map call; they are constants of the replayed expressions, not
+//     approximations, so no drift can accumulate and no periodic full
+//     re-evaluation is needed.
+//
+// Everything the evaluator touches lives in a Scratch so steady-state
+// candidate evaluation allocates nothing (BenchmarkMap/swap-eval asserts
+// 0 allocs/op).
+package mapping
+
+import (
+	"context"
+	"slices"
+
+	"sunmap/internal/area"
+	"sunmap/internal/floorplan"
+	"sunmap/internal/graph"
+	"sunmap/internal/power"
+	"sunmap/internal/route"
+	"sunmap/internal/topology"
+)
+
+// Scratch holds the reusable state of one mapping worker: the routing
+// solver and the incremental evaluator's load arrays, path buffers and
+// switch-config scratch. Buffers are bound to a topology per Map call and
+// regrown as needed, so one Scratch serves an entire library sweep. It is
+// single-goroutine state: give each worker its own (internal/engine pools
+// them via internal/pool.Free).
+type Scratch struct {
+	rt  *route.Router
+	inc incState
+}
+
+// NewScratch returns an empty Scratch; buffers grow on first use.
+func NewScratch() *Scratch { return &Scratch{rt: route.NewRouter()} }
+
+// incState is the incremental candidate evaluator.
+type incState struct {
+	ev    *evaluator
+	rt    *route.Router
+	topo  topology.Topology
+	comms []graph.Commodity
+	links []topology.Link
+
+	oblivious     bool // DO: paths are load-independent
+	loadSensitive bool // MP: paths read link loads inside the quadrant
+	splitMin      bool // SM: chunk paths read loads on the min-hop DAG
+	splitAll      bool // SA: chunk paths read loads anywhere
+	effChunks     int  // splitting granularity after defaulting
+
+	// Assignment-independent constants of the cost model.
+	cores    []graph.Core
+	linkLens []float64
+	linkArea float64
+	coreArea float64
+	niMW     float64
+
+	// Baseline: the routed structure of every commodity under the
+	// currently accepted assignment.
+	base []flowRec
+
+	// Candidate scratch, rebuilt by every eval call.
+	res             route.Result // loads + hop/total aggregates
+	cand            []flowRec
+	reroutedIDs     []int
+	dirtyMark       []int
+	dirtyIDs        []int
+	dirtyEpoch      int
+	coreIn, coreOut []int
+	cfgs            []area.SwitchConfig
+	scratchEval     evalResult
+}
+
+// sweepIncremental runs the pairwise-swap improvement with the incremental
+// evaluator. It mirrors sweepReference move for move; only the candidate
+// evaluation mechanism differs.
+func sweepIncremental(ctx context.Context, ev *evaluator, assign, occupant []int, sc *Scratch) (int, error) {
+	st := &sc.inc
+	st.bind(ev, sc.rt)
+	baseCost, err := st.evalInitial(assign)
+	if err != nil {
+		return 0, err
+	}
+	ev.norm = baseCost.raw // normalize weighted objectives by the seed mapping
+	curCost := ev.objective(baseCost)
+	numT := ev.topo.NumTerminals()
+	swaps := 0
+	for pass := 0; pass < ev.opts.SwapPasses; pass++ {
+		improved := false
+		for a := 0; a < numT; a++ {
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
+			for b := a + 1; b < numT; b++ {
+				if occupant[a] == -1 && occupant[b] == -1 {
+					continue
+				}
+				ca, cb := occupant[a], occupant[b] // the cores about to move
+				swapTerminals(assign, occupant, a, b)
+				cand, err := st.eval(assign, ca, cb, false)
+				if err != nil {
+					return 0, err
+				}
+				if c := ev.objective(cand); c < curCost-1e-12 {
+					curCost = c
+					improved = true
+					swaps++
+					st.promote()
+				} else {
+					swapTerminals(assign, occupant, a, b) // undo
+				}
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return swaps, nil
+}
+
+// bind attaches the evaluator state to one Map call, resizing buffers and
+// precomputing the assignment-independent cost-model terms.
+func (st *incState) bind(ev *evaluator, rt *route.Router) {
+	st.ev = ev
+	st.rt = rt
+	st.topo = ev.topo
+	st.comms = ev.comms
+	st.links = ev.topo.Links()
+	rt.Bind(ev.topo)
+
+	fn := ev.opts.Routing
+	st.oblivious = fn == route.DimensionOrdered
+	st.loadSensitive = fn == route.MinPath
+	st.splitMin = fn == route.SplitMin
+	st.splitAll = fn == route.SplitAll
+	st.effChunks = ev.opts.Chunks
+	if st.effChunks <= 0 {
+		st.effChunks = route.DefaultChunks
+	}
+
+	st.cores = ev.g.Cores()
+	// Estimated link lengths depend only on the topology template and the
+	// application's average core pitch — not on the assignment — so the
+	// in-loop wiring-area term is a per-Map constant.
+	st.linkLens, _ = floorplan.EstimateLinkLengthsMM(st.topo, nil, st.cores, ev.opts.Floorplan)
+	st.linkArea = area.LinkAreaMM2(st.linkLens, ev.opts.Tech)
+	st.coreArea = ev.g.TotalCoreAreaMM2()
+	st.niMW = ev.niHookupMW(st.cores)
+
+	m := len(st.comms)
+	st.base = resizeRecs(st.base, m)
+	st.cand = resizeRecs(st.cand, m)
+	st.reroutedIDs = st.reroutedIDs[:0]
+
+	l, r := len(st.links), st.topo.NumRouters()
+	st.dirtyMark = resizeInts(st.dirtyMark, l)
+	st.dirtyIDs = st.dirtyIDs[:0]
+	st.dirtyEpoch = 0
+	st.coreIn = resizeInts(st.coreIn, r)
+	st.coreOut = resizeInts(st.coreOut, r)
+	if cap(st.cfgs) < r {
+		st.cfgs = make([]area.SwitchConfig, r)
+	}
+	st.cfgs = st.cfgs[:r]
+}
+
+// evalInitial evaluates the seed assignment with a full re-route and
+// promotes its paths to the baseline.
+func (st *incState) evalInitial(assign []int) (*evalResult, error) {
+	e, err := st.eval(assign, -1, -1, true)
+	if err != nil {
+		return nil, err
+	}
+	st.promote()
+	return e, nil
+}
+
+// eval evaluates the current assignment. ca and cb are the cores the
+// preceding swap moved (-1 when a terminal was free); all forces a full
+// re-route of every commodity. The returned evalResult is scratch, valid
+// until the next eval call.
+func (st *incState) eval(assign []int, ca, cb int, all bool) (*evalResult, error) {
+	opts := st.ev.opts
+	res := &st.res
+	res.Reset(len(st.links), st.topo.NumRouters())
+	st.dirtyEpoch++
+	st.dirtyIDs = st.dirtyIDs[:0]
+	st.reroutedIDs = st.reroutedIDs[:0]
+
+	for k := range st.comms {
+		c := st.comms[k]
+		reroute := all || c.Src == ca || c.Dst == ca || c.Src == cb || c.Dst == cb
+		if !reroute && len(st.dirtyIDs) > 0 {
+			// Re-route when a diverged link is one this commodity's
+			// search could read a weight from; links outside that region
+			// cannot influence the (deterministic) search, so the cached
+			// record is provably what a fresh run would produce.
+			switch {
+			case st.oblivious:
+				// DO paths read no loads at all.
+			case st.loadSensitive:
+				reroute = st.dirtyVisible(st.rt.Quadrant(assign[c.Src], assign[c.Dst]))
+			case st.splitMin:
+				reroute = st.dirtyOnDAG(st.rt.MinHopDAG(assign[c.Src], assign[c.Dst]))
+			case st.splitAll:
+				reroute = true
+			}
+		}
+		if !reroute {
+			st.applyRec(res, c, &st.base[k])
+			continue
+		}
+		srcT, dstT := assign[c.Src], assign[c.Dst]
+		rec := &st.cand[k]
+		var err error
+		switch {
+		case st.splitMin || st.splitAll:
+			err = st.rerouteSplit(res, srcT, dstT, c, rec)
+		case st.oblivious:
+			var verts, arcs []int
+			verts, arcs, err = st.rt.PathDO(srcT, dstT, c)
+			if err == nil {
+				rec.setSingle(verts, arcs)
+				st.applySingle(res, c, verts, arcs)
+			}
+		default:
+			var verts, arcs []int
+			verts, arcs, err = st.rt.PathMP(srcT, dstT, c, res.LinkLoads, true)
+			if err == nil {
+				rec.setSingle(verts, arcs)
+				st.applySingle(res, c, verts, arcs)
+			}
+		}
+		if err != nil {
+			return nil, err
+		}
+		st.reroutedIDs = append(st.reroutedIDs, k)
+		if !all && !st.oblivious && !recEqual(rec, &st.base[k]) {
+			// The candidate's load history now differs from the
+			// baseline's on the symmetric difference of the two records'
+			// arcs; marking the union is a conservative superset.
+			st.markRecDirty(&st.base[k])
+			st.markRecDirty(rec)
+		}
+	}
+	route.FinalizeLoads(res, opts.CapacityMBps)
+	return st.buildEval(assign)
+}
+
+// rerouteSplit routes one split commodity through the scratch router
+// (which applies every aggregate itself) and copies the merged structure
+// into rec.
+func (st *incState) rerouteSplit(res *route.Result, srcT, dstT int, c graph.Commodity, rec *flowRec) error {
+	n, err := st.rt.RouteSplitOne(res, srcT, dstT, c, st.effChunks, st.splitMin)
+	if err != nil {
+		return err
+	}
+	rec.split = true
+	rec.n = n
+	rec.verts = resizePathBufs(rec.verts, n)
+	rec.arcs = resizePathBufs(rec.arcs, n)
+	if cap(rec.fracs) < n {
+		rec.fracs = make([]float64, n)
+	}
+	rec.fracs = rec.fracs[:n]
+	for i := 0; i < n; i++ {
+		v, a, f := st.rt.SplitPath(i)
+		rec.verts[i] = append(rec.verts[i][:0], v...)
+		rec.arcs[i] = append(rec.arcs[i][:0], a...)
+		rec.fracs[i] = f
+	}
+	rec.chunkAcc = append(rec.chunkAcc[:0], st.rt.SplitChunkAcc()...)
+	return nil
+}
+
+// promote adopts the records of the just-evaluated (accepted) candidate
+// as the new baseline by swapping buffers — no copies.
+func (st *incState) promote() {
+	for _, k := range st.reroutedIDs {
+		st.base[k], st.cand[k] = st.cand[k], st.base[k]
+	}
+}
+
+// applyRec replays a commodity's recorded routing into the candidate
+// aggregates.
+func (st *incState) applyRec(res *route.Result, c graph.Commodity, rec *flowRec) {
+	if !rec.split {
+		st.applySingle(res, c, rec.verts[0], rec.arcs[0])
+		return
+	}
+	// Replicate routeSplit's arithmetic: per-chunk load application (so
+	// every += lands in the same order with the same operand), the
+	// per-merged-path undo, then the commit fold.
+	frac := 1.0 / float64(st.effChunks)
+	for _, ai := range rec.chunkAcc {
+		bw := c.ValueMBps * frac
+		for _, id := range rec.arcs[ai] {
+			res.LinkLoads[id] += bw
+		}
+	}
+	for i := 0; i < rec.n; i++ {
+		bw := c.ValueMBps * rec.fracs[i]
+		for _, id := range rec.arcs[i] {
+			res.LinkLoads[id] -= bw
+		}
+	}
+	for i := 0; i < rec.n; i++ {
+		bw := c.ValueMBps * rec.fracs[i]
+		for _, id := range rec.arcs[i] {
+			res.LinkLoads[id] += bw
+		}
+		for _, r := range rec.verts[i] {
+			res.RouterLoads[r] += bw
+		}
+		res.HopSumMBps += bw * float64(len(rec.verts[i]))
+		res.TotalMBps += bw
+	}
+}
+
+// applySingle folds one whole-commodity path into the candidate
+// aggregates with exactly the arithmetic (and order) of route's commit.
+func (st *incState) applySingle(res *route.Result, c graph.Commodity, verts, arcs []int) {
+	bw := c.ValueMBps * 1.0
+	for _, id := range arcs {
+		res.LinkLoads[id] += bw
+	}
+	for _, r := range verts {
+		res.RouterLoads[r] += bw
+	}
+	res.HopSumMBps += bw * float64(len(verts))
+	res.TotalMBps += bw
+}
+
+// dirtyVisible reports whether any diverged link is inside the quadrant
+// mask (both endpoints allowed — the superset of arcs a restricted
+// Dijkstra can query).
+func (st *incState) dirtyVisible(mask []bool) bool {
+	for _, id := range st.dirtyIDs {
+		l := st.links[id]
+		if mask == nil || (mask[l.From] && mask[l.To]) {
+			return true
+		}
+	}
+	return false
+}
+
+// dirtyOnDAG reports whether any diverged link lies on the commodity's
+// minimum-hop DAG — the only arcs an SM chunk search reads loads from.
+func (st *incState) dirtyOnDAG(dag []bool) bool {
+	for _, id := range st.dirtyIDs {
+		if dag[id] {
+			return true
+		}
+	}
+	return false
+}
+
+// markRecDirty records a routing record's links as diverged,
+// deduplicated by an epoch stamp.
+func (st *incState) markRecDirty(rec *flowRec) {
+	for i := 0; i < rec.n; i++ {
+		for _, id := range rec.arcs[i] {
+			if st.dirtyMark[id] != st.dirtyEpoch {
+				st.dirtyMark[id] = st.dirtyEpoch
+				st.dirtyIDs = append(st.dirtyIDs, id)
+			}
+		}
+	}
+}
+
+// buildEval replays the in-loop cost model over the candidate loads: the
+// same switch-config derivation, area fold and power fold as ev.cost runs,
+// over the same element order, with the per-Map constants substituted for
+// the assignment-independent terms. The result is bitwise equal to
+// ev.cost(assign, nil)'s metrics.
+func (st *incState) buildEval(assign []int) (*evalResult, error) {
+	topo := st.topo
+	t := st.ev.opts.Tech
+	for r := range st.coreIn {
+		st.coreIn[r] = 0
+		st.coreOut[r] = 0
+	}
+	for _, term := range assign {
+		st.coreIn[topo.InjectRouter(term)]++
+		st.coreOut[topo.EjectRouter(term)]++
+	}
+	for r := range st.cfgs {
+		in, out := topo.RouterDegree(r)
+		st.cfgs[r] = area.SwitchConfig{
+			In:            in + st.coreIn[r],
+			Out:           out + st.coreOut[r],
+			BufDepthFlits: t.BufDepthFlits,
+			FlitBits:      t.FlitBits,
+		}
+	}
+	var swArea float64
+	for _, c := range st.cfgs {
+		swArea += area.SwitchAreaMM2(c, t)
+	}
+	bk, err := power.NetworkPowerBreakdown(st.cfgs, st.res.RouterLoads, st.res.LinkLoads, st.linkLens, t)
+	if err != nil {
+		return nil, err
+	}
+	bk.LinkMW += st.niMW
+	networkArea := swArea + st.linkArea
+	designArea := st.coreArea + networkArea
+
+	e := &st.scratchEval
+	*e = evalResult{
+		route:       &st.res,
+		cfgs:        st.cfgs,
+		designArea:  designArea,
+		networkArea: networkArea,
+		powerMW:     bk.TotalMW(),
+		powerBk:     bk,
+		raw: rawMetrics{
+			hops:    st.res.AvgHops(),
+			areaMM2: designArea,
+			powerMW: bk.TotalMW(),
+		},
+	}
+	return e, nil
+}
+
+// flowRec is one commodity's recorded routing under an assignment: a
+// single path (split=false, one entry) or the merged-path structure of a
+// split routing plus the chunk-to-path assignment needed to replay its
+// exact load arithmetic. Buffers are reused across candidates.
+type flowRec struct {
+	split    bool
+	n        int
+	verts    [][]int
+	arcs     [][]int
+	fracs    []float64
+	chunkAcc []int
+}
+
+// setSingle records a whole-commodity path (copying out of router
+// scratch).
+func (rec *flowRec) setSingle(verts, arcs []int) {
+	rec.split = false
+	rec.n = 1
+	rec.verts = resizePathBufs(rec.verts, 1)
+	rec.arcs = resizePathBufs(rec.arcs, 1)
+	rec.verts[0] = append(rec.verts[0][:0], verts...)
+	rec.arcs[0] = append(rec.arcs[0][:0], arcs...)
+}
+
+// recEqual reports whether two records describe the identical routing
+// (same paths, same chunk folding) — in which case their load histories
+// coincide and no dirty marking is needed.
+func recEqual(a, b *flowRec) bool {
+	if a.split != b.split || a.n != b.n {
+		return false
+	}
+	for i := 0; i < a.n; i++ {
+		if !slices.Equal(a.arcs[i], b.arcs[i]) {
+			return false
+		}
+	}
+	if a.split && !slices.Equal(a.chunkAcc, b.chunkAcc) {
+		return false
+	}
+	return true
+}
+
+// resizeRecs grows a flow-record table to n entries, keeping existing
+// buffers for reuse.
+func resizeRecs(recs []flowRec, n int) []flowRec {
+	if cap(recs) < n {
+		grown := make([]flowRec, n)
+		copy(grown, recs)
+		return grown
+	}
+	return recs[:n]
+}
+
+// resizePathBufs grows a per-commodity path-buffer table to n entries,
+// keeping existing buffers for reuse.
+func resizePathBufs(bufs [][]int, n int) [][]int {
+	if cap(bufs) < n {
+		grown := make([][]int, n)
+		copy(grown, bufs)
+		return grown
+	}
+	return bufs[:n]
+}
+
+func resizeInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}

@@ -150,6 +150,25 @@ func Map(g *graph.CoreGraph, topo topology.Topology, opts Options) (*Result, err
 // ctx between sweep rows and aborts with the context's error, so a long
 // library sweep can be cut short by a deadline or a user interrupt.
 func MapContext(ctx context.Context, g *graph.CoreGraph, topo topology.Topology, opts Options) (*Result, error) {
+	return mapContext(ctx, g, topo, opts, nil, false)
+}
+
+// MapContextWith is MapContext with caller-owned scratch: the routing
+// solver, candidate-load arrays and baseline-path buffers of the swap
+// search come from sc and are reused by the next call, so a worker mapping
+// many design points performs no steady-state allocations. A Scratch
+// serves one call at a time; internal/engine keeps a free list with one
+// per evaluation worker.
+func MapContextWith(ctx context.Context, g *graph.CoreGraph, topo topology.Topology, opts Options, sc *Scratch) (*Result, error) {
+	return mapContext(ctx, g, topo, opts, sc, false)
+}
+
+// mapContext is the shared implementation. When reference is set, the swap
+// sweep evaluates every candidate with the retained naive evaluator
+// (full re-route + full cost model per candidate) instead of the
+// incremental one — the equivalence tests run both and assert identical
+// results, which is the regression gate for the incremental path.
+func mapContext(ctx context.Context, g *graph.CoreGraph, topo topology.Topology, opts Options, sc *Scratch, reference bool) (*Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -169,18 +188,6 @@ func MapContext(ctx context.Context, g *graph.CoreGraph, topo topology.Topology,
 	ev := &evaluator{g: g, topo: topo, comms: comms, opts: opts}
 
 	assign := greedyInitial(g, topo)
-	baseCost, err := ev.cost(assign, nil)
-	if err != nil {
-		return nil, err
-	}
-	ev.norm = baseCost.raw // normalize weighted objectives by the seed mapping
-	curCost := ev.objective(baseCost)
-
-	// Pairwise-swap improvement over all terminal pairs (occupied-occupied
-	// and occupied-free), first-improvement sweeps: every swap that lowers
-	// the cost is applied immediately, and sweeps repeat until one passes
-	// with no improvement (or the pass cap is hit). This generalizes the
-	// paper's "repeat steps 2 to 8 for each pair-wise swap of vertices".
 	occupant := make([]int, topo.NumTerminals()) // terminal -> core or -1
 	for t := range occupant {
 		occupant[t] = -1
@@ -188,34 +195,30 @@ func MapContext(ctx context.Context, g *graph.CoreGraph, topo topology.Topology,
 	for c, t := range assign {
 		occupant[t] = c
 	}
-	swaps := 0
-	for pass := 0; pass < opts.SwapPasses; pass++ {
-		improved := false
-		for a := 0; a < topo.NumTerminals(); a++ {
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
-			for b := a + 1; b < topo.NumTerminals(); b++ {
-				if occupant[a] == -1 && occupant[b] == -1 {
-					continue
-				}
-				swapTerminals(assign, occupant, a, b)
-				cand, err := ev.cost(assign, nil)
-				if err != nil {
-					return nil, err
-				}
-				if c := ev.objective(cand); c < curCost-1e-12 {
-					curCost = c
-					improved = true
-					swaps++
-				} else {
-					swapTerminals(assign, occupant, a, b) // undo
-				}
-			}
+
+	// Pairwise-swap improvement over all terminal pairs (occupied-occupied
+	// and occupied-free), first-improvement sweeps: every swap that lowers
+	// the cost is applied immediately, and sweeps repeat until one passes
+	// with no improvement (or the pass cap is hit). This generalizes the
+	// paper's "repeat steps 2 to 8 for each pair-wise swap of vertices".
+	//
+	// The incremental sweep re-routes only the commodities a swap can
+	// affect and recomputes the cost model from maintained load arrays;
+	// it produces bit-identical decisions to the reference sweep (see
+	// incremental.go for why). The paper-faithful LP-in-the-loop mode
+	// stays on the reference evaluator, which runs the floorplanner.
+	var swaps int
+	var err error
+	if reference || opts.ExactFloorplanInLoop {
+		swaps, err = sweepReference(ctx, ev, assign, occupant)
+	} else {
+		if sc == nil {
+			sc = NewScratch()
 		}
-		if !improved {
-			break
-		}
+		swaps, err = sweepIncremental(ctx, ev, assign, occupant, sc)
+	}
+	if err != nil {
+		return nil, err
 	}
 
 	// Final exact evaluation with the LP floorplanner.
@@ -245,6 +248,51 @@ func MapContext(ctx context.Context, g *graph.CoreGraph, topo topology.Topology,
 		SwapsApplied:   swaps,
 	}
 	return res, nil
+}
+
+// sweepReference is the retained naive swap search: every candidate is
+// evaluated by re-routing all commodities from scratch and re-running the
+// full cost model (ev.cost). It is the semantic definition the incremental
+// sweep must reproduce exactly, the evaluator for the paper-faithful
+// LP-in-the-loop mode, and the baseline side of the equivalence tests.
+func sweepReference(ctx context.Context, ev *evaluator, assign, occupant []int) (int, error) {
+	baseCost, err := ev.cost(assign, nil)
+	if err != nil {
+		return 0, err
+	}
+	ev.norm = baseCost.raw // normalize weighted objectives by the seed mapping
+	curCost := ev.objective(baseCost)
+	numT := ev.topo.NumTerminals()
+	swaps := 0
+	for pass := 0; pass < ev.opts.SwapPasses; pass++ {
+		improved := false
+		for a := 0; a < numT; a++ {
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
+			for b := a + 1; b < numT; b++ {
+				if occupant[a] == -1 && occupant[b] == -1 {
+					continue
+				}
+				swapTerminals(assign, occupant, a, b)
+				cand, err := ev.cost(assign, nil)
+				if err != nil {
+					return 0, err
+				}
+				if c := ev.objective(cand); c < curCost-1e-12 {
+					curCost = c
+					improved = true
+					swaps++
+				} else {
+					swapTerminals(assign, occupant, a, b) // undo
+				}
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return swaps, nil
 }
 
 func swapTerminals(assign, occupant []int, a, b int) {
@@ -417,21 +465,7 @@ func (ev *evaluator) cost(assign []int, exact *exactMode) (*evalResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	// Network-interface hookup power: the NI sits against its core, so
-	// the hookup is a local wire of about half a placement pitch; the
-	// long global wires are the inter-switch links already charged above.
-	hookupMM := 0.5 * floorplan.EstimatePitchMM(cores, ev.opts.Floorplan)
-	var niMW float64
-	for i := range cores {
-		io := 0.0
-		for _, e := range ev.g.Edges() {
-			if e.From == i || e.To == i {
-				io += e.BandwidthMBps
-			}
-		}
-		niMW += io * power.LinkBitEnergyPJ(hookupMM, t) * power.MWPerMBpsPJ
-	}
-	bk.LinkMW += niMW
+	bk.LinkMW += ev.niHookupMW(cores)
 
 	return &evalResult{
 		route:       res,
@@ -447,6 +481,28 @@ func (ev *evaluator) cost(assign []int, exact *exactMode) (*evalResult, error) {
 			powerMW: bk.TotalMW(),
 		},
 	}, nil
+}
+
+// niHookupMW returns the network-interface hookup power: the NI sits
+// against its core, so the hookup is a local wire of about half a
+// placement pitch; the long global wires are the inter-switch links the
+// breakdown already charges. The value depends only on the application and
+// tech point — never on the assignment — so the incremental evaluator
+// computes it once per Map call.
+func (ev *evaluator) niHookupMW(cores []graph.Core) float64 {
+	t := ev.opts.Tech
+	hookupMM := 0.5 * floorplan.EstimatePitchMM(cores, ev.opts.Floorplan)
+	var niMW float64
+	for i := range cores {
+		io := 0.0
+		for _, e := range ev.g.Edges() {
+			if e.From == i || e.To == i {
+				io += e.BandwidthMBps
+			}
+		}
+		niMW += io * power.LinkBitEnergyPJ(hookupMM, t) * power.MWPerMBpsPJ
+	}
+	return niMW
 }
 
 // objective folds an evaluation into a scalar cost, adding a proportional

@@ -61,6 +61,45 @@ func (l *Limiter) Cap() int {
 	return cap(l.ch)
 }
 
+// Free is a tiny typed free list for per-worker scratch objects (e.g. the
+// mapper's routing buffers). Unlike sync.Pool it never drops entries under
+// GC pressure and never hands one object to two holders, so a bounded
+// worker pool ends up owning exactly as many scratch objects as its peak
+// concurrency, each staying warm (grown to the largest topology it has
+// served) for the whole run.
+type Free[T any] struct {
+	mu    sync.Mutex
+	items []*T
+	newFn func() *T
+}
+
+// NewFree returns a free list producing fresh objects with newFn when
+// empty.
+func NewFree[T any](newFn func() *T) *Free[T] {
+	return &Free[T]{newFn: newFn}
+}
+
+// Get pops a pooled object or makes a new one.
+func (f *Free[T]) Get() *T {
+	f.mu.Lock()
+	if n := len(f.items); n > 0 {
+		x := f.items[n-1]
+		f.items = f.items[:n-1]
+		f.mu.Unlock()
+		return x
+	}
+	f.mu.Unlock()
+	return f.newFn()
+}
+
+// Put returns an object to the list for reuse. The caller must not touch x
+// afterwards.
+func (f *Free[T]) Put(x *T) {
+	f.mu.Lock()
+	f.items = append(f.items, x)
+	f.mu.Unlock()
+}
+
 // ForEach runs fn(i) for every i in [0, n) on up to workers goroutines
 // (clamped to [1, n]). With one worker it runs inline in index order.
 // Cancellation stops further fn calls; jobs already started finish (fn is

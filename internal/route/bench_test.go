@@ -1,0 +1,50 @@
+package route
+
+import (
+	"testing"
+
+	"sunmap/internal/apps"
+	"sunmap/internal/graph"
+	"sunmap/internal/topology"
+)
+
+// BenchmarkRoute times one full commodity-set routing of the ISSUE-4
+// tracked apps on a 3x4 mesh, comparing the allocating public entry point
+// (Route, collecting FlowPaths) against the scratch router in loads-only
+// mode — the configuration the mapper's swap loop runs. The scratch/MP
+// case must report 0 allocs/op once warm. Run with:
+//
+//	go test -bench BenchmarkRoute -benchmem ./internal/route
+func BenchmarkRoute(b *testing.B) {
+	for _, app := range []struct {
+		name string
+		g    *graph.CoreGraph
+	}{{"vopd", apps.VOPD()}, {"mpeg4", apps.MPEG4()}} {
+		topo := mustTopo(topology.NewMesh(3, 4))
+		assign := identityAssign(app.g.NumCores())
+		comms := app.g.Commodities()
+		for _, fn := range []Function{MinPath, DimensionOrdered, SplitMin} {
+			opts := Options{Function: fn, CapacityMBps: 500}
+			b.Run(app.name+"/"+fn.String()+"/alloc", func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := Route(topo, assign, comms, opts); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			b.Run(app.name+"/"+fn.String()+"/scratch", func(b *testing.B) {
+				rt := NewRouter()
+				var res Result
+				scratchOpts := opts
+				scratchOpts.LoadsOnly = true
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if err := rt.RouteInto(&res, topo, assign, comms, scratchOpts); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

@@ -8,49 +8,62 @@ import (
 )
 
 // routeDO routes one commodity with the oblivious dimension-ordered
-// discipline: XY on grids (columns first, then rows; tori take the shorter
-// wrap direction, ties resolved toward increasing coordinates), ascending
-// bit order on hypercubes, and a terminal-determined middle switch on Clos
-// networks. Topologies with a unique or hub path (butterfly, star) fall
-// back to their single path; other kinds route load-obliviously on a
-// minimum-hop path.
-func routeDO(topo topology.Topology, srcT, dstT int, c graph.Commodity, res *Result) error {
+// discipline and commits the result.
+func (rt *Router) routeDO(srcT, dstT int, c graph.Commodity, res *Result, collect bool) error {
+	verts, arcs, err := rt.PathDO(srcT, dstT, c)
+	if err != nil {
+		return err
+	}
+	commit(res, c, 1.0, verts, arcs, collect)
+	return nil
+}
+
+// PathDO computes the oblivious dimension-ordered path of commodity c from
+// terminal srcT to dstT: XY on grids (columns first, then rows; tori take
+// the shorter wrap direction, ties resolved toward increasing coordinates),
+// ascending bit order on hypercubes, and a terminal-determined middle
+// switch on Clos networks. Topologies with a unique or hub path (butterfly,
+// star) fall back to their single path; other kinds route load-obliviously
+// on a minimum-hop path. The path never depends on link loads, which is
+// what lets the mapper's delta evaluator splice unaffected DO commodities
+// without re-routing them. The returned slices alias Router scratch.
+func (rt *Router) PathDO(srcT, dstT int, c graph.Commodity) (verts, arcs []int, err error) {
+	topo := rt.topo
 	src, dst := topo.InjectRouter(srcT), topo.EjectRouter(dstT)
-	var verts []int
 	switch tt := topo.(type) {
 	case topology.GridLike:
 		rows, cols := tt.GridDims()
-		verts = gridDOPath(src, dst, rows, cols, topo.Kind() == topology.Torus)
+		verts = rt.gridDOPath(src, dst, rows, cols, topo.Kind() == topology.Torus)
 	case topology.CubeLike:
-		verts = cubeDOPath(src, dst, tt.Dim())
+		verts = rt.cubeDOPath(src, dst, tt.Dim())
 	case topology.ClosLike:
 		m, _, r := tt.Params()
 		mid := r + (srcT+dstT)%m
-		verts = []int{src, mid, dst}
+		rt.verts = append(rt.verts[:0], src, mid, dst)
+		verts = rt.verts
 	default:
 		// Butterfly (unique path), star (hub) and any future kinds:
 		// oblivious minimum-hop routing, deterministic by construction.
-		v, arcs, ok := shortest(topo, src, dst, graph.UnitWeight, topo.Quadrant(srcT, dstT))
+		v, a, ok := rt.shortest(src, dst, graph.UnitWeight, rt.Quadrant(srcT, dstT))
 		if !ok {
-			return fmt.Errorf("route: DO found no path for commodity %d on %s", c.ID, topo.Name())
+			return nil, nil, fmt.Errorf("route: DO found no path for commodity %d on %s", c.ID, topo.Name())
 		}
-		commit(res, c, 1.0, v, arcs)
-		return nil
+		return v, a, nil
 	}
-	arcs, err := arcsAlong(topo, verts)
+	arcs, err = rt.arcsAlong(verts)
 	if err != nil {
-		return fmt.Errorf("route: DO commodity %d on %s: %v", c.ID, topo.Name(), err)
+		return nil, nil, fmt.Errorf("route: DO commodity %d on %s: %v", c.ID, topo.Name(), err)
 	}
-	commit(res, c, 1.0, verts, arcs)
-	return nil
+	return verts, arcs, nil
 }
 
 // gridDOPath walks column-first then row-first from src to dst on a
 // rows x cols grid, using wrap-around steps on tori when strictly shorter.
-func gridDOPath(src, dst, rows, cols int, wrap bool) []int {
+// The walk is built in the Router's vertex scratch.
+func (rt *Router) gridDOPath(src, dst, rows, cols int, wrap bool) []int {
 	sr, sc := src/cols, src%cols
 	dr, dc := dst/cols, dst%cols
-	verts := []int{src}
+	verts := append(rt.verts[:0], src)
 	stepToward := func(cur, want, n int) int {
 		if !wrap {
 			if cur < want {
@@ -74,12 +87,13 @@ func gridDOPath(src, dst, rows, cols int, wrap bool) []int {
 		r = stepToward(r, dr, rows)
 		verts = append(verts, r*cols+col)
 	}
+	rt.verts = verts
 	return verts
 }
 
 // cubeDOPath fixes differing address bits from least to most significant.
-func cubeDOPath(src, dst, dim int) []int {
-	verts := []int{src}
+func (rt *Router) cubeDOPath(src, dst, dim int) []int {
+	verts := append(rt.verts[:0], src)
 	cur := src
 	for b := 0; b < dim; b++ {
 		if (cur^dst)&(1<<b) != 0 {
@@ -87,13 +101,14 @@ func cubeDOPath(src, dst, dim int) []int {
 			verts = append(verts, cur)
 		}
 	}
+	rt.verts = verts
 	return verts
 }
 
-// arcsAlong resolves the link IDs for a router walk.
-func arcsAlong(topo topology.Topology, verts []int) ([]int, error) {
-	arcs := make([]int, 0, len(verts)-1)
-	g := topo.Graph()
+// arcsAlong resolves the link IDs for a router walk into the arc scratch.
+func (rt *Router) arcsAlong(verts []int) ([]int, error) {
+	arcs := rt.arcs[:0]
+	g := rt.topo.Graph()
 	for i := 0; i+1 < len(verts); i++ {
 		found := -1
 		for _, a := range g.Out(verts[i]) {
@@ -103,9 +118,11 @@ func arcsAlong(topo topology.Topology, verts []int) ([]int, error) {
 			}
 		}
 		if found < 0 {
+			rt.arcs = arcs
 			return nil, fmt.Errorf("no link %d->%d", verts[i], verts[i+1])
 		}
 		arcs = append(arcs, found)
 	}
+	rt.arcs = arcs
 	return arcs, nil
 }

@@ -13,7 +13,7 @@ package route
 
 import (
 	"fmt"
-	"math"
+	"slices"
 
 	"sunmap/internal/graph"
 	"sunmap/internal/topology"
@@ -85,11 +85,20 @@ type Options struct {
 	// quadrants for "large computational time savings" (Section 4.1);
 	// this knob exists for the ablation benchmark quantifying that claim.
 	DisableQuadrant bool
+	// LoadsOnly skips FlowPath collection: Result.Paths stays empty while
+	// every load, hop and feasibility aggregate is still maintained. The
+	// mapper's swap loop sets it — candidate evaluations only consume the
+	// aggregates, and the per-path slice copies dominate its allocations.
+	LoadsOnly bool
 }
+
+// DefaultChunks is the traffic-splitting granularity used when
+// Options.Chunks is unset.
+const DefaultChunks = 32
 
 func (o Options) withDefaults() Options {
 	if o.Chunks <= 0 {
-		o.Chunks = 32
+		o.Chunks = DefaultChunks
 	}
 	return o
 }
@@ -150,51 +159,17 @@ const feasTolerance = 1e-6
 // which per Fig. 5 should be decreasing bandwidth (graph.Commodities
 // guarantees it).
 func Route(topo topology.Topology, assign []int, comms []graph.Commodity, opts Options) (*Result, error) {
-	opts = opts.withDefaults()
-	res := &Result{
-		LinkLoads:   make([]float64, len(topo.Links())),
-		RouterLoads: make([]float64, topo.NumRouters()),
+	res := &Result{}
+	if err := NewRouter().RouteInto(res, topo, assign, comms, opts); err != nil {
+		return nil, err
 	}
-	for _, c := range comms {
-		if c.Src < 0 || c.Src >= len(assign) || c.Dst < 0 || c.Dst >= len(assign) {
-			return nil, fmt.Errorf("route: commodity %d endpoints (%d,%d) outside assignment of %d cores",
-				c.ID, c.Src, c.Dst, len(assign))
-		}
-		srcT, dstT := assign[c.Src], assign[c.Dst]
-		if srcT < 0 || srcT >= topo.NumTerminals() || dstT < 0 || dstT >= topo.NumTerminals() {
-			return nil, fmt.Errorf("route: commodity %d mapped to invalid terminals (%d,%d)", c.ID, srcT, dstT)
-		}
-		if srcT == dstT {
-			return nil, fmt.Errorf("route: commodity %d has source and destination on terminal %d", c.ID, srcT)
-		}
-		var err error
-		switch opts.Function {
-		case DimensionOrdered:
-			err = routeDO(topo, srcT, dstT, c, res)
-		case MinPath:
-			err = routeSingle(topo, srcT, dstT, c, res, !opts.DisableQuadrant)
-		case SplitMin:
-			err = routeSplit(topo, srcT, dstT, c, res, opts.Chunks, true)
-		case SplitAll:
-			err = routeSplit(topo, srcT, dstT, c, res, opts.Chunks, false)
-		default:
-			err = fmt.Errorf("route: unknown routing function %v", opts.Function)
-		}
-		if err != nil {
-			return nil, err
-		}
-	}
-	for _, l := range res.LinkLoads {
-		if l > res.MaxLinkLoad {
-			res.MaxLinkLoad = l
-		}
-	}
-	res.Feasible = opts.CapacityMBps <= 0 || res.MaxLinkLoad <= opts.CapacityMBps+feasTolerance
 	return res, nil
 }
 
-// commit records one flow path carrying fraction f of commodity c.
-func commit(res *Result, c graph.Commodity, f float64, verts, arcs []int) {
+// commit records one flow path carrying fraction f of commodity c. When
+// collect is false the FlowPath record (and its slice copies) is skipped;
+// every aggregate update is identical either way.
+func commit(res *Result, c graph.Commodity, f float64, verts, arcs []int, collect bool) {
 	bw := c.ValueMBps * f
 	for _, id := range arcs {
 		res.LinkLoads[id] += bw
@@ -204,20 +179,13 @@ func commit(res *Result, c graph.Commodity, f float64, verts, arcs []int) {
 	}
 	res.HopSumMBps += bw * float64(len(verts))
 	res.TotalMBps += bw
-	res.Paths = append(res.Paths, FlowPath{
-		Commodity: c,
-		Fraction:  f,
-		Routers:   append([]int(nil), verts...),
-		LinkIDs:   append([]int(nil), arcs...),
-	})
-}
-
-// loadWeight builds the congestion-aware weight of Fig. 5: the accumulated
-// load on each link, plus a small per-hop bias so that among equally loaded
-// alternatives shorter paths win deterministically.
-func loadWeight(res *Result, hopBias float64) graph.WeightFunc {
-	return func(_ int, a graph.Arc) float64 {
-		return res.LinkLoads[a.ID] + hopBias
+	if collect {
+		res.Paths = append(res.Paths, FlowPath{
+			Commodity: c,
+			Fraction:  f,
+			Routers:   append([]int(nil), verts...),
+			LinkIDs:   append([]int(nil), arcs...),
+		})
 	}
 }
 
@@ -232,71 +200,77 @@ func hopBiasFor(comms float64) float64 {
 
 // routeSingle routes the whole commodity on one congestion-aware shortest
 // path, restricted to the quadrant graph when useQuadrant is set.
-func routeSingle(topo topology.Topology, srcT, dstT int, c graph.Commodity, res *Result, useQuadrant bool) error {
-	var mask []bool
-	if useQuadrant {
-		mask = topo.Quadrant(srcT, dstT)
+func (rt *Router) routeSingle(srcT, dstT int, c graph.Commodity, res *Result, useQuadrant, collect bool) error {
+	verts, arcs, err := rt.PathMP(srcT, dstT, c, res.LinkLoads, useQuadrant)
+	if err != nil {
+		return err
 	}
-	src, dst := topo.InjectRouter(srcT), topo.EjectRouter(dstT)
-	verts, arcs, ok := shortest(topo, src, dst, loadWeight(res, hopBiasFor(c.ValueMBps)), mask)
-	if !ok {
-		return fmt.Errorf("route: no path for commodity %d (terminals %d->%d) on %s",
-			c.ID, srcT, dstT, topo.Name())
-	}
-	commit(res, c, 1.0, verts, arcs)
+	commit(res, c, 1.0, verts, arcs, collect)
 	return nil
 }
 
+// accum is one merged chunk path of a split-routed commodity. Its slices
+// live in the Router's arena and are reused across calls.
+type accum struct {
+	verts, arcs []int
+	fraction    float64
+}
+
 // routeSplit divides the commodity into chunks and water-fills them over
-// the minimum-hop DAG (SM) or the whole router graph (SA).
-func routeSplit(topo topology.Topology, srcT, dstT int, c graph.Commodity, res *Result, chunks int, minOnly bool) error {
+// the minimum-hop DAG (SM) or the whole router graph (SA), recording the
+// merged structure in the Router's arena (see RouteSplitOne).
+func (rt *Router) routeSplit(srcT, dstT int, c graph.Commodity, res *Result, chunks int, minOnly, collect bool) error {
+	topo := rt.topo
 	src, dst := topo.InjectRouter(srcT), topo.EjectRouter(dstT)
 	var mask []bool
-	var dagArcs map[int]bool
+	w := rt.wLoad
 	if minOnly {
-		mask = topo.Quadrant(srcT, dstT)
-		dagArcs = topo.Graph().AllMinHopArcs(src, dst, mask)
+		mask = rt.Quadrant(srcT, dstT)
+		rt.dag = rt.MinHopDAG(srcT, dstT)
+		w = rt.wDAG
 	}
-	bias := hopBiasFor(c.ValueMBps)
-	base := loadWeight(res, bias)
-	w := base
-	if minOnly {
-		w = func(from int, a graph.Arc) float64 {
-			if !dagArcs[a.ID] {
-				return math.Inf(1)
-			}
-			return base(from, a)
-		}
-	}
+	rt.loads = res.LinkLoads
+	rt.bias = hopBiasFor(c.ValueMBps)
+	defer rt.clearLoads()
 	// Accumulate identical consecutive chunk paths into one FlowPath to
 	// keep Paths compact; loads must still be updated per chunk so later
 	// chunks see the congestion earlier ones created.
 	frac := 1.0 / float64(chunks)
-	type accum struct {
-		verts, arcs []int
-		fraction    float64
-	}
-	var acc []accum
+	acc := rt.accs[:0]
+	rt.chunkAcc = rt.chunkAcc[:0]
 	for i := 0; i < chunks; i++ {
-		verts, arcs, ok := shortest(topo, src, dst, w, mask)
+		verts, arcs, ok := rt.shortest(src, dst, w, mask)
 		if !ok {
+			rt.accs = acc
 			return fmt.Errorf("route: no path for commodity %d chunk %d on %s", c.ID, i, topo.Name())
 		}
 		bw := c.ValueMBps * frac
 		for _, id := range arcs {
 			res.LinkLoads[id] += bw
 		}
-		merged := false
+		merged := -1
 		for j := range acc {
-			if equalInts(acc[j].arcs, arcs) {
+			if slices.Equal(acc[j].arcs, arcs) {
 				acc[j].fraction += frac
-				merged = true
+				merged = j
 				break
 			}
 		}
-		if !merged {
-			acc = append(acc, accum{verts: verts, arcs: arcs, fraction: frac})
+		if merged == -1 {
+			// Grow into the arena, copying the path out of the shared
+			// scratch the next chunk's search will overwrite.
+			if len(acc) < cap(acc) {
+				acc = acc[:len(acc)+1]
+			} else {
+				acc = append(acc, accum{})
+			}
+			a := &acc[len(acc)-1]
+			a.verts = append(a.verts[:0], verts...)
+			a.arcs = append(a.arcs[:0], arcs...)
+			a.fraction = frac
+			merged = len(acc) - 1
 		}
+		rt.chunkAcc = append(rt.chunkAcc, merged)
 	}
 	// Loads for links were applied per chunk above; undo and let commit
 	// re-apply once per merged path so bookkeeping has a single source of
@@ -307,32 +281,40 @@ func routeSplit(topo topology.Topology, srcT, dstT int, c graph.Commodity, res *
 			res.LinkLoads[id] -= bw
 		}
 	}
-	for _, a := range acc {
-		commit(res, c, a.fraction, a.verts, a.arcs)
+	for i := range acc {
+		commit(res, c, acc[i].fraction, acc[i].verts, acc[i].arcs, collect)
 	}
+	rt.accs = acc
 	return nil
 }
 
-// shortest wraps Digraph.ShortestPath handling the degenerate star case
-// where inject and eject are the same router (a one-router path).
-func shortest(topo topology.Topology, src, dst int, w graph.WeightFunc, mask []bool) (verts, arcs []int, ok bool) {
-	if src == dst {
-		return []int{src}, nil, true
+// RouteSplitOne routes one commodity with traffic splitting against res
+// (loads only, no FlowPath collection), updating every aggregate exactly
+// like the public routing path, and returns the number of merged paths.
+// The merged structure is readable through SplitPath/SplitChunkAcc until
+// the next split routing on this Router; the mapper's delta evaluator
+// copies it out as the commodity's baseline record.
+func (rt *Router) RouteSplitOne(res *Result, srcT, dstT int, c graph.Commodity, chunks int, minOnly bool) (int, error) {
+	if chunks <= 0 {
+		chunks = DefaultChunks
 	}
-	return topo.Graph().ShortestPath(src, dst, w, mask)
+	if err := rt.routeSplit(srcT, dstT, c, res, chunks, minOnly, false); err != nil {
+		return 0, err
+	}
+	return len(rt.accs), nil
 }
 
-func equalInts(a, b []int) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for i := range a {
-		if a[i] != b[i] {
-			return false
-		}
-	}
-	return true
+// SplitPath returns merged path i of the last split routing. The slices
+// alias Router scratch.
+func (rt *Router) SplitPath(i int) (verts, arcs []int, fraction float64) {
+	a := &rt.accs[i]
+	return a.verts, a.arcs, a.fraction
 }
+
+// SplitChunkAcc returns, per chunk of the last split routing, the merged
+// path index the chunk was folded into (chunk order). The slice aliases
+// Router scratch.
+func (rt *Router) SplitChunkAcc() []int { return rt.chunkAcc }
 
 // RequiredBandwidth maps the commodity set with the given function and
 // returns the minimum uniform link capacity that makes it feasible — the

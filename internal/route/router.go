@@ -1,0 +1,241 @@
+// Router: reusable scratch state for the routing hot path.
+//
+// The mapper's pairwise-swap improvement loop evaluates thousands of
+// candidate mappings, each of which re-routes commodities. With the plain
+// Route entry point every one of those evaluations allocates dist/prev
+// arrays, a priority queue, path slices and a fresh quadrant mask per
+// commodity. A Router owns all of that scratch — a graph.SPSolver, path
+// buffers, a per-terminal-pair quadrant-mask cache and the split-routing
+// accumulator arena — so steady-state routing work allocates nothing.
+//
+// Ownership contract: a Router is single-goroutine state. The mapper owns
+// one per Map call (or borrows one through mapping.Scratch), and
+// internal/engine keeps a free list handing each evaluation worker its own.
+// Slices returned by the path primitives (PathMP, PathDO) alias the
+// Router's buffers and are valid only until the next call on the same
+// Router.
+package route
+
+import (
+	"fmt"
+	"math"
+
+	"sunmap/internal/graph"
+	"sunmap/internal/topology"
+)
+
+// Router holds preallocated routing scratch. The zero value is not usable;
+// call NewRouter.
+type Router struct {
+	sp *graph.SPSolver
+
+	// Path scratch shared by the single-path primitives.
+	verts, arcs []int
+
+	// Congestion weight closure, allocated once and re-aimed per query via
+	// the loads/bias fields (a per-call closure would escape to the heap).
+	wLoad graph.WeightFunc
+	loads []float64
+	bias  float64
+
+	// Split-routing (SM/SA) merged-path arena.
+	accs []accum
+
+	// DAG-restricted weight closure for SM routing, pre-bound like wLoad;
+	// dag points at the active minimum-hop arc mask.
+	wDAG graph.WeightFunc
+	dag  []bool
+
+	// chunkAcc records, for the last split-routed commodity, which merged
+	// accumulator each chunk landed on (in chunk order) — the structure
+	// the mapper's delta evaluator replays for spliced commodities.
+	chunkAcc []int
+
+	// Quadrant-mask and min-hop-DAG caches for the bound topology,
+	// indexed src*T+dst. Entries are computed lazily and shared read-only
+	// with the solver; both depend only on the terminal pair, never on
+	// loads.
+	topo  topology.Topology
+	quads [][]bool
+	dags  [][]bool
+}
+
+// NewRouter returns a Router with empty scratch; buffers grow on first use.
+func NewRouter() *Router {
+	rt := &Router{sp: graph.NewSPSolver()}
+	rt.wLoad = func(_ int, a graph.Arc) float64 {
+		return rt.loads[a.ID] + rt.bias
+	}
+	rt.wDAG = func(_ int, a graph.Arc) float64 {
+		if !rt.dag[a.ID] {
+			return math.Inf(1)
+		}
+		return rt.loads[a.ID] + rt.bias
+	}
+	return rt
+}
+
+// Bind points the Router's quadrant cache at topo, clearing it when the
+// topology changes. Routing entry points call it implicitly.
+func (rt *Router) Bind(topo topology.Topology) {
+	if rt.topo == topo {
+		return
+	}
+	rt.topo = topo
+	n := topo.NumTerminals() * topo.NumTerminals()
+	if cap(rt.quads) < n {
+		rt.quads = make([][]bool, n)
+		rt.dags = make([][]bool, n)
+	}
+	rt.quads = rt.quads[:n]
+	rt.dags = rt.dags[:n]
+	for i := range rt.quads {
+		rt.quads[i] = nil
+		rt.dags[i] = nil
+	}
+}
+
+// Quadrant returns the cached minimum-path mask for the terminal pair,
+// computing it on first use. The mask is shared and must not be mutated.
+func (rt *Router) Quadrant(srcT, dstT int) []bool {
+	i := srcT*rt.topo.NumTerminals() + dstT
+	if rt.quads[i] == nil {
+		rt.quads[i] = rt.topo.Quadrant(srcT, dstT)
+	}
+	return rt.quads[i]
+}
+
+// MinHopDAG returns the cached dense arc mask of the terminal pair's
+// minimum-hop path DAG (the SM flow-splitting region), computing it on
+// first use. The mask is shared and must not be mutated.
+func (rt *Router) MinHopDAG(srcT, dstT int) []bool {
+	i := srcT*rt.topo.NumTerminals() + dstT
+	if rt.dags[i] == nil {
+		mask := rt.Quadrant(srcT, dstT)
+		src, dst := rt.topo.InjectRouter(srcT), rt.topo.EjectRouter(dstT)
+		arcSet := rt.topo.Graph().AllMinHopArcs(src, dst, mask)
+		dense := make([]bool, len(rt.topo.Links()))
+		for id := range arcSet {
+			dense[id] = true
+		}
+		rt.dags[i] = dense
+	}
+	return rt.dags[i]
+}
+
+// PathMP computes the congestion-aware shortest path of commodity c from
+// terminal srcT to dstT given the current per-link loads — the Fig. 5
+// minimum-path step, restricted to the quadrant graph when useQuadrant is
+// set. The returned slices alias Router scratch.
+func (rt *Router) PathMP(srcT, dstT int, c graph.Commodity, linkLoads []float64, useQuadrant bool) (verts, arcs []int, err error) {
+	var mask []bool
+	if useQuadrant {
+		mask = rt.Quadrant(srcT, dstT)
+	}
+	src, dst := rt.topo.InjectRouter(srcT), rt.topo.EjectRouter(dstT)
+	rt.loads = linkLoads
+	rt.bias = hopBiasFor(c.ValueMBps)
+	verts, arcs, ok := rt.shortest(src, dst, rt.wLoad, mask)
+	rt.loads = nil
+	if !ok {
+		return nil, nil, fmt.Errorf("route: no path for commodity %d (terminals %d->%d) on %s",
+			c.ID, srcT, dstT, rt.topo.Name())
+	}
+	return verts, arcs, nil
+}
+
+func (rt *Router) clearLoads() { rt.loads = nil }
+
+// shortest runs the solver over the bound topology's router graph, handling
+// the degenerate case where inject and eject are the same router (a
+// one-router path, as on the star hub).
+func (rt *Router) shortest(src, dst int, w graph.WeightFunc, mask []bool) (verts, arcs []int, ok bool) {
+	if src == dst {
+		rt.verts = append(rt.verts[:0], src)
+		rt.arcs = rt.arcs[:0]
+		return rt.verts, rt.arcs, true
+	}
+	rt.sp.Dijkstra(rt.topo.Graph(), src, w, mask)
+	rt.verts, rt.arcs, ok = rt.sp.PathTo(src, dst, rt.verts, rt.arcs)
+	return rt.verts, rt.arcs, ok
+}
+
+// resizeFloats returns buf resized to n with every element zeroed.
+func resizeFloats(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = 0
+	}
+	return buf
+}
+
+// Reset prepares res for re-accumulation over a topology with the given
+// link and router counts, reusing its slices. Both RouteInto and the
+// mapper's delta evaluator start every routing replay here.
+func (r *Result) Reset(numLinks, numRouters int) {
+	r.LinkLoads = resizeFloats(r.LinkLoads, numLinks)
+	r.RouterLoads = resizeFloats(r.RouterLoads, numRouters)
+	r.Paths = r.Paths[:0]
+	r.MaxLinkLoad = 0
+	r.HopSumMBps = 0
+	r.TotalMBps = 0
+	r.Feasible = false
+}
+
+// FinalizeLoads derives MaxLinkLoad and the feasibility verdict from the
+// accumulated LinkLoads — the closing step of every routing run, shared so
+// scratch-based callers fold loads exactly like Route does.
+func FinalizeLoads(res *Result, capacityMBps float64) {
+	res.MaxLinkLoad = 0
+	for _, l := range res.LinkLoads {
+		if l > res.MaxLinkLoad {
+			res.MaxLinkLoad = l
+		}
+	}
+	res.Feasible = capacityMBps <= 0 || res.MaxLinkLoad <= capacityMBps+feasTolerance
+}
+
+// RouteInto routes every commodity like Route, but reuses res's slices and
+// the Router's scratch so steady-state calls allocate nothing (Paths
+// excepted — see Options.LoadsOnly). res is reset first; on error it holds
+// partially accumulated state and must not be read.
+func (rt *Router) RouteInto(res *Result, topo topology.Topology, assign []int, comms []graph.Commodity, opts Options) error {
+	opts = opts.withDefaults()
+	rt.Bind(topo)
+	res.Reset(len(topo.Links()), topo.NumRouters())
+	collect := !opts.LoadsOnly
+	for _, c := range comms {
+		if c.Src < 0 || c.Src >= len(assign) || c.Dst < 0 || c.Dst >= len(assign) {
+			return fmt.Errorf("route: commodity %d endpoints (%d,%d) outside assignment of %d cores",
+				c.ID, c.Src, c.Dst, len(assign))
+		}
+		srcT, dstT := assign[c.Src], assign[c.Dst]
+		if srcT < 0 || srcT >= topo.NumTerminals() || dstT < 0 || dstT >= topo.NumTerminals() {
+			return fmt.Errorf("route: commodity %d mapped to invalid terminals (%d,%d)", c.ID, srcT, dstT)
+		}
+		if srcT == dstT {
+			return fmt.Errorf("route: commodity %d has source and destination on terminal %d", c.ID, srcT)
+		}
+		var err error
+		switch opts.Function {
+		case DimensionOrdered:
+			err = rt.routeDO(srcT, dstT, c, res, collect)
+		case MinPath:
+			err = rt.routeSingle(srcT, dstT, c, res, !opts.DisableQuadrant, collect)
+		case SplitMin:
+			err = rt.routeSplit(srcT, dstT, c, res, opts.Chunks, true, collect)
+		case SplitAll:
+			err = rt.routeSplit(srcT, dstT, c, res, opts.Chunks, false, collect)
+		default:
+			err = fmt.Errorf("route: unknown routing function %v", opts.Function)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	FinalizeLoads(res, opts.CapacityMBps)
+	return nil
+}

@@ -15,6 +15,7 @@ package topology
 
 import (
 	"fmt"
+	"sync"
 
 	"sunmap/internal/graph"
 )
@@ -163,6 +164,15 @@ type base struct {
 	tpos         [][2]float64
 	inDeg        []int
 	outDeg       []int
+
+	// minHops memoizes the all-pairs terminal min-hop table. MinHops sits
+	// inside the mapper's greedy placement (O(terminals² · cores) lookups
+	// per Map call) and topology validation; running a BFS per query made
+	// it the dominant setup cost. The table is built once per topology on
+	// first use — one BFS per distinct inject router — and topologies are
+	// shared across engine workers, hence the sync.Once guard.
+	minHopsOnce sync.Once
+	minHops     []int // src*numTerminals+dst -> routers traversed (-1 unreachable)
 }
 
 func newBase(name string, kind Kind, numRouters, numTerminals int) *base {
@@ -213,13 +223,37 @@ func (b *base) TerminalPosition(t int) (x, y float64) { return b.tpos[t][0], b.t
 // MinHops counts routers on a shortest path: the router-graph hop distance
 // between the inject and eject routers, plus one for the first router. This
 // yields dist+1 for direct topologies, the stage count for butterflies and
-// 3 for Clos networks, matching Section 6.1's accounting.
+// 3 for Clos networks, matching Section 6.1's accounting. Answers come from
+// a lazily built all-pairs table, so after the first call per topology a
+// lookup is O(1) and allocation-free.
 func (b *base) MinHops(src, dst int) int {
-	d := b.rg.HopDistance(b.inject[src], b.eject[dst], nil)
-	if d < 0 {
-		return -1
+	b.minHopsOnce.Do(b.buildMinHops)
+	return b.minHops[src*b.numTerminals+dst]
+}
+
+// buildMinHops fills the terminal-pair table with one BFS per distinct
+// inject router.
+func (b *base) buildMinHops() {
+	t := b.numTerminals
+	table := make([]int, t*t)
+	distFrom := make(map[int][]int) // inject router -> hop distances
+	for s := 0; s < t; s++ {
+		r := b.inject[s]
+		d, ok := distFrom[r]
+		if !ok {
+			d = b.rg.BFSDistances(r, false)
+			distFrom[r] = d
+		}
+		for e := 0; e < t; e++ {
+			hd := d[b.eject[e]]
+			if hd < 0 {
+				table[s*t+e] = -1
+			} else {
+				table[s*t+e] = hd + 1
+			}
+		}
 	}
-	return d + 1
+	b.minHops = table
 }
 
 // allRouters returns a mask admitting every router; small topologies use it

@@ -1,0 +1,50 @@
+#!/usr/bin/env sh
+# scripts/bench.sh — run the tracked micro-benchmarks and emit a
+# machine-readable snapshot (BENCH_<PR>.json) so the performance
+# trajectory is comparable across PRs.
+#
+# Usage:
+#   scripts/bench.sh [output.json] [benchtime]
+#
+# Defaults: output BENCH_4.json in the repo root, -benchtime 50x (fixed
+# iteration counts keep runtimes bounded and comparable on CI-class
+# machines; raise it locally for tighter numbers).
+set -eu
+
+cd "$(dirname "$0")/.."
+OUT="${1:-BENCH_4.json}"
+BENCHTIME="${2:-50x}"
+
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+# The tracked set: the mapping/routing hot-path benches plus the
+# whole-pipeline selection sweep the acceptance criteria quote.
+go test -run '^$' -bench 'BenchmarkMap$|BenchmarkRouteViaMapper$' \
+    -benchmem -benchtime "$BENCHTIME" ./internal/mapping | tee -a "$RAW"
+go test -run '^$' -bench 'BenchmarkRoute$' \
+    -benchmem -benchtime "$BENCHTIME" ./internal/route | tee -a "$RAW"
+go test -run '^$' -bench 'BenchmarkSelect$' \
+    -benchmem -benchtime 5x . | tee -a "$RAW"
+
+# Fold `pkg:` headers and `BenchmarkX-N iter value unit [value unit]...`
+# rows into JSON.
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+BEGIN { print "{"; printf "  \"generated\": \"%s\",\n", date; print "  \"results\": [" }
+/^pkg: / { pkg = $2 }
+/^cpu: / { sub(/^cpu: /, ""); if (cpu == "") cpu = $0 }
+/^Benchmark/ {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    if (n++) printf ",\n"
+    printf "    {\"pkg\": \"%s\", \"name\": \"%s\", \"iterations\": %s", pkg, name, $2
+    for (i = 3; i + 1 <= NF; i += 2) {
+        unit = $(i + 1)
+        gsub(/[^A-Za-z0-9%\/-]/, "_", unit)
+        printf ", \"%s\": %s", unit, $i
+    }
+    printf "}"
+}
+END { print "\n  ],"; printf "  \"cpu\": \"%s\"\n}\n", cpu }
+' "$RAW" >"$OUT"
+
+echo "wrote $OUT"
