@@ -92,6 +92,8 @@ func run(args []string, out io.Writer) error {
 	extras := fs.Bool("extras", false, "include octagon and star in the library")
 	synthesize := fs.Bool("synth", false, "synthesize application-specific candidate topologies")
 	synthRadix := fs.Int("synth-radix", 0, "switch radix bound for synthesized topologies (0 = default 4)")
+	faults := fs.Bool("faults", false, "fault-sweep the chosen design: survivability under simultaneous link failures")
+	faultK := fs.Int("fault-k", 1, "simultaneous failures for -faults (k<=2 exhaustive, above Monte Carlo)")
 	genDir := fs.String("gen", "", "write the generated SystemC design to this directory")
 	jobs := fs.Int("j", 0, "parallel mapping workers (0 = all cores, 1 = sequential)")
 	timeout := fs.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
@@ -208,6 +210,37 @@ func run(args []string, out io.Writer) error {
 		routingUsed = rep.RoutingUsed
 		fmt.Fprintf(out, "\nselected: %s\n", rep.Topology)
 		printResult(out, best)
+	}
+
+	if *faults {
+		// Survivability of the chosen design, replayed through the session
+		// cache under the routing function the selection settled on.
+		faultSpec := mapSpec
+		faultSpec.Routing = routingUsed
+		frep, err := sess.FaultSweep(ctx, sunmap.FaultSweepRequest{
+			App:      appSpec,
+			Topology: best.Topology,
+			Mapping:  faultSpec,
+			Fault:    sunmap.FaultSpec{K: *faultK},
+		})
+		if err != nil {
+			return err
+		}
+		mode := "Monte Carlo"
+		if frep.Exhaustive {
+			mode = "exhaustive"
+		}
+		fmt.Fprintf(out, "\nfault sweep on %s: k=%d %s, %d scenarios (%s), degraded routing %s\n",
+			frep.Topology, frep.K, frep.Elements, frep.Scenarios, mode, frep.Routing)
+		fmt.Fprintf(out, "survivability %.3f (connected %.3f)\n", frep.Survivability, frep.ConnectedFrac)
+		fmt.Fprintf(out, "max link load MB/s: baseline %.1f, expected %.1f, worst %.1f (links %v)\n",
+			frep.BaselineMaxLoadMBps, frep.ExpectedMaxLoadMBps, frep.WorstMaxLoadMBps, frep.WorstLinks)
+		fmt.Fprintf(out, "avg hops: baseline %.3f, expected %.3f, worst %.3f\n",
+			frep.BaselineAvgHops, frep.ExpectedAvgHops, frep.WorstAvgHops)
+		if len(frep.DisconnectingLinks) > 0 || len(frep.DisconnectingSwitches) > 0 {
+			fmt.Fprintf(out, "first disconnecting scenario: links %v switches %v\n",
+				frep.DisconnectingLinks, frep.DisconnectingSwitches)
+		}
 	}
 
 	if *genDir != "" {

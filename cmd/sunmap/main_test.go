@@ -102,3 +102,17 @@ func TestRunTimeoutAborts(t *testing.T) {
 		t.Fatalf("err = %v, want a deadline error", err)
 	}
 }
+
+func TestRunFaultSweep(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-app", "vopd", "-topo", "mesh-3x4", "-faults", "-fault-k", "2"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "fault sweep on mesh-3x4: k=2 links") {
+		t.Errorf("fault header missing:\n%s", out)
+	}
+	if !strings.Contains(out, "survivability ") || !strings.Contains(out, "max link load MB/s: baseline") {
+		t.Errorf("fault metrics missing:\n%s", out)
+	}
+}

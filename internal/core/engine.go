@@ -17,6 +17,7 @@ import (
 	"sort"
 
 	"sunmap/internal/engine"
+	"sunmap/internal/fault"
 	"sunmap/internal/graph"
 	"sunmap/internal/mapping"
 	"sunmap/internal/pool"
@@ -67,6 +68,19 @@ type Config struct {
 	// Limit, when non-nil, bounds in-flight mapping evaluations across
 	// concurrent Select/explore calls sharing it (see engine.Options.Limit).
 	Limit *pool.Limiter
+	// Fault, when non-nil, adds a reliability axis to Phase 2: every
+	// feasible candidate's survivability under the model's failure
+	// scenarios is computed by degraded-mode rerouting (internal/fault)
+	// and folded into the final ranking — see ReliabilityWeight. The
+	// sweeps run on the engine pool within the same Parallelism/Limit
+	// budget as the mapping evaluations.
+	Fault *fault.Model
+	// ReliabilityWeight scales the reliability term of the fault-aware
+	// ranking: feasible candidates order by
+	// cost/bestCost + w·(1 − survivability), so w ≈ 1 trades a full
+	// connectivity loss against a doubling of the design objective.
+	// Zero or negative selects 1.
+	ReliabilityWeight float64
 }
 
 // Candidate is one evaluated (topology, mapping) pair.
@@ -75,6 +89,9 @@ type Candidate struct {
 	// MapErr records a hard mapping failure (e.g. too few terminals);
 	// the Result is nil in that case.
 	MapErr error
+	// Survivability is the candidate's fault-sweep report, set for
+	// feasible candidates when Config.Fault is active (nil otherwise).
+	Survivability *fault.Report
 }
 
 // Name returns the candidate topology's name, even for failed candidates.
@@ -243,7 +260,74 @@ func SelectContext(ctx context.Context, cfg Config) (*Selection, error) {
 			break
 		}
 	}
+	if cfg.Fault != nil && sel != nil {
+		if err := applyReliability(ctx, cfg, sel, eo); err != nil {
+			return nil, err
+		}
+	}
 	return sel, nil
+}
+
+// applyReliability is the fault-aware half of Phase 2: sweep every
+// feasible candidate's failure scenarios (degraded-mode rerouting under
+// the selection's routing function) and re-pick Best by the composite
+// cost/bestCost + w·(1 − survivability) score. Sweeps fan out on the
+// engine pool — one Limit slot per candidate — and each candidate's
+// scenario loop runs sequentially, so results are byte-identical at
+// every parallelism setting.
+func applyReliability(ctx context.Context, cfg Config, sel *Selection, eo engine.Options) error {
+	opts := cfg.Mapping
+	opts.Routing = sel.RoutingUsed
+	ropts := fault.Degraded(opts.RouteOptions())
+	comms := cfg.App.Commodities()
+	var idxs []int
+	for i, c := range sel.Candidates {
+		if c.Result != nil && c.Feasible() {
+			idxs = append(idxs, i)
+		}
+	}
+	err := engine.Fan(ctx, len(idxs), eo, func(j int) error {
+		c := &sel.Candidates[idxs[j]]
+		scenarios, exhaustive, err := fault.Scenarios(c.Result.Topology, *cfg.Fault)
+		if err != nil {
+			return fmt.Errorf("core: reliability of %s: %w", c.Result.Topology.Name(), err)
+		}
+		rep, err := fault.SweepContext(ctx, c.Result.Topology, c.Result.Assign, comms, ropts, scenarios, exhaustive, 1, nil)
+		if err != nil {
+			return fmt.Errorf("core: reliability of %s: %w", c.Result.Topology.Name(), err)
+		}
+		c.Survivability = rep
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	w := cfg.ReliabilityWeight
+	if w <= 0 {
+		w = 1
+	}
+	minCost := math.Inf(1)
+	for _, i := range idxs {
+		if c := sel.Candidates[i].Result; c.Cost < minCost {
+			minCost = c.Cost
+		}
+	}
+	best, bestScore := -1, math.Inf(1)
+	const scoreTol = 1e-12
+	for _, i := range idxs {
+		c := sel.Candidates[i]
+		score := safeDiv(c.Result.Cost, minCost) + w*(1-c.Survivability.Survivability())
+		switch {
+		case best == -1 || score < bestScore-scoreTol:
+			best, bestScore = i, score
+		case score <= bestScore+scoreTol && less(c.Result, sel.Candidates[best].Result):
+			best = i // score tie: fall back to the fault-free ordering
+		}
+	}
+	if best >= 0 {
+		sel.Best = sel.Candidates[best].Result
+	}
+	return nil
 }
 
 // phase2 ranks one routing function's library-ordered outcomes: lowest
@@ -316,6 +400,11 @@ type SummaryRow struct {
 	Links       int
 	MaxLoadMBps float64
 	Feasible    bool
+	// Survivability is the candidate's fault-sweep reliability score
+	// when Config.Fault was active; HasSurvivability distinguishes a
+	// genuine 0 from "not evaluated".
+	Survivability    float64
+	HasSurvivability bool
 }
 
 // Summaries renders every successfully mapped candidate as a table row,
@@ -334,7 +423,7 @@ func (s *Selection) Summaries() []SummaryRow {
 		if !r.Topology.Kind().Direct() {
 			niLinks *= 2
 		}
-		rows = append(rows, SummaryRow{
+		row := SummaryRow{
 			Topology:    r.Topology.Name(),
 			Kind:        r.Topology.Kind(),
 			AvgHops:     r.AvgHops,
@@ -344,7 +433,12 @@ func (s *Selection) Summaries() []SummaryRow {
 			Links:       topology.PhysicalLinks(r.Topology) + niLinks,
 			MaxLoadMBps: r.Route.MaxLinkLoad,
 			Feasible:    r.Feasible(),
-		})
+		}
+		if c.Survivability != nil {
+			row.Survivability = c.Survivability.Survivability()
+			row.HasSurvivability = true
+		}
+		rows = append(rows, row)
 	}
 	sort.Slice(rows, func(i, j int) bool {
 		if rows[i].Kind != rows[j].Kind {

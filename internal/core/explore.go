@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"sunmap/internal/engine"
+	"sunmap/internal/fault"
 	"sunmap/internal/graph"
 	"sunmap/internal/mapping"
 	"sunmap/internal/route"
@@ -66,14 +67,23 @@ func RoutingSweepContext(ctx context.Context, app *graph.CoreGraph, topo topolog
 	return rows, nil
 }
 
-// ParetoPoint is one mapping in the area-power plane (Fig. 9b).
+// ParetoPoint is one mapping in the area-power plane (Fig. 9b) —
+// extended with a reliability axis when the exploration runs under a
+// fault model.
 type ParetoPoint struct {
 	// Weights are the objective weights that produced the mapping.
 	Weights mapping.Weights
 	AreaMM2 float64
 	PowerMW float64
 	AvgHops float64
-	// Dominant marks points on the Pareto front.
+	// Survivability is the point's fault-sweep reliability score;
+	// HasSurvivability marks that a fault model was active (so a genuine
+	// 0 is distinguishable from "not evaluated").
+	Survivability    float64
+	HasSurvivability bool
+	// Dominant marks points on the Pareto front: the (area, power)
+	// plane normally, the (area, power, survivability) space when the
+	// exploration ran under a fault model.
 	Dominant bool
 }
 
@@ -94,6 +104,17 @@ func ParetoExplore(app *graph.CoreGraph, topo topology.Topology, opts mapping.Op
 // repeated explorations and overlapping grids stop re-mapping identical
 // design points. Point order and front marking match the sequential path.
 func ParetoExploreContext(ctx context.Context, app *graph.CoreGraph, topo topology.Topology, opts mapping.Options, steps int, xo ExploreOptions) ([]ParetoPoint, error) {
+	return ParetoExploreFault(ctx, app, topo, opts, steps, nil, xo)
+}
+
+// ParetoExploreFault is ParetoExploreContext with reliability as a third
+// objective: when fm is non-nil every surviving design point carries its
+// survivability under the fault model (degraded-mode rerouting sweep,
+// see internal/fault) and the Pareto front is marked in the
+// (area, power, survivability) space, so a designer reads off how much
+// area or power buying fault tolerance costs. A nil fm reproduces the
+// two-objective exploration exactly.
+func ParetoExploreFault(ctx context.Context, app *graph.CoreGraph, topo topology.Topology, opts mapping.Options, steps int, fm *fault.Model, xo ExploreOptions) ([]ParetoPoint, error) {
 	if steps < 2 {
 		steps = 5
 	}
@@ -122,7 +143,11 @@ func ParetoExploreContext(ctx context.Context, app *graph.CoreGraph, topo topolo
 	if err != nil {
 		return nil, err
 	}
-	var pts []ParetoPoint
+	type candPoint struct {
+		pt  ParetoPoint
+		res *mapping.Result
+	}
+	var cands []candPoint
 	for i, o := range outcomes {
 		if o.Err != nil {
 			return nil, fmt.Errorf("core: pareto explore: %w", o.Err)
@@ -131,36 +156,74 @@ func ParetoExploreContext(ctx context.Context, app *graph.CoreGraph, topo topolo
 		if !res.Feasible() {
 			continue
 		}
-		pts = append(pts, ParetoPoint{
-			Weights: jobs[i].Opts.Weights,
-			AreaMM2: res.DesignAreaMM2,
-			PowerMW: res.PowerMW,
-			AvgHops: res.AvgHops,
+		cands = append(cands, candPoint{
+			pt: ParetoPoint{
+				Weights: jobs[i].Opts.Weights,
+				AreaMM2: res.DesignAreaMM2,
+				PowerMW: res.PowerMW,
+				AvgHops: res.AvgHops,
+			},
+			res: res,
 		})
 	}
 	// Different weight vectors often converge to the same mapping; keep
 	// one representative per distinct (area, power, hops) point.
-	sort.Slice(pts, func(i, j int) bool {
-		if pts[i].AreaMM2 != pts[j].AreaMM2 {
-			return pts[i].AreaMM2 < pts[j].AreaMM2
+	sort.Slice(cands, func(i, j int) bool {
+		pi, pj := cands[i].pt, cands[j].pt
+		if pi.AreaMM2 != pj.AreaMM2 {
+			return pi.AreaMM2 < pj.AreaMM2
 		}
-		if pts[i].PowerMW != pts[j].PowerMW {
-			return pts[i].PowerMW < pts[j].PowerMW
+		if pi.PowerMW != pj.PowerMW {
+			return pi.PowerMW < pj.PowerMW
 		}
-		return pts[i].AvgHops < pts[j].AvgHops
+		return pi.AvgHops < pj.AvgHops
 	})
-	dedup := pts[:0]
-	for _, p := range pts {
+	dedup := cands[:0]
+	for _, c := range cands {
 		if len(dedup) > 0 {
-			q := dedup[len(dedup)-1]
-			if nearly(p.AreaMM2, q.AreaMM2) && nearly(p.PowerMW, q.PowerMW) && nearly(p.AvgHops, q.AvgHops) {
+			q := dedup[len(dedup)-1].pt
+			if nearly(c.pt.AreaMM2, q.AreaMM2) && nearly(c.pt.PowerMW, q.PowerMW) && nearly(c.pt.AvgHops, q.AvgHops) {
 				continue
 			}
 		}
-		dedup = append(dedup, p)
+		dedup = append(dedup, c)
 	}
-	pts = dedup
-	markPareto(pts)
+	cands = dedup
+	if fm != nil {
+		// One survivability sweep per surviving (deduplicated) point,
+		// fanned out on the engine pool. The degraded rerouting starts
+		// from the grid's shared routing function, so every point is
+		// judged under the same failure discipline.
+		ropts := fault.Degraded(opts.RouteOptions())
+		comms := app.Commodities()
+		// One scenario set serves every point: the topology and model are
+		// shared, so enumerate (or sample) once, outside the fan-out.
+		scenarios, exhaustive, err := fault.Scenarios(topo, *fm)
+		if err != nil {
+			return nil, fmt.Errorf("core: pareto reliability: %w", err)
+		}
+		err = engine.Fan(ctx, len(cands), xo, func(i int) error {
+			rep, err := fault.SweepContext(ctx, topo, cands[i].res.Assign, comms, ropts, scenarios, exhaustive, 1, nil)
+			if err != nil {
+				return fmt.Errorf("core: pareto reliability: %w", err)
+			}
+			cands[i].pt.Survivability = rep.Survivability()
+			cands[i].pt.HasSurvivability = true
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	pts := make([]ParetoPoint, len(cands))
+	for i, c := range cands {
+		pts[i] = c.pt
+	}
+	if fm != nil {
+		markParetoReliability(pts)
+	} else {
+		markPareto(pts)
+	}
 	return pts, nil
 }
 
@@ -183,6 +246,30 @@ func maxAbs(a, b float64) float64 {
 		return a
 	}
 	return b
+}
+
+// markParetoReliability flags the non-dominated points in the
+// (area, power, survivability) space: j dominates i when it is no worse
+// on all three axes (lower-or-equal area and power, higher-or-equal
+// survivability) and strictly better on at least one.
+func markParetoReliability(pts []ParetoPoint) {
+	const tol = 1e-9
+	for i := range pts {
+		dominated := false
+		for j := range pts {
+			if i == j {
+				continue
+			}
+			if pts[j].AreaMM2 <= pts[i].AreaMM2+tol && pts[j].PowerMW <= pts[i].PowerMW+tol &&
+				pts[j].Survivability >= pts[i].Survivability-tol &&
+				(pts[j].AreaMM2 < pts[i].AreaMM2-tol || pts[j].PowerMW < pts[i].PowerMW-tol ||
+					pts[j].Survivability > pts[i].Survivability+tol) {
+				dominated = true
+				break
+			}
+		}
+		pts[i].Dominant = !dominated
+	}
 }
 
 // markPareto flags the non-dominated points in the (area, power) plane.

@@ -204,3 +204,34 @@ func Evaluate(ctx context.Context, app *graph.CoreGraph, jobs []Job, eo Options)
 	}
 	return out, nil
 }
+
+// Fan runs n independent, index-addressed units of non-mapping work
+// under the engine's admission contract: up to Parallelism workers, each
+// unit holding one Limit slot while it runs, so analysis passes sharing
+// a session (e.g. the per-candidate reliability sweeps of a fault-aware
+// selection) stay inside the same session-wide budget as the mapping
+// evaluations. Unit errors are collected at their index and the first,
+// in index order, is returned — deterministic regardless of which worker
+// hit it first. Cancellation wins over unit errors, mirroring Evaluate.
+func Fan(ctx context.Context, n int, eo Options, fn func(i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	errs := make([]error, n)
+	pool.ForEach(ctx, n, eo.workers(n), func(i int) {
+		if err := eo.Limit.Acquire(ctx); err != nil {
+			return // canceled while queued; ctx.Err() reported below
+		}
+		defer eo.Limit.Release()
+		errs[i] = fn(i)
+	})
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

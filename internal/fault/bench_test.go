@@ -1,0 +1,38 @@
+package fault
+
+import (
+	"testing"
+
+	"sunmap/internal/route"
+)
+
+// BenchmarkFaultSweep times one full survivability sweep (VOPD on a 3x4
+// mesh) at the tracked fault models, scenario enumeration included —
+// the per-candidate cost reliability-aware selection pays. Run with:
+//
+//	go test -bench BenchmarkFaultSweep -benchmem ./internal/fault
+func BenchmarkFaultSweep(b *testing.B) {
+	topo, assign, comms := vopdMesh()
+	opts := Degraded(route.Options{Function: route.MinPath, CapacityMBps: 500})
+	for _, tc := range []struct {
+		name  string
+		model Model
+	}{
+		{"k1-links", Model{K: 1, Elements: Links}},
+		{"k2-both", Model{K: 2, Elements: Both}},
+		{"k3-mc512", Model{K: 3, Elements: Both, Samples: 512}},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				scens, exhaustive, err := Scenarios(topo, tc.model)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := Sweep(topo, assign, comms, opts, scens, exhaustive); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

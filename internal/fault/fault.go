@@ -1,0 +1,228 @@
+// Package fault is SUNMAP's reliability subsystem. It models failure
+// scenarios as masked link/switch sets, replays a mapped design's
+// commodities around each mask with degraded-mode rerouting, and
+// aggregates survivability — the fraction of scenarios under which the
+// design stays connected and bandwidth-feasible — together with the
+// worst-case and expected degradation of link load and hop count.
+//
+// Failure elements are physical channels (both directions of a
+// bidirectional connection fail together; see topology.Channels) and/or
+// switches (every incident link fails and any core attached to the
+// switch is cut off). Scenarios of k simultaneous element failures are
+// enumerated exhaustively for k <= 2 and drawn by deterministic seeded
+// Monte Carlo above that, pre-drawn before any parallel sweep so the
+// scenario set is byte-identical at every parallelism setting.
+//
+// The approach follows the fault-tolerant application-specific topology
+// generation literature (Chen et al., arXiv:1908.00165); feeding the
+// resulting reliability score into selection and Pareto exploration as
+// an extra objective follows the multi-objective NoC design framing of
+// Kao & Fink (arXiv:1807.11607).
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"sunmap/internal/topology"
+)
+
+// Elements selects what can fail.
+type Elements int
+
+const (
+	// Links fails physical channels: every directed link of one
+	// unordered router pair goes down together.
+	Links Elements = iota
+	// Switches fails routers: all incident links go down and cores
+	// attached to the switch are cut off.
+	Switches
+	// Both draws elements from channels and switches alike.
+	Both
+)
+
+// String returns the wire spelling of the element class.
+func (e Elements) String() string {
+	switch e {
+	case Links:
+		return "links"
+	case Switches:
+		return "switches"
+	case Both:
+		return "both"
+	default:
+		return fmt.Sprintf("elements(%d)", int(e))
+	}
+}
+
+// ParseElements converts the wire spelling ("links", "switches", "both";
+// empty selects links) to an Elements value.
+func ParseElements(s string) (Elements, error) {
+	switch s {
+	case "", "links":
+		return Links, nil
+	case "switches":
+		return Switches, nil
+	case "both":
+		return Both, nil
+	}
+	return 0, fmt.Errorf("fault: unknown element class %q (want links, switches or both)", s)
+}
+
+// Model parameterizes a failure sweep.
+type Model struct {
+	// K is the number of simultaneous element failures (default 1).
+	K int
+	// Elements selects the failable element class (default Links).
+	Elements Elements
+	// Samples is the Monte Carlo scenario count used when sampling
+	// (default 2048).
+	Samples int
+	// Seed drives the scenario sampling; a given seed always draws the
+	// same scenario sequence.
+	Seed int64
+	// ForceSampling draws Monte Carlo scenarios even when K <= 2 would
+	// be enumerated exhaustively — for huge topologies, and for the
+	// convergence tests pinning the sampler against the exhaustive set.
+	ForceSampling bool
+}
+
+func (m Model) withDefaults() Model {
+	if m.K <= 0 {
+		m.K = 1
+	}
+	if m.Samples <= 0 {
+		m.Samples = 2048
+	}
+	return m
+}
+
+// exhaustiveMaxK is the largest K enumerated exhaustively: singles and
+// pairs cover the wear-out and manufacturing-fault cases designers
+// actually budget for; beyond that the combination count explodes and
+// sampling takes over.
+const exhaustiveMaxK = 2
+
+// Scenario is one failure mask: the directed link IDs down (including
+// every link incident to a failed switch) and the failed switches, both
+// in increasing order.
+type Scenario struct {
+	Links    []int `json:"links,omitempty"`
+	Switches []int `json:"switches,omitempty"`
+}
+
+// element is one failable unit of the enumeration universe.
+type element struct {
+	links []int // directed link IDs this element takes down
+	sw    int   // failed router, -1 for a channel element
+}
+
+// elementsOf builds the failure universe for a topology: channels first
+// (in topology.Channels order), then switches by router index.
+func elementsOf(topo topology.Topology, class Elements) []element {
+	var els []element
+	if class == Links || class == Both {
+		for _, ch := range topology.Channels(topo) {
+			els = append(els, element{links: ch, sw: -1})
+		}
+	}
+	if class == Switches || class == Both {
+		incident := make([][]int, topo.NumRouters())
+		for _, l := range topo.Links() {
+			incident[l.From] = append(incident[l.From], l.ID)
+			incident[l.To] = append(incident[l.To], l.ID)
+		}
+		for r := 0; r < topo.NumRouters(); r++ {
+			els = append(els, element{links: incident[r], sw: r})
+		}
+	}
+	return els
+}
+
+// scenarioOf folds a set of elements into one Scenario, deduplicating
+// links (a channel and an adjacent failed switch can overlap).
+func scenarioOf(els []element, subset []int) Scenario {
+	var s Scenario
+	seen := make(map[int]bool)
+	for _, i := range subset {
+		e := els[i]
+		if e.sw >= 0 {
+			s.Switches = append(s.Switches, e.sw)
+		}
+		for _, id := range e.links {
+			if !seen[id] {
+				seen[id] = true
+				s.Links = append(s.Links, id)
+			}
+		}
+	}
+	sort.Ints(s.Links)
+	sort.Ints(s.Switches)
+	return s
+}
+
+// Scenarios builds the failure-scenario set for a topology under a
+// model: every k-subset of the element universe for k <= 2, a
+// deterministic Monte Carlo draw of Samples uniform k-subsets above that
+// (or when ForceSampling is set). The returned bool reports whether the
+// set is exhaustive. Scenario order is deterministic for a given
+// (topology, model) pair.
+func Scenarios(topo topology.Topology, m Model) ([]Scenario, bool, error) {
+	m = m.withDefaults()
+	els := elementsOf(topo, m.Elements)
+	if len(els) == 0 {
+		return nil, false, fmt.Errorf("fault: %s has no %s elements", topo.Name(), m.Elements)
+	}
+	if m.K > len(els) {
+		return nil, false, fmt.Errorf("fault: k=%d exceeds the %d %s elements of %s",
+			m.K, len(els), m.Elements, topo.Name())
+	}
+	if m.K <= exhaustiveMaxK && !m.ForceSampling {
+		return enumerate(els, m.K), true, nil
+	}
+	return sample(els, m), false, nil
+}
+
+// enumerate lists every k-subset of the element universe, k in {1, 2}.
+func enumerate(els []element, k int) []Scenario {
+	var out []Scenario
+	switch k {
+	case 1:
+		for i := range els {
+			out = append(out, scenarioOf(els, []int{i}))
+		}
+	case 2:
+		for i := range els {
+			for j := i + 1; j < len(els); j++ {
+				out = append(out, scenarioOf(els, []int{i, j}))
+			}
+		}
+	default:
+		panic(fmt.Sprintf("fault: enumerate called with k=%d", k))
+	}
+	return out
+}
+
+// sample draws Samples uniform k-subsets of the element universe with a
+// seeded partial Fisher–Yates shuffle. Draws are independent (the same
+// subset can recur), which is what makes the per-scenario average an
+// unbiased estimator of the exhaustive one.
+func sample(els []element, m Model) []Scenario {
+	rng := rand.New(rand.NewSource(m.Seed))
+	idx := make([]int, len(els))
+	for i := range idx {
+		idx[i] = i
+	}
+	out := make([]Scenario, 0, m.Samples)
+	subset := make([]int, m.K)
+	for s := 0; s < m.Samples; s++ {
+		for j := 0; j < m.K; j++ {
+			k := j + rng.Intn(len(idx)-j)
+			idx[j], idx[k] = idx[k], idx[j]
+		}
+		copy(subset, idx[:m.K])
+		out = append(out, scenarioOf(els, subset))
+	}
+	return out
+}

@@ -1,0 +1,319 @@
+package fault
+
+import (
+	"context"
+	"math"
+	"reflect"
+	"testing"
+
+	"sunmap/internal/apps"
+	"sunmap/internal/graph"
+	"sunmap/internal/route"
+	"sunmap/internal/topology"
+)
+
+func mustTopo(topo topology.Topology, err error) topology.Topology {
+	if err != nil {
+		panic(err)
+	}
+	return topo
+}
+
+func identityAssign(n int) []int {
+	a := make([]int, n)
+	for i := range a {
+		a[i] = i
+	}
+	return a
+}
+
+func comm(id, src, dst int, bw float64) graph.Commodity {
+	return graph.Commodity{ID: id, Src: src, Dst: dst, ValueMBps: bw}
+}
+
+// ringComms is a small commodity set on a 2x2 mesh whose survivability
+// is strictly between 0 and 1 under tight capacity — the interesting
+// regime for the estimator tests.
+func ringComms() []graph.Commodity {
+	return []graph.Commodity{
+		comm(0, 0, 3, 200),
+		comm(1, 1, 2, 100),
+		comm(2, 2, 0, 50),
+	}
+}
+
+func TestScenarioCounts(t *testing.T) {
+	topo := mustTopo(topology.NewMesh(2, 2)) // 4 channels, 4 switches
+
+	cases := []struct {
+		model      Model
+		want       int
+		exhaustive bool
+	}{
+		{Model{K: 1, Elements: Links}, 4, true},
+		{Model{K: 1, Elements: Switches}, 4, true},
+		{Model{K: 2, Elements: Both}, 28, true}, // C(8,2)
+		{Model{K: 3, Elements: Links, Samples: 100}, 100, false},
+		{Model{K: 1, Elements: Links, ForceSampling: true, Samples: 64}, 64, false},
+	}
+	for _, tc := range cases {
+		scens, exhaustive, err := Scenarios(topo, tc.model)
+		if err != nil {
+			t.Fatalf("%+v: %v", tc.model, err)
+		}
+		if len(scens) != tc.want || exhaustive != tc.exhaustive {
+			t.Errorf("%+v: %d scenarios (exhaustive=%v), want %d (%v)",
+				tc.model, len(scens), exhaustive, tc.want, tc.exhaustive)
+		}
+	}
+	if _, _, err := Scenarios(topo, Model{K: 9, Elements: Both}); err == nil {
+		t.Error("k beyond the element count accepted")
+	}
+}
+
+// TestScenariosDeterministic pins that sampling is a pure function of
+// (topology, model): the pre-drawn scenario set never depends on who
+// evaluates it.
+func TestScenariosDeterministic(t *testing.T) {
+	topo := mustTopo(topology.NewMesh(3, 3))
+	m := Model{K: 3, Elements: Both, Samples: 200, Seed: 7}
+	a, _, err := Scenarios(topo, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := Scenarios(topo, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("same model drew different scenario sets")
+	}
+	m.Seed = 8
+	c, _, err := Scenarios(topo, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Error("different seeds drew identical scenario sets")
+	}
+}
+
+// TestMonteCarloMatchesExhaustive is the estimator-consistency gate of
+// the acceptance criteria: on a small topology, the Monte Carlo
+// survivability and expected-degradation estimates converge to the
+// exhaustive k-subset enumeration as the sample count grows.
+func TestMonteCarloMatchesExhaustive(t *testing.T) {
+	// A 3x3 mesh keeps double faults interesting: some pairs disconnect
+	// a corner flow, some merely congest the detours past capacity, and
+	// many are survivable.
+	topo := mustTopo(topology.NewMesh(3, 3))
+	assign := identityAssign(9)
+	comms := []graph.Commodity{
+		comm(0, 0, 8, 200),
+		comm(1, 2, 6, 150),
+		comm(2, 6, 0, 100),
+	}
+	opts := Degraded(route.Options{Function: route.MinPath, CapacityMBps: 300})
+
+	for _, k := range []int{1, 2} {
+		exact, exhaustive, err := Scenarios(topo, Model{K: k, Elements: Both})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !exhaustive {
+			t.Fatalf("k=%d not enumerated exhaustively", k)
+		}
+		exRep, err := Sweep(topo, assign, comms, opts, exact, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if exRep.Survivability() <= 0 || exRep.Survivability() >= 1 {
+			t.Fatalf("k=%d exhaustive survivability %g is degenerate; the convergence check needs 0 < p < 1",
+				k, exRep.Survivability())
+		}
+
+		sampled, _, err := Scenarios(topo, Model{K: k, Elements: Both, ForceSampling: true, Samples: 20000, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mcRep, err := Sweep(topo, assign, comms, opts, sampled, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := math.Abs(mcRep.Survivability() - exRep.Survivability()); d > 0.02 {
+			t.Errorf("k=%d: MC survivability %g vs exhaustive %g (|d|=%g)",
+				k, mcRep.Survivability(), exRep.Survivability(), d)
+		}
+		if d := math.Abs(mcRep.ConnectedFrac() - exRep.ConnectedFrac()); d > 0.02 {
+			t.Errorf("k=%d: MC connected %g vs exhaustive %g (|d|=%g)",
+				k, mcRep.ConnectedFrac(), exRep.ConnectedFrac(), d)
+		}
+		if ex := exRep.ExpMaxLinkLoadMBps; ex > 0 {
+			if d := math.Abs(mcRep.ExpMaxLinkLoadMBps-ex) / ex; d > 0.05 {
+				t.Errorf("k=%d: MC expected max load %g vs exhaustive %g (rel %g)",
+					k, mcRep.ExpMaxLinkLoadMBps, ex, d)
+			}
+		}
+	}
+}
+
+// TestSwitchFaultSeversAttachedCore checks that a failed endpoint switch
+// disconnects its commodities outright — no rerouting can save them.
+func TestSwitchFaultSeversAttachedCore(t *testing.T) {
+	topo := mustTopo(topology.NewMesh(2, 2))
+	ev, err := NewEvaluator(topo, identityAssign(4), ringComms(),
+		Degraded(route.Options{Function: route.MinPath}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var links []int
+	for _, l := range topo.Links() {
+		if l.From == 0 || l.To == 0 {
+			links = append(links, l.ID)
+		}
+	}
+	out := ev.Eval(Scenario{Links: links, Switches: []int{0}})
+	if out.Connected {
+		t.Error("design survived losing the switch hosting terminal 0")
+	}
+	// A non-endpoint fault on a richer mesh stays connected.
+	topo9 := mustTopo(topology.NewMesh(3, 3))
+	ev9, err := NewEvaluator(topo9, identityAssign(9),
+		[]graph.Commodity{comm(0, 0, 2, 100)},
+		Degraded(route.Options{Function: route.MinPath}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mid []int
+	for _, l := range topo9.Links() {
+		if l.From == 4 || l.To == 4 {
+			mid = append(mid, l.ID)
+		}
+	}
+	if out := ev9.Eval(Scenario{Links: mid, Switches: []int{4}}); !out.Connected {
+		t.Error("corner-to-corner flow did not survive losing the center switch")
+	}
+}
+
+// TestDegradedLowering pins the degraded-mode function mapping and the
+// option hygiene the sweep depends on.
+func TestDegradedLowering(t *testing.T) {
+	cases := []struct{ in, want route.Function }{
+		{route.DimensionOrdered, route.MinPath},
+		{route.MinPath, route.MinPath},
+		{route.SplitMin, route.SplitAll},
+		{route.SplitAll, route.SplitAll},
+	}
+	for _, tc := range cases {
+		got := Degraded(route.Options{Function: tc.in, CapacityMBps: 500, Chunks: 16,
+			DownLinks: make([]bool, 3)})
+		if got.Function != tc.want {
+			t.Errorf("Degraded(%v).Function = %v, want %v", tc.in, got.Function, tc.want)
+		}
+		if !got.DisableQuadrant || !got.LoadsOnly || got.DownLinks != nil {
+			t.Errorf("Degraded(%v) = %+v: want quadrant off, loads only, no stale mask", tc.in, got)
+		}
+		if got.CapacityMBps != 500 || got.Chunks != 16 {
+			t.Errorf("Degraded(%v) dropped capacity/chunks: %+v", tc.in, got)
+		}
+	}
+}
+
+// vopdMesh returns the VOPD benchmark identity-assigned onto a 3x4 mesh
+// with its commodity set — the shared fixture of the alloc gate, the
+// parallelism test and the benchmark.
+func vopdMesh() (topology.Topology, []int, []graph.Commodity) {
+	g := apps.VOPD()
+	topo := mustTopo(topology.NewMesh(3, 4))
+	return topo, identityAssign(g.NumCores()), g.Commodities()
+}
+
+// TestMaskedRerouteAllocFree is the acceptance gate on the sweep's hot
+// loop: once the evaluator is warm, rerouting a connected failure
+// scenario must not allocate at all — for the single-path and the
+// splitting degraded modes alike.
+func TestMaskedRerouteAllocFree(t *testing.T) {
+	topo, assign, comms := vopdMesh()
+	scens, _, err := Scenarios(topo, Model{K: 2, Elements: Both})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fn := range []route.Function{route.MinPath, route.SplitAll} {
+		ev, err := NewEvaluator(topo, assign, comms,
+			Degraded(route.Options{Function: fn, CapacityMBps: 500}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Warm every buffer (solver epochs, split arena, path scratch)
+		// with a full pass, and pick a connected scenario to gate on —
+		// disconnected scenarios build an error and are not the steady
+		// state.
+		gate := Scenario{}
+		for _, s := range scens {
+			if ev.Eval(s).Connected {
+				gate = s
+			}
+		}
+		if gate.Links == nil && gate.Switches == nil {
+			t.Fatalf("%v: no connected scenario to gate on", fn)
+		}
+		if allocs := testing.AllocsPerRun(200, func() { ev.Eval(gate) }); allocs != 0 {
+			t.Errorf("%v: steady-state masked reroute allocates %.1f objects/op, want 0", fn, allocs)
+		}
+	}
+}
+
+// TestSweepIdenticalAcrossParallelism checks the determinism contract:
+// the folded report is byte-identical no matter how many workers
+// evaluated the scenarios.
+func TestSweepIdenticalAcrossParallelism(t *testing.T) {
+	topo, assign, comms := vopdMesh()
+	opts := Degraded(route.Options{Function: route.MinPath, CapacityMBps: 500})
+	scens, exhaustive, err := Scenarios(topo, Model{K: 2, Elements: Both})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := SweepContext(context.Background(), topo, assign, comms, opts, scens, exhaustive, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range []int{2, 4, 8} {
+		got, err := SweepContext(context.Background(), topo, assign, comms, opts, scens, exhaustive, par, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(seq, got) {
+			t.Errorf("parallelism %d report diverged from sequential:\nseq: %+v\ngot: %+v", par, seq, got)
+		}
+	}
+	if seq.Scenarios != len(scens) || seq.Connected == 0 {
+		t.Fatalf("implausible report: %+v", seq)
+	}
+	if seq.Baseline.MaxLinkLoadMBps <= 0 {
+		t.Error("baseline carries no load")
+	}
+	if seq.WorstMaxLinkLoadMBps < seq.Baseline.MaxLinkLoadMBps {
+		t.Errorf("worst-case load %g below baseline %g",
+			seq.WorstMaxLinkLoadMBps, seq.Baseline.MaxLinkLoadMBps)
+	}
+	if seq.ExpMaxLinkLoadMBps > seq.WorstMaxLinkLoadMBps {
+		t.Errorf("expected load %g above worst case %g",
+			seq.ExpMaxLinkLoadMBps, seq.WorstMaxLinkLoadMBps)
+	}
+}
+
+// TestSweepCancellation checks a canceled context aborts the sweep with
+// the context's error.
+func TestSweepCancellation(t *testing.T) {
+	topo, assign, comms := vopdMesh()
+	opts := Degraded(route.Options{Function: route.MinPath, CapacityMBps: 500})
+	scens, _, err := Scenarios(topo, Model{K: 2, Elements: Both})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := SweepContext(ctx, topo, assign, comms, opts, scens, true, 4, nil); err != context.Canceled {
+		t.Errorf("canceled sweep returned %v, want context.Canceled", err)
+	}
+}

@@ -1,0 +1,296 @@
+package fault
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+
+	"sunmap/internal/graph"
+	"sunmap/internal/pool"
+	"sunmap/internal/route"
+	"sunmap/internal/topology"
+)
+
+// Degraded lowers the routing options a design was optimized under onto
+// the degraded-mode discipline a survivability sweep reroutes with:
+// single-path congestion-aware routing (MP) for the single-path
+// functions — oblivious DO cannot route around a fault — and traffic
+// splitting across all surviving paths (SA) for the splitting ones,
+// since a fault may cut the minimum-hop DAG SM is confined to. The
+// quadrant restriction is lifted (with links down, surviving paths need
+// not stay inside it) and only load aggregates are collected; capacity
+// and chunk granularity carry over unchanged.
+func Degraded(o route.Options) route.Options {
+	switch o.Function {
+	case route.SplitMin, route.SplitAll:
+		o.Function = route.SplitAll
+	default:
+		o.Function = route.MinPath
+	}
+	o.DisableQuadrant = true
+	o.LoadsOnly = true
+	o.DownLinks = nil
+	return o
+}
+
+// Outcome is the rerouted state of one design under one failure
+// scenario. The zero value is a disconnected outcome.
+type Outcome struct {
+	// Connected reports every commodity found a surviving route.
+	Connected bool
+	// Feasible reports the rerouted loads fit the link capacity
+	// (always true for connected outcomes when capacity is
+	// unconstrained).
+	Feasible bool
+	// MaxLinkLoadMBps is the rerouted maximum link load.
+	MaxLinkLoadMBps float64
+	// AvgHops is the rerouted bandwidth-weighted mean hop count.
+	AvgHops float64
+}
+
+// Evaluator reroutes one mapped design around failure masks. It owns a
+// route.Router plus mask and result buffers, so steady-state Eval calls
+// on connected scenarios allocate nothing. An Evaluator is
+// single-goroutine state; SweepContext hands each worker its own.
+type Evaluator struct {
+	topo   topology.Topology
+	assign []int
+	comms  []graph.Commodity
+	opts   route.Options
+
+	rt       *route.Router
+	res      route.Result
+	mask     []bool
+	dead     []bool
+	baseline Outcome
+}
+
+// NewEvaluator builds an evaluator for one design point and routes the
+// fault-free baseline, validating that the assignment and commodities
+// route at all under the (typically Degraded) options.
+func NewEvaluator(topo topology.Topology, assign []int, comms []graph.Commodity, opts route.Options) (*Evaluator, error) {
+	e := &Evaluator{
+		topo:   topo,
+		assign: append([]int(nil), assign...),
+		comms:  comms,
+		opts:   opts,
+		rt:     route.NewRouter(),
+		mask:   make([]bool, len(topo.Links())),
+		dead:   make([]bool, topo.NumRouters()),
+	}
+	e.opts.LoadsOnly = true
+	e.opts.DownLinks = nil
+	base, err := e.eval(Scenario{})
+	if err != nil {
+		return nil, fmt.Errorf("fault: baseline routing on %s: %w", topo.Name(), err)
+	}
+	e.baseline = base
+	return e, nil
+}
+
+// Baseline returns the fault-free outcome the degradation metrics are
+// measured against.
+func (e *Evaluator) Baseline() Outcome { return e.baseline }
+
+// Eval reroutes every commodity around the scenario's failure mask and
+// returns the degraded outcome; scenarios that cut a commodity off come
+// back with Connected unset.
+func (e *Evaluator) Eval(s Scenario) Outcome {
+	out, _ := e.eval(s)
+	return out
+}
+
+// eval is Eval with the routing error preserved (NewEvaluator surfaces
+// it for the baseline; fault scenarios fold it into a disconnected
+// outcome, since "no surviving path" is a result, not a failure).
+func (e *Evaluator) eval(s Scenario) (Outcome, error) {
+	for i := range e.mask {
+		e.mask[i] = false
+	}
+	for _, id := range s.Links {
+		e.mask[id] = true
+	}
+	for i := range e.dead {
+		e.dead[i] = false
+	}
+	for _, r := range s.Switches {
+		e.dead[r] = true
+	}
+	// A failed switch severs its attached cores outright — no rerouting
+	// can recover a commodity whose endpoint router is gone.
+	if len(s.Switches) > 0 {
+		for _, c := range e.comms {
+			if e.dead[e.topo.InjectRouter(e.assign[c.Src])] || e.dead[e.topo.EjectRouter(e.assign[c.Dst])] {
+				return Outcome{}, fmt.Errorf("fault: commodity %d endpoint switch failed", c.ID)
+			}
+		}
+	}
+	opts := e.opts
+	opts.DownLinks = e.mask
+	if err := e.rt.RouteInto(&e.res, e.topo, e.assign, e.comms, opts); err != nil {
+		return Outcome{}, err
+	}
+	return Outcome{
+		Connected:       true,
+		Feasible:        e.res.Feasible,
+		MaxLinkLoadMBps: e.res.MaxLinkLoad,
+		AvgHops:         e.res.AvgHops(),
+	}, nil
+}
+
+// Report aggregates a sweep over one design point's failure scenarios.
+type Report struct {
+	// Scenarios is the evaluated scenario count; Exhaustive marks a
+	// complete k-subset enumeration (vs a Monte Carlo draw).
+	Scenarios  int
+	Exhaustive bool
+	// Connected counts scenarios under which every commodity still
+	// routes; Feasible counts those additionally within link capacity.
+	Connected int
+	Feasible  int
+	// Baseline is the fault-free outcome under the same (degraded)
+	// routing options, the yardstick for the degradation metrics below.
+	Baseline Outcome
+	// Worst-case and expected degradation over the connected scenarios
+	// (disconnected scenarios have no meaningful loads; their share is
+	// visible through Connected/Scenarios instead).
+	WorstMaxLinkLoadMBps float64
+	ExpMaxLinkLoadMBps   float64
+	WorstAvgHops         float64
+	ExpAvgHops           float64
+	// WorstCase is the connected scenario with the highest rerouted max
+	// link load (first in enumeration order on ties); Disconnecting is
+	// the first scenario that cut a commodity off, nil when none did.
+	WorstCase     Scenario
+	Disconnecting *Scenario
+}
+
+// Survivability is the fraction of scenarios the design survives:
+// connected and bandwidth-feasible. It is the reliability score
+// selection and Pareto exploration consume.
+func (r *Report) Survivability() float64 {
+	if r.Scenarios == 0 {
+		return 1
+	}
+	return float64(r.Feasible) / float64(r.Scenarios)
+}
+
+// ConnectedFrac is the fraction of scenarios with every commodity still
+// routable, ignoring the capacity check.
+func (r *Report) ConnectedFrac() float64 {
+	if r.Scenarios == 0 {
+		return 1
+	}
+	return float64(r.Connected) / float64(r.Scenarios)
+}
+
+// Sweep evaluates every scenario sequentially; see SweepContext.
+func Sweep(topo topology.Topology, assign []int, comms []graph.Commodity, opts route.Options, scenarios []Scenario, exhaustive bool) (*Report, error) {
+	return SweepContext(context.Background(), topo, assign, comms, opts, scenarios, exhaustive, 1, nil)
+}
+
+// SweepContext evaluates every failure scenario of one design point and
+// folds the outcomes into a Report. Scenarios fan out over up to
+// parallelism workers (0 selects GOMAXPROCS); each worker owns its own
+// Evaluator, holds one slot of the shared admission limiter while it
+// works, and writes outcomes at their scenario index, so the folded
+// report is byte-identical at every parallelism setting. ctx aborts the
+// sweep between scenario evaluations.
+func SweepContext(ctx context.Context, topo topology.Topology, assign []int, comms []graph.Commodity, opts route.Options, scenarios []Scenario, exhaustive bool, parallelism int, limit *pool.Limiter) (*Report, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	ev, err := NewEvaluator(topo, assign, comms, opts)
+	if err != nil {
+		return nil, err
+	}
+	outcomes := make([]Outcome, len(scenarios))
+	workers := parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(scenarios) {
+		workers = len(scenarios)
+	}
+	if workers <= 1 {
+		if err := evalChunk(ctx, ev, scenarios, outcomes, 0, len(scenarios)); err != nil {
+			return nil, err
+		}
+	} else {
+		errs := make([]error, workers)
+		pool.ForEach(ctx, workers, workers, func(w int) {
+			if err := limit.Acquire(ctx); err != nil {
+				return // canceled while queued; ctx.Err() reported below
+			}
+			defer limit.Release()
+			wev := ev
+			if w > 0 {
+				// Worker 0 reuses the validated evaluator; the others
+				// build their own (evaluators are single-goroutine).
+				if wev, errs[w] = NewEvaluator(topo, assign, comms, opts); errs[w] != nil {
+					return
+				}
+			}
+			lo, hi := w*len(scenarios)/workers, (w+1)*len(scenarios)/workers
+			errs[w] = evalChunk(ctx, wev, scenarios, outcomes, lo, hi)
+		})
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return fold(ev.Baseline(), scenarios, outcomes, exhaustive), nil
+}
+
+// evalChunk fills outcomes[lo:hi], checking the context between
+// evaluations.
+func evalChunk(ctx context.Context, ev *Evaluator, scenarios []Scenario, outcomes []Outcome, lo, hi int) error {
+	for i := lo; i < hi; i++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		outcomes[i] = ev.Eval(scenarios[i])
+	}
+	return nil
+}
+
+// fold aggregates per-scenario outcomes in scenario order, so the
+// floating-point sums never depend on worker scheduling.
+func fold(baseline Outcome, scenarios []Scenario, outcomes []Outcome, exhaustive bool) *Report {
+	rep := &Report{Scenarios: len(scenarios), Exhaustive: exhaustive, Baseline: baseline}
+	worst := -1
+	for i, o := range outcomes {
+		if !o.Connected {
+			if rep.Disconnecting == nil {
+				s := scenarios[i]
+				rep.Disconnecting = &s
+			}
+			continue
+		}
+		rep.Connected++
+		if o.Feasible {
+			rep.Feasible++
+		}
+		rep.ExpMaxLinkLoadMBps += o.MaxLinkLoadMBps
+		rep.ExpAvgHops += o.AvgHops
+		if worst == -1 || o.MaxLinkLoadMBps > rep.WorstMaxLinkLoadMBps {
+			rep.WorstMaxLinkLoadMBps = o.MaxLinkLoadMBps
+			worst = i
+		}
+		if o.AvgHops > rep.WorstAvgHops {
+			rep.WorstAvgHops = o.AvgHops
+		}
+	}
+	if rep.Connected > 0 {
+		rep.ExpMaxLinkLoadMBps /= float64(rep.Connected)
+		rep.ExpAvgHops /= float64(rep.Connected)
+	}
+	if worst >= 0 {
+		rep.WorstCase = scenarios[worst]
+	}
+	return rep
+}

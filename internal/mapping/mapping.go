@@ -91,6 +91,19 @@ type Options struct {
 	Chunks int
 }
 
+// RouteOptions lowers the mapping options onto the routing layer: the
+// exact routing configuration every candidate evaluation of a Map call
+// runs under. The fault subsystem starts from it (see fault.Degraded) so
+// survivability sweeps reroute with the discipline the design was
+// actually optimized for.
+func (o Options) RouteOptions() route.Options {
+	return route.Options{
+		Function:     o.Routing,
+		CapacityMBps: o.CapacityMBps,
+		Chunks:       o.Chunks,
+	}
+}
+
 func (o Options) withDefaults() Options {
 	if o.Tech.FlitBits == 0 {
 		o.Tech = tech.Tech100nm()
@@ -420,11 +433,7 @@ type evaluator struct {
 // cost evaluates a mapping: route, size switches, estimate (or exactly
 // compute, when exact != nil) floorplan lengths, and derive area/power.
 func (ev *evaluator) cost(assign []int, exact *exactMode) (*evalResult, error) {
-	res, err := route.Route(ev.topo, assign, ev.comms, route.Options{
-		Function:     ev.opts.Routing,
-		CapacityMBps: ev.opts.CapacityMBps,
-		Chunks:       ev.opts.Chunks,
-	})
+	res, err := route.Route(ev.topo, assign, ev.comms, ev.opts.RouteOptions())
 	if err != nil {
 		return nil, err
 	}

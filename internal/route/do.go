@@ -8,11 +8,22 @@ import (
 )
 
 // routeDO routes one commodity with the oblivious dimension-ordered
-// discipline and commits the result.
+// discipline and commits the result. DO cannot adapt: when the active
+// failed-link mask covers any arc of its fixed path, the commodity is
+// undeliverable and the call errors (degraded-mode sweeps reroute with
+// an adaptive function instead — see fault.Degraded).
 func (rt *Router) routeDO(srcT, dstT int, c graph.Commodity, res *Result, collect bool) error {
 	verts, arcs, err := rt.PathDO(srcT, dstT, c)
 	if err != nil {
 		return err
+	}
+	if rt.down != nil {
+		for _, id := range arcs {
+			if rt.down[id] {
+				return fmt.Errorf("route: DO path of commodity %d crosses down link %d on %s",
+					c.ID, id, rt.topo.Name())
+			}
+		}
 	}
 	commit(res, c, 1.0, verts, arcs, collect)
 	return nil

@@ -90,6 +90,16 @@ type Options struct {
 	// mapper's swap loop sets it — candidate evaluations only consume the
 	// aggregates, and the per-path slice copies dominate its allocations.
 	LoadsOnly bool
+	// DownLinks marks failed links by link ID; masked links are unusable
+	// by every routing function. The congestion-aware functions (MP, SA)
+	// route around them — MP additionally searches the full router graph
+	// instead of the quadrant, since with links down a surviving path need
+	// not stay inside it — while the oblivious DO discipline fails with an
+	// error when its fixed path crosses a down link, and SM fails when the
+	// fault cuts its minimum-hop DAG. A non-nil mask must have one entry
+	// per topology link. The fault subsystem sets this per failure
+	// scenario, reusing one mask buffer across evaluations.
+	DownLinks []bool
 }
 
 // DefaultChunks is the traffic-splitting granularity used when

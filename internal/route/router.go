@@ -46,6 +46,11 @@ type Router struct {
 	wDAG graph.WeightFunc
 	dag  []bool
 
+	// down, when non-nil, is the active failed-link mask
+	// (Options.DownLinks): both weight closures treat masked arcs as
+	// unreachable, so every weight-based search reroutes around them.
+	down []bool
+
 	// chunkAcc records, for the last split-routed commodity, which merged
 	// accumulator each chunk landed on (in chunk order) — the structure
 	// the mapper's delta evaluator replays for spliced commodities.
@@ -64,10 +69,13 @@ type Router struct {
 func NewRouter() *Router {
 	rt := &Router{sp: graph.NewSPSolver()}
 	rt.wLoad = func(_ int, a graph.Arc) float64 {
+		if rt.down != nil && rt.down[a.ID] {
+			return math.Inf(1)
+		}
 		return rt.loads[a.ID] + rt.bias
 	}
 	rt.wDAG = func(_ int, a graph.Arc) float64 {
-		if !rt.dag[a.ID] {
+		if !rt.dag[a.ID] || (rt.down != nil && rt.down[a.ID]) {
 			return math.Inf(1)
 		}
 		return rt.loads[a.ID] + rt.bias
@@ -205,6 +213,12 @@ func FinalizeLoads(res *Result, capacityMBps float64) {
 func (rt *Router) RouteInto(res *Result, topo topology.Topology, assign []int, comms []graph.Commodity, opts Options) error {
 	opts = opts.withDefaults()
 	rt.Bind(topo)
+	if opts.DownLinks != nil && len(opts.DownLinks) != len(topo.Links()) {
+		return fmt.Errorf("route: DownLinks mask has %d entries for %d links of %s",
+			len(opts.DownLinks), len(topo.Links()), topo.Name())
+	}
+	rt.down = opts.DownLinks
+	defer func() { rt.down = nil }()
 	res.Reset(len(topo.Links()), topo.NumRouters())
 	collect := !opts.LoadsOnly
 	for _, c := range comms {
@@ -224,7 +238,10 @@ func (rt *Router) RouteInto(res *Result, topo topology.Topology, assign []int, c
 		case DimensionOrdered:
 			err = rt.routeDO(srcT, dstT, c, res, collect)
 		case MinPath:
-			err = rt.routeSingle(srcT, dstT, c, res, !opts.DisableQuadrant, collect)
+			// With links down, a surviving path need not stay inside the
+			// quadrant (which only bounds fault-free minimum paths), so
+			// masked MP searches the full router graph.
+			err = rt.routeSingle(srcT, dstT, c, res, !opts.DisableQuadrant && rt.down == nil, collect)
 		case SplitMin:
 			err = rt.routeSplit(srcT, dstT, c, res, opts.Chunks, true, collect)
 		case SplitAll:

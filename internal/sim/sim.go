@@ -36,6 +36,11 @@ type RouteTable struct {
 // Paths returns the route set for (src, dst).
 func (rt *RouteTable) Paths(src, dst int) []Path { return rt.paths[src*rt.n+dst] }
 
+// RNG is the simulator's randomness source — injection timing, pattern
+// destinations and Clos path picking all draw from it. It is the
+// traffic-package interface; *math/rand.Rand satisfies it.
+type RNG = traffic.RNG
+
 // Config parameterizes one simulation run.
 type Config struct {
 	// Topo is the network topology.
@@ -65,7 +70,44 @@ type Config struct {
 	WarmupCycles, MeasureCycles, DrainCycles int
 	// Seed makes runs reproducible.
 	Seed int64
+	// NewRNG, when non-nil, replaces the default randomness source
+	// (math/rand seeded with Seed+1). Every run constructs its own
+	// generator through the factory, so concurrent sweep rates never
+	// share one and results stay byte-identical at every parallelism.
+	NewRNG func(seed int64) RNG
+
+	// FaultCycle, when > 0, injects a failure at that absolute cycle:
+	// the FaultLinks stop transmitting (flits already on the wire still
+	// arrive), so packets routed across them stall and hold their
+	// wormhole resources — the degraded-throughput experiment of the
+	// fault subsystem. Stats then split delivered throughput at the
+	// fault cycle (PreFaultFPC / PostFaultFPC).
+	FaultCycle int
+	// FaultLinks lists the link IDs that go down at FaultCycle.
+	FaultLinks []int
+	// FaultRoutes, when non-nil, replaces Routes for packets injected at
+	// or after FaultCycle — degraded-mode rerouting around the failure.
+	// Nil keeps the original routes (packets aimed at down links stall).
+	FaultRoutes *RouteTable
 }
+
+// rng constructs the run's randomness source.
+func (c Config) rng() RNG {
+	if c.NewRNG != nil {
+		return c.NewRNG(c.Seed + 1)
+	}
+	return rand.New(rand.NewSource(c.Seed + 1))
+}
+
+// Default run structure when the corresponding Config fields are unset.
+// Exported so callers deriving cycle positions (e.g. the fault sweep's
+// default injection point, midway through the measurement window) stay
+// in sync with withDefaults.
+const (
+	DefaultWarmupCycles  = 1000
+	DefaultMeasureCycles = 4000
+	DefaultDrainCycles   = 4000
+)
 
 func (c Config) withDefaults() Config {
 	if c.PacketFlits <= 0 {
@@ -83,13 +125,13 @@ func (c Config) withDefaults() Config {
 		c.RouterDelay = 1
 	}
 	if c.WarmupCycles <= 0 {
-		c.WarmupCycles = 1000
+		c.WarmupCycles = DefaultWarmupCycles
 	}
 	if c.MeasureCycles <= 0 {
-		c.MeasureCycles = 4000
+		c.MeasureCycles = DefaultMeasureCycles
 	}
 	if c.DrainCycles <= 0 {
-		c.DrainCycles = 4000
+		c.DrainCycles = DefaultDrainCycles
 	}
 	return c
 }
@@ -111,6 +153,12 @@ type Stats struct {
 	// ThroughputFPC is delivered flits per cycle per terminal during the
 	// measurement window.
 	ThroughputFPC float64
+	// PreFaultFPC and PostFaultFPC split ThroughputFPC at
+	// Config.FaultCycle: delivered flits per cycle per terminal over the
+	// measurement cycles before and from the fault. Both are zero when no
+	// fault is configured (or when the fault cycle leaves a window
+	// empty).
+	PreFaultFPC, PostFaultFPC float64
 	// Saturated is set when more than 10% of measured packets failed to
 	// drain (latency numbers then underestimate the true mean).
 	Saturated bool
@@ -187,6 +235,11 @@ func RunContext(ctx context.Context, cfg Config) (*Stats, error) {
 	topo := cfg.Topo
 	nTerm := topo.NumTerminals()
 	links := topo.Links()
+	for _, li := range cfg.FaultLinks {
+		if li < 0 || li >= len(links) {
+			return nil, fmt.Errorf("sim: fault link %d outside the %d links of %s", li, len(links), topo.Name())
+		}
+	}
 
 	active := cfg.ActiveTerminals
 	if active == nil {
@@ -254,13 +307,19 @@ func RunContext(ctx context.Context, cfg Config) (*Stats, error) {
 		ejOwner[i] = -1
 	}
 
-	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	rng := cfg.rng()
 	srcQueues := make([][]flit, nTerm) // unbounded source queues
 	var transit []inTransit
 	var latencies []float64
 	var measuredCreated, measuredDone int
 	var measuredFlits int
+	var preFlits, postFlits int
 	perHop := cfg.ChannelDelay + cfg.RouterDelay
+
+	// Failure state: down links accept no new traversals from FaultCycle
+	// on (flits already in transit still arrive).
+	down := make([]bool, len(links))
+	faultAt := func(cycle int) bool { return cfg.FaultCycle > 0 && cycle >= cfg.FaultCycle }
 
 	total := cfg.WarmupCycles + cfg.MeasureCycles + cfg.DrainCycles
 	inFlight := 0
@@ -269,6 +328,11 @@ func RunContext(ctx context.Context, cfg Config) (*Stats, error) {
 		if cycle%ctxCheckCycles == 0 {
 			if err := ctx.Err(); err != nil {
 				return nil, err
+			}
+		}
+		if cfg.FaultCycle > 0 && cycle == cfg.FaultCycle {
+			for _, li := range cfg.FaultLinks {
+				down[li] = true
 			}
 		}
 		// 1. Deliver channel arrivals.
@@ -321,13 +385,23 @@ func RunContext(ctx context.Context, cfg Config) (*Stats, error) {
 				}
 				if cycle >= cfg.WarmupCycles && cycle < cfg.WarmupCycles+cfg.MeasureCycles {
 					measuredFlits += cfg.PacketFlits
+					if cfg.FaultCycle > 0 {
+						if faultAt(cycle) {
+							postFlits += cfg.PacketFlits
+						} else {
+							preFlits += cfg.PacketFlits
+						}
+					}
 				}
 			}
 		}
 
-		// 3. Switch allocation and traversal, per output link.
+		// 3. Switch allocation and traversal, per output link. Down links
+		// transmit nothing; packets wanting them stall where they are,
+		// holding their buffers and wormhole claims (head-of-line
+		// blocking under failure is the effect being measured).
 		for li := range links {
-			if credits[li] <= 0 {
+			if down[li] || credits[li] <= 0 {
 				continue
 			}
 			r := links[li].From
@@ -381,7 +455,11 @@ func RunContext(ctx context.Context, cfg Config) (*Stats, error) {
 				if dst == term {
 					continue
 				}
-				paths := cfg.Routes.Paths(term, dst)
+				routes := cfg.Routes
+				if cfg.FaultRoutes != nil && faultAt(cycle) {
+					routes = cfg.FaultRoutes // degraded-mode rerouting
+				}
+				paths := routes.Paths(term, dst)
 				if len(paths) == 0 {
 					return nil, fmt.Errorf("sim: no route %d->%d", term, dst)
 				}
@@ -432,6 +510,23 @@ func RunContext(ctx context.Context, cfg Config) (*Stats, error) {
 	}
 	if cfg.MeasureCycles > 0 && len(active) > 0 {
 		st.ThroughputFPC = float64(measuredFlits) / float64(cfg.MeasureCycles) / float64(len(active))
+		if cfg.FaultCycle > 0 {
+			// Split the measurement window at the fault cycle; a fault
+			// outside the window leaves one side empty (and zero).
+			pre := cfg.FaultCycle - cfg.WarmupCycles
+			if pre < 0 {
+				pre = 0
+			}
+			if pre > cfg.MeasureCycles {
+				pre = cfg.MeasureCycles
+			}
+			if post := cfg.MeasureCycles - pre; post > 0 {
+				st.PostFaultFPC = float64(postFlits) / float64(post) / float64(len(active))
+			}
+			if pre > 0 {
+				st.PreFaultFPC = float64(preFlits) / float64(pre) / float64(len(active))
+			}
+		}
 	}
 	if measuredCreated > 0 && float64(st.UnfinishedPackets) > 0.1*float64(measuredCreated) {
 		st.Saturated = true
@@ -463,7 +558,7 @@ func returnCredit(bufIdx, numLinks int, credits []int) {
 	}
 }
 
-func pickPath(paths []Path, rng *rand.Rand) Path {
+func pickPath(paths []Path, rng RNG) Path {
 	if len(paths) == 1 {
 		return paths[0]
 	}

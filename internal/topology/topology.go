@@ -271,20 +271,35 @@ func (b *base) allRouters() []bool {
 // individually. Fig. 6(b)'s resource-utilization chart uses this count
 // plus one network-interface link per mapped core.
 func PhysicalLinks(t Topology) int {
-	seen := make(map[[2]int]bool)
-	n := 0
+	return len(Channels(t))
+}
+
+// Channels groups the directed links into physical channels: every link
+// between one unordered router pair belongs to the same channel, so a
+// bidirectional mesh connection is one channel of two directed links
+// while a one-way butterfly or Clos stage link is a channel of its own.
+// A physical fault takes out a whole channel — the fault subsystem's
+// link-failure elements are exactly these groups. Channel order is
+// deterministic: channels appear in order of their first (lowest-ID)
+// member link, and each group lists its link IDs in increasing order.
+func Channels(t Topology) [][]int {
+	idx := make(map[[2]int]int)
+	var chans [][]int
 	for _, l := range t.Links() {
 		a, b := l.From, l.To
 		if a > b {
 			a, b = b, a
 		}
 		key := [2]int{a, b}
-		if !seen[key] {
-			seen[key] = true
-			n++
+		ci, ok := idx[key]
+		if !ok {
+			ci = len(chans)
+			idx[key] = ci
+			chans = append(chans, nil)
 		}
+		chans[ci] = append(chans[ci], l.ID)
 	}
-	return n
+	return chans
 }
 
 // Validate checks structural invariants shared by all topologies. It is

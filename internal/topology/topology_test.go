@@ -488,3 +488,66 @@ func TestKindStringAndDirect(t *testing.T) {
 		t.Error("unknown kind produced empty string")
 	}
 }
+
+// TestChannelsGroupDirectedLinks checks the physical-channel grouping the
+// fault subsystem's link-failure elements are built from: every directed
+// link lands in exactly one channel, both directions of a bidirectional
+// connection share a channel, one-way stage links stand alone, and the
+// count agrees with PhysicalLinks.
+func TestChannelsGroupDirectedLinks(t *testing.T) {
+	topos := []Topology{
+		mustMesh(t, 2, 3),
+		mustTorus(t, 3, 3),
+		mustHypercube(t, 3),
+		mustButterfly(t, 2, 3),
+		mustClos(t, 3, 4, 3),
+	}
+	for _, topo := range topos {
+		chans := Channels(topo)
+		if len(chans) != PhysicalLinks(topo) {
+			t.Errorf("%s: %d channels, PhysicalLinks %d", topo.Name(), len(chans), PhysicalLinks(topo))
+		}
+		seen := make(map[int]bool)
+		links := topo.Links()
+		for ci, ch := range chans {
+			if len(ch) == 0 {
+				t.Errorf("%s: empty channel %d", topo.Name(), ci)
+			}
+			a, b := links[ch[0]].From, links[ch[0]].To
+			if a > b {
+				a, b = b, a
+			}
+			for i, id := range ch {
+				if seen[id] {
+					t.Errorf("%s: link %d in two channels", topo.Name(), id)
+				}
+				seen[id] = true
+				la, lb := links[id].From, links[id].To
+				if la > lb {
+					la, lb = lb, la
+				}
+				if la != a || lb != b {
+					t.Errorf("%s: channel %d mixes router pairs", topo.Name(), ci)
+				}
+				if i > 0 && ch[i-1] >= id {
+					t.Errorf("%s: channel %d link IDs not increasing", topo.Name(), ci)
+				}
+			}
+		}
+		if len(seen) != len(links) {
+			t.Errorf("%s: channels cover %d of %d links", topo.Name(), len(seen), len(links))
+		}
+	}
+	// Mesh channels are all bidirectional pairs; butterfly stage links are
+	// one-way singletons.
+	for _, ch := range Channels(mustMesh(t, 2, 3)) {
+		if len(ch) != 2 {
+			t.Errorf("mesh channel has %d links, want 2", len(ch))
+		}
+	}
+	for _, ch := range Channels(mustButterfly(t, 2, 3)) {
+		if len(ch) != 1 {
+			t.Errorf("butterfly channel has %d links, want 1", len(ch))
+		}
+	}
+}

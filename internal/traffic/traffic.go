@@ -6,11 +6,21 @@ package traffic
 
 import (
 	"fmt"
-	"math/rand"
 
 	"sunmap/internal/graph"
 	"sunmap/internal/topology"
 )
+
+// RNG is the randomness source the patterns (and the simulator driving
+// them) consume: the subset of *math/rand.Rand they actually use, lifted
+// to an interface so the simulator's source is injectable and
+// deterministically seeded per run. *rand.Rand satisfies it.
+type RNG interface {
+	// Intn returns a uniform int in [0, n).
+	Intn(n int) int
+	// Float64 returns a uniform float64 in [0, 1).
+	Float64() float64
+}
 
 // Pattern maps a source terminal to a destination terminal for one packet.
 // Implementations must be safe for sequential reuse with the supplied rng
@@ -20,7 +30,7 @@ type Pattern interface {
 	Name() string
 	// Dest picks the destination for a packet injected at src among n
 	// terminals.
-	Dest(src, n int, rng *rand.Rand) int
+	Dest(src, n int, rng RNG) int
 }
 
 // Uniform sends each packet to a uniformly random other terminal.
@@ -30,7 +40,7 @@ type Uniform struct{}
 func (Uniform) Name() string { return "uniform" }
 
 // Dest implements Pattern.
-func (Uniform) Dest(src, n int, rng *rand.Rand) int {
+func (Uniform) Dest(src, n int, rng RNG) int {
 	d := rng.Intn(n - 1)
 	if d >= src {
 		d++
@@ -47,7 +57,7 @@ type Transpose struct{ Cols int }
 func (t Transpose) Name() string { return "transpose" }
 
 // Dest implements Pattern.
-func (t Transpose) Dest(src, n int, rng *rand.Rand) int {
+func (t Transpose) Dest(src, n int, rng RNG) int {
 	cols := t.Cols
 	if cols <= 0 {
 		cols = intSqrt(n)
@@ -71,7 +81,7 @@ type BitComplement struct{}
 func (BitComplement) Name() string { return "bit-complement" }
 
 // Dest implements Pattern.
-func (BitComplement) Dest(src, n int, rng *rand.Rand) int {
+func (BitComplement) Dest(src, n int, rng RNG) int {
 	mask := n - 1
 	d := (^src) & mask
 	if d == src || d >= n {
@@ -90,7 +100,7 @@ type BitReverse struct{}
 func (BitReverse) Name() string { return "bit-reverse" }
 
 // Dest implements Pattern.
-func (BitReverse) Dest(src, n int, rng *rand.Rand) int {
+func (BitReverse) Dest(src, n int, rng RNG) int {
 	bits := 0
 	for 1<<bits < n {
 		bits++
@@ -118,7 +128,7 @@ type Shuffle struct{}
 func (Shuffle) Name() string { return "shuffle" }
 
 // Dest implements Pattern.
-func (Shuffle) Dest(src, n int, rng *rand.Rand) int {
+func (Shuffle) Dest(src, n int, rng RNG) int {
 	bits := 0
 	for 1<<bits < n {
 		bits++
@@ -141,7 +151,7 @@ type Tornado struct{ Cols int }
 func (t Tornado) Name() string { return "tornado" }
 
 // Dest implements Pattern.
-func (t Tornado) Dest(src, n int, rng *rand.Rand) int {
+func (t Tornado) Dest(src, n int, rng RNG) int {
 	cols := t.Cols
 	if cols <= 0 {
 		cols = intSqrt(n)
@@ -168,7 +178,7 @@ type GroupShift struct{ K int }
 func (g GroupShift) Name() string { return fmt.Sprintf("group-shift-%d", g.K) }
 
 // Dest implements Pattern.
-func (g GroupShift) Dest(src, n int, rng *rand.Rand) int {
+func (g GroupShift) Dest(src, n int, rng RNG) int {
 	k := g.K
 	if k <= 1 || n%k != 0 {
 		k = 2
@@ -198,7 +208,7 @@ type Hotspot struct {
 func (h Hotspot) Name() string { return fmt.Sprintf("hotspot-%d", h.Node) }
 
 // Dest implements Pattern.
-func (h Hotspot) Dest(src, n int, rng *rand.Rand) int {
+func (h Hotspot) Dest(src, n int, rng RNG) int {
 	if h.Node != src && rng.Float64() < h.Frac {
 		return h.Node % n
 	}
@@ -274,7 +284,7 @@ func (t *Trace) Name() string { return t.name }
 // Dest implements Pattern: destinations are drawn from the flows leaving
 // the source terminal, weighted by bandwidth. Sources with no outgoing
 // flow fall back to uniform.
-func (t *Trace) Dest(src, n int, rng *rand.Rand) int {
+func (t *Trace) Dest(src, n int, rng RNG) int {
 	var local float64
 	for i, p := range t.pairs {
 		if p[0] == src {

@@ -11,6 +11,7 @@ import (
 	"strings"
 
 	"sunmap/internal/apps"
+	"sunmap/internal/fault"
 	"sunmap/internal/graph"
 	"sunmap/internal/mapping"
 	"sunmap/internal/route"
@@ -32,6 +33,7 @@ const (
 	OpPareto       = "pareto"
 	OpSimulate     = "simulate"
 	OpGenerate     = "generate"
+	OpFaultSweep   = "fault-sweep"
 )
 
 // CoreSpec is one IP block of an inline application graph.
@@ -207,6 +209,54 @@ func (s SynthSpec) options() synth.Options {
 	return synth.Options{MaxRadix: s.MaxRadix, ClusterSizes: s.ClusterSizes}
 }
 
+// FaultSpec parameterizes a failure model: the scenario enumeration of a
+// fault sweep, the reliability axis of a fault-aware selection or Pareto
+// exploration.
+type FaultSpec struct {
+	// K is the number of simultaneous element failures (default 1).
+	// Scenarios are enumerated exhaustively for k <= 2 and drawn by
+	// deterministic Monte Carlo sampling above that.
+	K int `json:"k,omitempty"`
+	// Elements picks what can fail: "links" (physical channels — both
+	// directions together; the default), "switches" (all incident links
+	// plus any attached cores) or "both".
+	Elements string `json:"elements,omitempty"`
+	// Samples is the Monte Carlo scenario count when sampling
+	// (default 2048).
+	Samples int `json:"samples,omitempty"`
+	// Seed drives the scenario sampling; a given seed always draws the
+	// same scenarios.
+	Seed int64 `json:"seed,omitempty"`
+	// ForceSampling draws Monte Carlo scenarios even when k <= 2 would
+	// enumerate exhaustively.
+	ForceSampling bool `json:"force_sampling,omitempty"`
+	// ReliabilityWeight scales the reliability term when the spec drives
+	// a selection: feasible candidates rank by
+	// cost/bestCost + w·(1 − survivability). 0 selects 1.
+	ReliabilityWeight float64 `json:"reliability_weight,omitempty"`
+}
+
+// model lowers the spec onto the fault subsystem's Model.
+func (f FaultSpec) model() (fault.Model, error) {
+	if f.K < 0 {
+		return fault.Model{}, fmt.Errorf("%w: negative fault k %d", ErrBadRequest, f.K)
+	}
+	if f.Samples < 0 {
+		return fault.Model{}, fmt.Errorf("%w: negative fault samples %d", ErrBadRequest, f.Samples)
+	}
+	el, err := fault.ParseElements(f.Elements)
+	if err != nil {
+		return fault.Model{}, fmt.Errorf("%w: %w", ErrBadRequest, err)
+	}
+	return fault.Model{
+		K:             f.K,
+		Elements:      el,
+		Samples:       f.Samples,
+		Seed:          f.Seed,
+		ForceSampling: f.ForceSampling,
+	}, nil
+}
+
 // SelectRequest asks for a full two-phase topology selection.
 type SelectRequest struct {
 	App     AppSpec `json:"app"`
@@ -217,6 +267,10 @@ type SelectRequest struct {
 	// Synth overrides the session's synthesis options for this request
 	// (nil inherits WithSynth).
 	Synth *SynthSpec `json:"synth,omitempty"`
+	// Fault adds a reliability axis to the selection: every feasible
+	// candidate is swept under the failure model and Phase 2 ranks by
+	// the fault-aware composite score (nil inherits WithFault).
+	Fault *FaultSpec `json:"fault,omitempty"`
 }
 
 // MapRequest asks for one mapping onto a named topology.
@@ -236,11 +290,36 @@ type SweepRequest struct {
 
 // ParetoRequest asks for the area-power design-space exploration of
 // Fig. 9(b). Steps controls the weight-grid resolution (default 5).
+// With Fault set (or inherited from WithFault), every design point also
+// carries its survivability and the front is marked in the
+// three-objective (area, power, survivability) space.
 type ParetoRequest struct {
-	App      AppSpec `json:"app"`
-	Topology string  `json:"topology"`
-	Mapping  MapSpec `json:"mapping"`
-	Steps    int     `json:"steps,omitempty"`
+	App      AppSpec    `json:"app"`
+	Topology string     `json:"topology"`
+	Mapping  MapSpec    `json:"mapping"`
+	Steps    int        `json:"steps,omitempty"`
+	Fault    *FaultSpec `json:"fault,omitempty"`
+}
+
+// FaultSweepRequest asks for the survivability analysis of one mapped
+// design: the application is mapped onto the named topology (through the
+// session cache, like OpMap), then every failure scenario of the fault
+// model is rerouted in degraded mode and aggregated into a FaultReport.
+type FaultSweepRequest struct {
+	App      AppSpec   `json:"app"`
+	Topology string    `json:"topology"`
+	Mapping  MapSpec   `json:"mapping"`
+	Fault    FaultSpec `json:"fault"`
+	// SimRate, when > 0 (flits/cycle/terminal), additionally injects the
+	// worst-case connected failure scenario into the cycle-accurate
+	// simulator mid-measurement — trace traffic over the optimized
+	// mapping, degraded routes installed at the fault — and reports
+	// delivered throughput before and after the fault.
+	SimRate float64 `json:"sim_rate,omitempty"`
+	// SimCycle overrides the fault-injection cycle (default: midway
+	// through the measurement window). It must land inside that window
+	// — [1, 5000) under the simulator's default run structure.
+	SimCycle int `json:"sim_cycle,omitempty"`
 }
 
 // SimRequest asks for cycle-accurate simulation of a topology across one
@@ -292,12 +371,13 @@ type Request struct {
 	// limit beyond the batch context and the serve layer's default).
 	TimeoutMS int `json:"timeout_ms,omitempty"`
 
-	Select       *SelectRequest   `json:"select,omitempty"`
-	Map          *MapRequest      `json:"map,omitempty"`
-	RoutingSweep *SweepRequest    `json:"routing_sweep,omitempty"`
-	Pareto       *ParetoRequest   `json:"pareto,omitempty"`
-	Simulate     *SimRequest      `json:"simulate,omitempty"`
-	Generate     *GenerateRequest `json:"generate,omitempty"`
+	Select       *SelectRequest     `json:"select,omitempty"`
+	Map          *MapRequest        `json:"map,omitempty"`
+	RoutingSweep *SweepRequest      `json:"routing_sweep,omitempty"`
+	Pareto       *ParetoRequest     `json:"pareto,omitempty"`
+	Simulate     *SimRequest        `json:"simulate,omitempty"`
+	Generate     *GenerateRequest   `json:"generate,omitempty"`
+	FaultSweep   *FaultSweepRequest `json:"fault_sweep,omitempty"`
 }
 
 // Validate checks the op tag and payload shape; violations wrap
@@ -307,6 +387,7 @@ func (r *Request) Validate() error {
 	for _, p := range []bool{
 		r.Select != nil, r.Map != nil, r.RoutingSweep != nil,
 		r.Pareto != nil, r.Simulate != nil, r.Generate != nil,
+		r.FaultSweep != nil,
 	} {
 		if p {
 			set++
@@ -329,6 +410,8 @@ func (r *Request) Validate() error {
 		want = r.Simulate != nil
 	case OpGenerate:
 		want = r.Generate != nil
+	case OpFaultSweep:
+		want = r.FaultSweep != nil
 	default:
 		return fmt.Errorf("%w: unknown op %q", ErrBadRequest, r.Op)
 	}
@@ -396,6 +479,7 @@ type Report struct {
 	Pareto       *ParetoReport   `json:"pareto,omitempty"`
 	Simulate     *SimReport      `json:"simulate,omitempty"`
 	Generate     *GenerateReport `json:"generate,omitempty"`
+	FaultSweep   *FaultReport    `json:"fault_sweep,omitempty"`
 }
 
 // ParseReport strictly decodes one Report from JSON (unknown fields and
@@ -445,6 +529,9 @@ type TopologyRow struct {
 	Links       int     `json:"links"`
 	MaxLoadMBps float64 `json:"max_load_mbps"`
 	Feasible    bool    `json:"feasible"`
+	// Survivability is the candidate's reliability score under the
+	// request's fault model; nil when the selection ran without one.
+	Survivability *float64 `json:"survivability,omitempty"`
 }
 
 // AssignRow records where one core landed, in core-graph order.
@@ -532,6 +619,10 @@ type ParetoPointRow struct {
 	PowerMW     float64 `json:"power_mw"`
 	AvgHops     float64 `json:"avg_hops"`
 	Dominant    bool    `json:"dominant"`
+	// Survivability is the point's reliability score under the request's
+	// fault model; nil when the exploration ran without one (Dominant is
+	// then two-objective).
+	Survivability *float64 `json:"survivability,omitempty"`
 }
 
 // ParetoReport is the outcome of an OpPareto Request.
@@ -559,6 +650,70 @@ type SimReport struct {
 	Topology string   `json:"topology"`
 	Pattern  string   `json:"pattern"`
 	Rows     []SimRow `json:"rows"`
+}
+
+// FaultSimReport is the cycle-accurate half of a fault sweep: delivered
+// throughput before and after a mid-run failure injection.
+type FaultSimReport struct {
+	// Rate is the injection rate (flits/cycle/terminal); FaultCycle the
+	// absolute cycle the FailedLinks went down.
+	Rate        float64 `json:"rate"`
+	FaultCycle  int     `json:"fault_cycle"`
+	FailedLinks []int   `json:"failed_links"`
+	// Rerouted marks that a degraded-mode route table was installed at
+	// the fault cycle (packets injected after it avoid the failure).
+	Rerouted bool `json:"rerouted"`
+	// Delivered flits per cycle per terminal over the measurement cycles
+	// before and from the fault.
+	PreFaultFPC  float64 `json:"pre_fault_fpc"`
+	PostFaultFPC float64 `json:"post_fault_fpc"`
+	// Whole-run statistics (the fault makes Saturated/Unfinished the
+	// interesting ones: stranded packets never drain).
+	AvgLatencyCycles  float64 `json:"avg_latency_cycles"`
+	MeasuredPackets   int     `json:"measured_packets"`
+	UnfinishedPackets int     `json:"unfinished_packets"`
+	Saturated         bool    `json:"saturated"`
+}
+
+// FaultReport is the outcome of an OpFaultSweep Request: the design's
+// survivability under the failure model, with degradation measured
+// against the fault-free baseline of the same degraded-mode rerouting.
+type FaultReport struct {
+	App      string `json:"app"`
+	Topology string `json:"topology"`
+	// Routing is the degraded-mode rerouting function the sweep used
+	// (MP for single-path designs, SA for splitting ones).
+	Routing  string `json:"routing"`
+	K        int    `json:"k"`
+	Elements string `json:"elements"`
+	// Scenarios counts evaluated failure scenarios; Exhaustive marks a
+	// complete k-subset enumeration rather than a Monte Carlo draw.
+	Scenarios  int  `json:"scenarios"`
+	Exhaustive bool `json:"exhaustive"`
+	// Survivability is the fraction of scenarios the design survives
+	// (connected and bandwidth-feasible); ConnectedFrac ignores the
+	// capacity check.
+	Survivability float64 `json:"survivability"`
+	ConnectedFrac float64 `json:"connected_frac"`
+	// Degradation: rerouted max link load and bandwidth-weighted hop
+	// count — baseline (no fault), worst case and expectation over the
+	// connected scenarios.
+	BaselineMaxLoadMBps float64 `json:"baseline_max_load_mbps"`
+	WorstMaxLoadMBps    float64 `json:"worst_max_load_mbps"`
+	ExpectedMaxLoadMBps float64 `json:"expected_max_load_mbps"`
+	BaselineAvgHops     float64 `json:"baseline_avg_hops"`
+	WorstAvgHops        float64 `json:"worst_avg_hops"`
+	ExpectedAvgHops     float64 `json:"expected_avg_hops"`
+	// WorstLinks/WorstSwitches identify the connected scenario with the
+	// highest rerouted link load; DisconnectingLinks/Switches the first
+	// scenario that cut a commodity off (absent when none did).
+	WorstLinks            []int `json:"worst_links,omitempty"`
+	WorstSwitches         []int `json:"worst_switches,omitempty"`
+	DisconnectingLinks    []int `json:"disconnecting_links,omitempty"`
+	DisconnectingSwitches []int `json:"disconnecting_switches,omitempty"`
+	// Sim carries the optional cycle-accurate fault injection (SimRate
+	// > 0 and at least one connected scenario).
+	Sim *FaultSimReport `json:"sim,omitempty"`
 }
 
 // GeneratedFile is one emitted SystemC source file.

@@ -19,6 +19,12 @@ func FuzzParseRequest(f *testing.F) {
 		`{"op":"pareto","pareto":{"app":{"name":"mpeg4"},"topology":"mesh-3x4","mapping":{"routing":"SM"},"steps":3}}`,
 		`{"op":"simulate","simulate":{"topology":"mesh-4x4","pattern":"hotspot","hotspot_node":2,"rates":[0.1,0.2]}}`,
 		`{"op":"generate","generate":{"app":{"name":"dsp"},"topology":"butterfly-3ary2fly","mapping":{}}}`,
+		`{"op":"fault-sweep","fault_sweep":{"app":{"name":"vopd"},"topology":"mesh-3x4","mapping":{"routing":"MP","capacity_mbps":500},"fault":{"k":1}}}`,
+		`{"op":"fault-sweep","fault_sweep":{"app":{"name":"mpeg4"},"topology":"mesh-3x4","mapping":{"routing":"SM"},"fault":{"k":3,"elements":"both","samples":128,"seed":7,"force_sampling":true},"sim_rate":0.2,"sim_cycle":2500}}`,
+		`{"op":"select","select":{"app":{"name":"vopd"},"mapping":{},"fault":{"k":2,"elements":"switches","reliability_weight":0.5}}}`,
+		`{"op":"pareto","pareto":{"app":{"name":"vopd"},"topology":"mesh-3x4","mapping":{},"steps":3,"fault":{"k":1}}}`,
+		`{"op":"fault-sweep","fault_sweep":{"fault":{"k":-1,"elements":"gremlins"}}}`,
+		`{"op":"fault-sweep"}`,
 		`{"op":"select","select":{"app":{"cores":[{"name":"a","area_mm2":2}],"flows":[{"from":"a","to":"a","mbps":1}]}}}`,
 		`{"op":"select"}`,
 		`{"op":"nope","select":{}}`,

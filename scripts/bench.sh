@@ -6,24 +6,27 @@
 # Usage:
 #   scripts/bench.sh [output.json] [benchtime]
 #
-# Defaults: output BENCH_4.json in the repo root, -benchtime 50x (fixed
+# Defaults: output BENCH_5.json in the repo root, -benchtime 50x (fixed
 # iteration counts keep runtimes bounded and comparable on CI-class
 # machines; raise it locally for tighter numbers).
 set -eu
 
 cd "$(dirname "$0")/.."
-OUT="${1:-BENCH_4.json}"
+OUT="${1:-BENCH_5.json}"
 BENCHTIME="${2:-50x}"
 
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
-# The tracked set: the mapping/routing hot-path benches plus the
-# whole-pipeline selection sweep the acceptance criteria quote.
+# The tracked set: the mapping/routing hot-path benches, the fault
+# subsystem's survivability sweep, plus the whole-pipeline selection
+# sweep the acceptance criteria quote.
 go test -run '^$' -bench 'BenchmarkMap$|BenchmarkRouteViaMapper$' \
     -benchmem -benchtime "$BENCHTIME" ./internal/mapping | tee -a "$RAW"
 go test -run '^$' -bench 'BenchmarkRoute$' \
     -benchmem -benchtime "$BENCHTIME" ./internal/route | tee -a "$RAW"
+go test -run '^$' -bench 'BenchmarkFaultSweep$' \
+    -benchmem -benchtime "$BENCHTIME" ./internal/fault | tee -a "$RAW"
 go test -run '^$' -bench 'BenchmarkSelect$' \
     -benchmem -benchtime 5x . | tee -a "$RAW"
 

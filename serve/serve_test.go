@@ -90,6 +90,56 @@ func TestServeSelectMatchesInProcess(t *testing.T) {
 	}
 }
 
+// TestServeFaultSweepMatchesInProcess is the fault-subsystem acceptance
+// criterion's service half: a FaultSweep POSTed over the wire returns a
+// report byte-identical to the in-process Session.FaultSweep call.
+func TestServeFaultSweepMatchesInProcess(t *testing.T) {
+	srv, _ := newServer(t, serve.Options{})
+
+	req := sunmap.Request{
+		ID: "fault",
+		Op: sunmap.OpFaultSweep,
+		FaultSweep: &sunmap.FaultSweepRequest{
+			App:      sunmap.AppSpec{Name: "vopd"},
+			Topology: "mesh-3x4",
+			Mapping:  sunmap.MapSpec{Routing: "MP", CapacityMBps: 500},
+			Fault:    sunmap.FaultSpec{K: 2, Elements: "both"},
+		},
+	}
+	blob, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, body := post(t, srv.URL+"/v1/do", blob)
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, body)
+	}
+	rep, err := sunmap.ParseReport(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ID != "fault" || rep.Err() != nil {
+		t.Fatalf("report: %+v", rep)
+	}
+	if rep.FaultSweep == nil || rep.FaultSweep.Scenarios == 0 {
+		t.Fatalf("empty fault report: %+v", rep.FaultSweep)
+	}
+
+	inProc, err := sunmap.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := inProc.FaultSweep(context.Background(), *req.FaultSweep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	served, _ := json.Marshal(rep.FaultSweep)
+	local, _ := json.Marshal(want)
+	if !bytes.Equal(served, local) {
+		t.Errorf("served fault report differs from in-process:\n%s\n%s", served, local)
+	}
+}
+
 func TestServeBatch(t *testing.T) {
 	srv, sess := newServer(t, serve.Options{})
 	batch := serve.BatchRequest{Requests: []sunmap.Request{

@@ -11,9 +11,11 @@ import (
 
 	"sunmap/internal/core"
 	"sunmap/internal/engine"
+	"sunmap/internal/fault"
 	"sunmap/internal/graph"
 	"sunmap/internal/mapping"
 	"sunmap/internal/pool"
+	"sunmap/internal/route"
 	"sunmap/internal/sim"
 	"sunmap/internal/tech"
 	"sunmap/internal/topology"
@@ -38,6 +40,7 @@ type Session struct {
 	progress    engine.Progress
 	libOpts     topology.LibraryOptions
 	synth       *SynthOptions
+	fault       *FaultSpec
 	tech        tech.Tech
 	limit       *pool.Limiter
 }
@@ -102,6 +105,23 @@ func WithLibrary(opts LibraryOptions) SessionOption {
 func WithSynth(opts SynthOptions) SessionOption {
 	return func(c *sessionConfig) error {
 		c.synth = &opts
+		return nil
+	}
+}
+
+// WithFault installs a session-default failure model: every Select gains
+// the reliability axis (feasible candidates are swept under the model
+// and ranked by the fault-aware composite score) and every ParetoExplore
+// marks its front in the three-objective (area, power, survivability)
+// space. A request-level SelectRequest.Fault / ParetoRequest.Fault
+// overrides it per call; FaultSweep requests always carry their own
+// spec.
+func WithFault(spec FaultSpec) SessionOption {
+	return func(c *sessionConfig) error {
+		if _, err := spec.model(); err != nil {
+			return err
+		}
+		c.fault = &spec
 		return nil
 	}
 }
@@ -189,7 +209,11 @@ func (s *Session) Select(ctx context.Context, req SelectRequest) (*SelectReport,
 		o := req.Synth.options()
 		synthOpts = &o
 	}
-	sel, err := core.SelectContext(ctx, s.coreConfig(app, opts, req.Escalate, synthOpts))
+	cfg := s.coreConfig(app, opts, req.Escalate, synthOpts)
+	if err := applyFaultSpec(&cfg, s.faultSpec(req.Fault)); err != nil {
+		return nil, err
+	}
+	sel, err := core.SelectContext(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -298,13 +322,21 @@ func (s *Session) ParetoExplore(ctx context.Context, req ParetoRequest) (*Pareto
 	if err != nil {
 		return nil, err
 	}
-	pts, err := core.ParetoExploreContext(ctx, app, topo, opts, req.Steps, s.explore())
+	var fm *fault.Model
+	if spec := s.faultSpec(req.Fault); spec != nil {
+		m, err := spec.model()
+		if err != nil {
+			return nil, err
+		}
+		fm = &m
+	}
+	pts, err := core.ParetoExploreFault(ctx, app, topo, opts, req.Steps, fm, s.explore())
 	if err != nil {
 		return nil, err
 	}
 	rep := &ParetoReport{App: app.Name(), Topology: topo.Name()}
 	for _, p := range pts {
-		rep.Points = append(rep.Points, ParetoPointRow{
+		row := ParetoPointRow{
 			WeightDelay: p.Weights.Delay,
 			WeightArea:  p.Weights.Area,
 			WeightPower: p.Weights.Power,
@@ -312,7 +344,12 @@ func (s *Session) ParetoExplore(ctx context.Context, req ParetoRequest) (*Pareto
 			PowerMW:     p.PowerMW,
 			AvgHops:     p.AvgHops,
 			Dominant:    p.Dominant,
-		})
+		}
+		if p.HasSurvivability {
+			surv := p.Survivability
+			row.Survivability = &surv
+		}
+		rep.Points = append(rep.Points, row)
 	}
 	return rep, nil
 }
@@ -335,6 +372,30 @@ func (s *Session) coreConfig(app *graph.CoreGraph, opts mapping.Options, escalat
 		Progress:        s.progress,
 		Limit:           s.limit,
 	}
+}
+
+// faultSpec resolves the failure model for one request: the request's
+// own spec when given, the session default otherwise (nil = no
+// reliability axis).
+func (s *Session) faultSpec(req *FaultSpec) *FaultSpec {
+	if req != nil {
+		return req
+	}
+	return s.fault
+}
+
+// applyFaultSpec lowers a failure spec onto a selection config.
+func applyFaultSpec(cfg *core.Config, spec *FaultSpec) error {
+	if spec == nil {
+		return nil
+	}
+	m, err := spec.model()
+	if err != nil {
+		return err
+	}
+	cfg.Fault = &m
+	cfg.ReliabilityWeight = spec.ReliabilityWeight
+	return nil
 }
 
 // Simulate sweeps the request's injection rates over the named topology
@@ -474,7 +535,11 @@ func (s *Session) Generate(ctx context.Context, req GenerateRequest) (*GenerateR
 	}
 	var res *mapping.Result
 	if req.Topology == "" {
-		sel, err := core.SelectContext(ctx, s.coreConfig(app, opts, req.Escalate, s.synth))
+		cfg := s.coreConfig(app, opts, req.Escalate, s.synth)
+		if err := applyFaultSpec(&cfg, s.fault); err != nil {
+			return nil, err
+		}
+		sel, err := core.SelectContext(ctx, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -500,6 +565,160 @@ func (s *Session) Generate(ctx context.Context, req GenerateRequest) (*GenerateR
 		rep.Files = append(rep.Files, GeneratedFile{Name: name, Content: gen.Files[name]})
 	}
 	return rep, nil
+}
+
+// FaultSweep maps the application onto the named topology (through the
+// session cache, like Map) and analyzes its survivability: every failure
+// scenario of the request's fault model is rerouted in degraded mode —
+// masked, allocation-free replays on the routing scratch — and folded
+// into a FaultReport. With SimRate set, the worst-case connected
+// scenario is additionally injected into the cycle-accurate simulator
+// mid-measurement, with degraded routes installed at the fault cycle, to
+// measure delivered throughput before and after the failure.
+func (s *Session) FaultSweep(ctx context.Context, req FaultSweepRequest) (*FaultReport, error) {
+	app, err := req.App.resolve()
+	if err != nil {
+		return nil, err
+	}
+	opts, err := req.Mapping.options(s.tech)
+	if err != nil {
+		return nil, err
+	}
+	topo, err := TopologyByName(req.Topology)
+	if err != nil {
+		return nil, err
+	}
+	model, err := req.Fault.model()
+	if err != nil {
+		return nil, err
+	}
+	if req.SimRate < 0 || req.SimRate > 1 {
+		return nil, fmt.Errorf("%w: sim rate %g outside [0, 1]", ErrBadRequest, req.SimRate)
+	}
+	// The injection cycle must land inside the measurement window, or
+	// the before/after throughput split is vacuously zero on one side.
+	if end := sim.DefaultWarmupCycles + sim.DefaultMeasureCycles; req.SimCycle < 0 || req.SimCycle >= end {
+		if req.SimCycle != 0 {
+			return nil, fmt.Errorf("%w: sim cycle %d outside the measurement window [1, %d)", ErrBadRequest, req.SimCycle, end)
+		}
+	}
+	res, err := s.evalMap(ctx, app, topo, opts)
+	if err != nil {
+		return nil, err
+	}
+	ropts := fault.Degraded(opts.RouteOptions())
+	scenarios, exhaustive, err := fault.Scenarios(topo, model)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrBadRequest, err)
+	}
+	comms := app.Commodities()
+	frep, err := fault.SweepContext(ctx, topo, res.Assign, comms, ropts, scenarios, exhaustive, s.parallelism, s.limit)
+	if err != nil {
+		return nil, err
+	}
+	k := model.K
+	if k <= 0 {
+		k = 1
+	}
+	rep := &FaultReport{
+		App:                 app.Name(),
+		Topology:            topo.Name(),
+		Routing:             ropts.Function.String(),
+		K:                   k,
+		Elements:            model.Elements.String(),
+		Scenarios:           frep.Scenarios,
+		Exhaustive:          frep.Exhaustive,
+		Survivability:       frep.Survivability(),
+		ConnectedFrac:       frep.ConnectedFrac(),
+		BaselineMaxLoadMBps: frep.Baseline.MaxLinkLoadMBps,
+		WorstMaxLoadMBps:    frep.WorstMaxLinkLoadMBps,
+		ExpectedMaxLoadMBps: frep.ExpMaxLinkLoadMBps,
+		BaselineAvgHops:     frep.Baseline.AvgHops,
+		WorstAvgHops:        frep.WorstAvgHops,
+		ExpectedAvgHops:     frep.ExpAvgHops,
+		WorstLinks:          frep.WorstCase.Links,
+		WorstSwitches:       frep.WorstCase.Switches,
+	}
+	if d := frep.Disconnecting; d != nil {
+		rep.DisconnectingLinks = d.Links
+		rep.DisconnectingSwitches = d.Switches
+	}
+	if req.SimRate > 0 && frep.Connected > 0 {
+		sim, err := s.faultSim(ctx, app, res, ropts, frep.WorstCase, req)
+		if err != nil {
+			return nil, err
+		}
+		rep.Sim = sim
+	}
+	return rep, nil
+}
+
+// faultSim runs the cycle-accurate fault-injection experiment for a
+// sweep's worst-case connected scenario: trace traffic over the
+// optimized mapping, the scenario's links failed mid-measurement, and a
+// degraded-mode route table (masked rerouting of every commodity)
+// installed for packets injected after the fault.
+func (s *Session) faultSim(ctx context.Context, app *graph.CoreGraph, res *mapping.Result, ropts route.Options, worst fault.Scenario, req FaultSweepRequest) (*FaultSimReport, error) {
+	topo := res.Topology
+	routes, err := sim.BuildRoutesFromResult(topo, res.Assign, res.Route)
+	if err != nil {
+		return nil, fmt.Errorf("sunmap: fault sim: %w", err)
+	}
+	// Degraded routes: reroute every commodity with the scenario masked,
+	// this time collecting paths for the route table.
+	mask := make([]bool, len(topo.Links()))
+	for _, id := range worst.Links {
+		mask[id] = true
+	}
+	dopts := ropts
+	dopts.LoadsOnly = false
+	dopts.DownLinks = mask
+	rerouted, err := route.Route(topo, res.Assign, app.Commodities(), dopts)
+	if err != nil {
+		// The sweep proved this scenario connected; a failure here is an
+		// internal inconsistency, not bad input.
+		return nil, fmt.Errorf("sunmap: fault sim: rerouting worst case: %w", err)
+	}
+	faultRoutes, err := sim.BuildRoutesFromResult(topo, res.Assign, rerouted)
+	if err != nil {
+		return nil, fmt.Errorf("sunmap: fault sim: %w", err)
+	}
+	trace, err := traffic.NewTrace(app, res.Assign)
+	if err != nil {
+		return nil, fmt.Errorf("sunmap: fault sim: %w", err)
+	}
+	cfg := sim.Config{
+		Topo:            topo,
+		Routes:          routes,
+		FaultRoutes:     faultRoutes,
+		FaultLinks:      worst.Links,
+		Pattern:         trace,
+		SourceShare:     trace.SourceShare(),
+		ActiveTerminals: res.Assign,
+		InjectionRate:   req.SimRate,
+		Seed:            req.Fault.Seed,
+	}
+	// Default injection point: midway through the measurement window.
+	cfg.FaultCycle = sim.DefaultWarmupCycles + sim.DefaultMeasureCycles/2
+	if req.SimCycle > 0 {
+		cfg.FaultCycle = req.SimCycle
+	}
+	st, err := sim.RunContext(ctx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &FaultSimReport{
+		Rate:              req.SimRate,
+		FaultCycle:        cfg.FaultCycle,
+		FailedLinks:       worst.Links,
+		Rerouted:          true,
+		PreFaultFPC:       st.PreFaultFPC,
+		PostFaultFPC:      st.PostFaultFPC,
+		AvgLatencyCycles:  st.AvgLatencyCycles,
+		MeasuredPackets:   st.MeasuredPackets,
+		UnfinishedPackets: st.UnfinishedPackets,
+		Saturated:         st.Saturated,
+	}, nil
 }
 
 // Do executes one Request and always returns a Report: operation failures
@@ -539,6 +758,8 @@ func (s *Session) Do(ctx context.Context, req Request) (rep Report) {
 		rep.Simulate, err = s.Simulate(ctx, *req.Simulate)
 	case OpGenerate:
 		rep.Generate, err = s.Generate(ctx, *req.Generate)
+	case OpFaultSweep:
+		rep.FaultSweep, err = s.FaultSweep(ctx, *req.FaultSweep)
 	}
 	if err != nil {
 		rep.Error = err.Error()
@@ -599,7 +820,7 @@ func buildSelectReport(app *graph.CoreGraph, sel *Selection) *SelectReport {
 		Synthesized: sel.SynthCount(),
 	}
 	for _, r := range sel.Summaries() {
-		rep.Rows = append(rep.Rows, TopologyRow{
+		row := TopologyRow{
 			Topology:    r.Topology,
 			Kind:        r.Kind.String(),
 			AvgHops:     r.AvgHops,
@@ -609,7 +830,12 @@ func buildSelectReport(app *graph.CoreGraph, sel *Selection) *SelectReport {
 			Links:       r.Links,
 			MaxLoadMBps: r.MaxLoadMBps,
 			Feasible:    r.Feasible,
-		})
+		}
+		if r.HasSurvivability {
+			surv := r.Survivability
+			row.Survivability = &surv
+		}
+		rep.Rows = append(rep.Rows, row)
 	}
 	if sel.Best != nil {
 		rep.Topology = sel.Best.Topology.Name()

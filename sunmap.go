@@ -29,6 +29,15 @@
 // identical configuration. A Progress callback streams per-candidate
 // completion events to interactive consumers.
 //
+// A fault-tolerance subsystem (internal/fault) adds the reliability
+// axis: Session.FaultSweep models failure scenarios as masked
+// link/switch sets (exhaustive for k <= 2, deterministic Monte Carlo
+// above), reroutes every commodity around each mask in degraded mode,
+// and reports survivability with worst-case/expected degradation —
+// optionally closing the loop with a cycle-accurate fault injection.
+// WithFault (or per-request Fault specs) folds the survivability score
+// into Select's ranking and into ParetoExplore's front.
+//
 // The context-first entry point is the Session: a handle created with
 // functional options that owns the engine pool and evaluation cache for
 // its lifetime and exposes the whole pipeline — Select, Map, RoutingSweep,
