@@ -145,6 +145,10 @@ func TestEscalationStopsAtFirstFeasibleRung(t *testing.T) {
 func TestSharedCacheAcrossSelectAndExplorers(t *testing.T) {
 	// One cache spanning an escalated Select, a RoutingSweep and a second
 	// Select: the re-visited design points must be served from memory.
+	// Parallelism is pinned to 1 because the entry-count assertions below
+	// reason about exactly which design points were evaluated; a parallel
+	// escalation speculatively maps (and caches) candidates of the next
+	// rung, which is timing-dependent by design.
 	app := apps.MPEG4()
 	opts := mapping.Options{
 		Routing:      route.MinPath,
@@ -153,7 +157,7 @@ func TestSharedCacheAcrossSelectAndExplorers(t *testing.T) {
 	}
 	cache := engine.NewCache()
 	sel, err := SelectContext(context.Background(), Config{
-		App: app, Mapping: opts, EscalateRouting: true, Cache: cache,
+		App: app, Mapping: opts, EscalateRouting: true, Cache: cache, Parallelism: 1,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -181,7 +185,7 @@ func TestSharedCacheAcrossSelectAndExplorers(t *testing.T) {
 
 	// Re-running the same Select is a pure replay: no new entries.
 	sel2, err := SelectContext(context.Background(), Config{
-		App: app, Mapping: opts, EscalateRouting: true, Cache: cache,
+		App: app, Mapping: opts, EscalateRouting: true, Cache: cache, Parallelism: 1,
 	})
 	if err != nil {
 		t.Fatal(err)

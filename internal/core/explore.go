@@ -9,6 +9,7 @@ import (
 	"sunmap/internal/fault"
 	"sunmap/internal/graph"
 	"sunmap/internal/mapping"
+	"sunmap/internal/pool"
 	"sunmap/internal/route"
 	"sunmap/internal/tech"
 	"sunmap/internal/topology"
@@ -202,8 +203,12 @@ func ParetoExploreFault(ctx context.Context, app *graph.CoreGraph, topo topology
 		if err != nil {
 			return nil, fmt.Errorf("core: pareto reliability: %w", err)
 		}
+		intra := xo.IntraParallelism()
+		sweepers := pool.NewFree(fault.NewSweeper)
 		err = engine.Fan(ctx, len(cands), xo, func(i int) error {
-			rep, err := fault.SweepContext(ctx, topo, cands[i].res.Assign, comms, ropts, scenarios, exhaustive, 1, nil)
+			sw := sweepers.Get()
+			rep, err := sw.SweepContext(ctx, topo, cands[i].res.Assign, comms, ropts, scenarios, exhaustive, intra, xo.Limit)
+			sweepers.Put(sw)
 			if err != nil {
 				return fmt.Errorf("core: pareto reliability: %w", err)
 			}

@@ -85,13 +85,17 @@ type Options struct {
 	// Session.Batch — share a single session-wide parallelism budget
 	// instead of multiplying their pools.
 	Limit *pool.Limiter
+	// Spec, when non-nil, marks the run speculative: jobs admit to Limit
+	// by opportunistic TryAcquire polling instead of blocking, so a
+	// concurrent non-speculative run keeps strict priority for slots and
+	// the speculative work soaks up only idle budget. Closing the channel
+	// promotes the run to normal blocking admission (the speculation was
+	// adopted). Core's routing-escalation overlap is the one producer.
+	Spec <-chan struct{}
 }
 
 func (o Options) workers(jobs int) int {
-	n := o.Parallelism
-	if n <= 0 {
-		n = runtime.GOMAXPROCS(0)
-	}
+	n := o.IntraParallelism()
 	if n > jobs {
 		n = jobs
 	}
@@ -99,6 +103,41 @@ func (o Options) workers(jobs int) int {
 		n = 1
 	}
 	return n
+}
+
+// IntraParallelism resolves the configured Parallelism (0 or negative
+// selects GOMAXPROCS) to the concrete worker budget an individual job
+// may fan its inner work across — e.g. the per-candidate fault-sweep
+// scenarios of a reliability-aware selection. Inner workers beyond the
+// first admit opportunistically (Limit.TryAcquire), so intra-job fan-out
+// borrows idle budget without ever deadlocking the shared limiter.
+func (o Options) IntraParallelism() int {
+	if o.Parallelism > 0 {
+		return o.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// acquire admits one job to the shared limiter: blocking for normal
+// runs, TryAcquire polling for speculative ones (~1ms cadence) until a
+// slot frees, ctx is done, or spec closes — adoption — at which point it
+// falls back to blocking admission.
+func acquire(ctx context.Context, limit *pool.Limiter, spec <-chan struct{}) error {
+	if spec == nil {
+		return limit.Acquire(ctx)
+	}
+	for {
+		if limit.TryAcquire() {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-spec:
+			return limit.Acquire(ctx)
+		case <-time.After(time.Millisecond):
+		}
+	}
 }
 
 // Sweep maps the application onto every topology in lib under one shared
@@ -169,7 +208,7 @@ func Evaluate(ctx context.Context, app *graph.CoreGraph, jobs []Job, eo Options)
 				return
 			}
 		}
-		if err := eo.Limit.Acquire(ctx); err != nil {
+		if err := acquire(ctx, eo.Limit, eo.Spec); err != nil {
 			return // canceled while queued for a session slot
 		}
 		start := time.Now() // after Acquire: Elapsed is evaluation time, not queue wait

@@ -1,0 +1,82 @@
+package engine
+
+import (
+	"context"
+	"runtime"
+	"testing"
+	"time"
+
+	"sunmap/internal/pool"
+)
+
+// TestIntraParallelism pins the resolution rule shared by the outer
+// worker pool and the intra-candidate fan-out: explicit values pass
+// through, zero and negatives select GOMAXPROCS.
+func TestIntraParallelism(t *testing.T) {
+	if got := (Options{Parallelism: 3}).IntraParallelism(); got != 3 {
+		t.Errorf("IntraParallelism() = %d, want 3", got)
+	}
+	for _, par := range []int{0, -1} {
+		if got := (Options{Parallelism: par}).IntraParallelism(); got != runtime.GOMAXPROCS(0) {
+			t.Errorf("Parallelism %d: IntraParallelism() = %d, want GOMAXPROCS (%d)",
+				par, got, runtime.GOMAXPROCS(0))
+		}
+	}
+}
+
+// TestSpeculativeAcquire exercises the opportunistic admission path: a
+// speculative acquire on a free limiter succeeds immediately, on a full
+// limiter it keeps polling without joining the blocking queue, and
+// closing the spec channel promotes it to a normal blocking Acquire.
+func TestSpeculativeAcquire(t *testing.T) {
+	ctx := context.Background()
+
+	// Free limiter: immediate success.
+	l := pool.NewLimiter(1)
+	spec := make(chan struct{})
+	if err := acquire(ctx, l, spec); err != nil {
+		t.Fatalf("speculative acquire on a free limiter: %v", err)
+	}
+	l.Release()
+
+	// Full limiter: the speculative acquirer must not return...
+	if err := l.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan error, 1)
+	go func() { got <- acquire(ctx, l, spec) }()
+	select {
+	case err := <-got:
+		t.Fatalf("speculative acquire returned %v on a full limiter", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	// ...until promotion plus a freed slot lets it through.
+	close(spec)
+	l.Release()
+	select {
+	case err := <-got:
+		if err != nil {
+			t.Fatalf("promoted acquire: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("promoted acquire never completed")
+	}
+	l.Release()
+
+	// Cancellation unblocks a polling speculative acquirer.
+	if err := l.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	go func() { got <- acquire(cctx, l, make(chan struct{})) }()
+	cancel()
+	select {
+	case err := <-got:
+		if err != context.Canceled {
+			t.Fatalf("canceled speculative acquire returned %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("canceled speculative acquire never returned")
+	}
+	l.Release()
+}

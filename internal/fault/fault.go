@@ -140,26 +140,68 @@ func elementsOf(topo topology.Topology, class Elements) []element {
 	return els
 }
 
-// scenarioOf folds a set of elements into one Scenario, deduplicating
-// links (a channel and an adjacent failed switch can overlap).
-func scenarioOf(els []element, subset []int) Scenario {
-	var s Scenario
-	seen := make(map[int]bool)
-	for _, i := range subset {
-		e := els[i]
+// scenarioBuilder assembles a scenario set into shared arenas. Each
+// scenario's link list is deduplicated against an epoch-stamped table (a
+// channel and an adjacent failed switch can overlap), sorted in a reused
+// scratch buffer and appended to a flat arena; the []Scenario headers are
+// built only once the arenas are final, so they stay valid across arena
+// growth. The old per-scenario map+append+sort build cost O(scenarios·k)
+// allocations; the builder costs O(log) arena growths regardless of the
+// scenario count.
+type scenarioBuilder struct {
+	els     []element
+	links   []int // flat arena of per-scenario sorted link lists
+	sws     []int // flat arena of per-scenario sorted switch lists
+	offs    []int // 4 entries per scenario: linkLo, linkHi, swLo, swHi
+	stamp   []int // stamp[linkID] == epoch marks a link already gathered
+	epoch   int
+	scratch []int
+	subset  []int
+}
+
+func newScenarioBuilder(els []element, numLinks int) *scenarioBuilder {
+	return &scenarioBuilder{els: els, stamp: make([]int, numLinks)}
+}
+
+// add folds one element subset into the arenas as the next scenario.
+func (b *scenarioBuilder) add(subset []int) {
+	b.epoch++
+	ll, sl := len(b.links), len(b.sws)
+	sc := b.scratch[:0]
+	for _, ei := range subset {
+		e := b.els[ei]
 		if e.sw >= 0 {
-			s.Switches = append(s.Switches, e.sw)
+			b.sws = append(b.sws, e.sw)
 		}
 		for _, id := range e.links {
-			if !seen[id] {
-				seen[id] = true
-				s.Links = append(s.Links, id)
+			if b.stamp[id] != b.epoch {
+				b.stamp[id] = b.epoch
+				sc = append(sc, id)
 			}
 		}
 	}
-	sort.Ints(s.Links)
-	sort.Ints(s.Switches)
-	return s
+	sort.Ints(sc)
+	b.scratch = sc
+	b.links = append(b.links, sc...)
+	sort.Ints(b.sws[sl:])
+	b.offs = append(b.offs, ll, len(b.links), sl, len(b.sws))
+}
+
+// scenarios materializes the Scenario headers over the final arenas.
+// Empty lists stay nil so scenarios compare equal to their pre-arena
+// representation.
+func (b *scenarioBuilder) scenarios() []Scenario {
+	out := make([]Scenario, len(b.offs)/4)
+	for i := range out {
+		ll, lh, sl, sh := b.offs[4*i], b.offs[4*i+1], b.offs[4*i+2], b.offs[4*i+3]
+		if lh > ll {
+			out[i].Links = b.links[ll:lh:lh]
+		}
+		if sh > sl {
+			out[i].Switches = b.sws[sl:sh:sh]
+		}
+	}
+	return out
 }
 
 // Scenarios builds the failure-scenario set for a topology under a
@@ -178,51 +220,51 @@ func Scenarios(topo topology.Topology, m Model) ([]Scenario, bool, error) {
 		return nil, false, fmt.Errorf("fault: k=%d exceeds the %d %s elements of %s",
 			m.K, len(els), m.Elements, topo.Name())
 	}
+	bld := newScenarioBuilder(els, len(topo.Links()))
 	if m.K <= exhaustiveMaxK && !m.ForceSampling {
-		return enumerate(els, m.K), true, nil
+		enumerate(bld, m.K)
+		return bld.scenarios(), true, nil
 	}
-	return sample(els, m), false, nil
+	sample(bld, m)
+	return bld.scenarios(), false, nil
 }
 
-// enumerate lists every k-subset of the element universe, k in {1, 2}.
-func enumerate(els []element, k int) []Scenario {
-	var out []Scenario
+// enumerate adds every k-subset of the element universe, k in {1, 2}.
+func enumerate(b *scenarioBuilder, k int) {
 	switch k {
 	case 1:
-		for i := range els {
-			out = append(out, scenarioOf(els, []int{i}))
+		for i := range b.els {
+			b.subset = append(b.subset[:0], i)
+			b.add(b.subset)
 		}
 	case 2:
-		for i := range els {
-			for j := i + 1; j < len(els); j++ {
-				out = append(out, scenarioOf(els, []int{i, j}))
+		for i := range b.els {
+			for j := i + 1; j < len(b.els); j++ {
+				b.subset = append(b.subset[:0], i, j)
+				b.add(b.subset)
 			}
 		}
 	default:
 		panic(fmt.Sprintf("fault: enumerate called with k=%d", k))
 	}
-	return out
 }
 
-// sample draws Samples uniform k-subsets of the element universe with a
-// seeded partial Fisher–Yates shuffle. Draws are independent (the same
-// subset can recur), which is what makes the per-scenario average an
+// sample adds Samples uniform k-subsets of the element universe drawn
+// with a seeded partial Fisher–Yates shuffle. Draws are independent (the
+// same subset can recur), which is what makes the per-scenario average an
 // unbiased estimator of the exhaustive one.
-func sample(els []element, m Model) []Scenario {
+func sample(b *scenarioBuilder, m Model) {
 	rng := rand.New(rand.NewSource(m.Seed))
-	idx := make([]int, len(els))
+	idx := make([]int, len(b.els))
 	for i := range idx {
 		idx[i] = i
 	}
-	out := make([]Scenario, 0, m.Samples)
-	subset := make([]int, m.K)
 	for s := 0; s < m.Samples; s++ {
 		for j := 0; j < m.K; j++ {
 			k := j + rng.Intn(len(idx)-j)
 			idx[j], idx[k] = idx[k], idx[j]
 		}
-		copy(subset, idx[:m.K])
-		out = append(out, scenarioOf(els, subset))
+		b.subset = append(b.subset[:0], idx[:m.K]...)
+		b.add(b.subset)
 	}
-	return out
 }

@@ -263,6 +263,72 @@ func TestMaskedRerouteAllocFree(t *testing.T) {
 	}
 }
 
+// TestSweepSteadyAllocBudget gates the whole-sweep steady state: a warm
+// Sweeper re-sweeping a prebuilt scenario set sequentially must stay
+// within a small allocation budget — the Report it returns, the copied
+// worst-case/disconnecting scenarios, and the handful of reroute errors
+// built for link-disconnected scenarios.
+func TestSweepSteadyAllocBudget(t *testing.T) {
+	topo, assign, comms := vopdMesh()
+	opts := Degraded(route.Options{Function: route.MinPath, CapacityMBps: 500})
+	ctx := context.Background()
+	for _, tc := range []struct {
+		name  string
+		model Model
+	}{
+		{"k2-both", Model{K: 2, Elements: Both}},
+		{"k3-mc512", Model{K: 3, Elements: Both, Samples: 512}},
+	} {
+		scens, exhaustive, err := Scenarios(topo, tc.model)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sw := NewSweeper()
+		if _, err := sw.SweepContext(ctx, topo, assign, comms, opts, scens, exhaustive, 1, nil); err != nil {
+			t.Fatal(err) // warm the evaluator and outcome buffers
+		}
+		allocs := testing.AllocsPerRun(20, func() {
+			if _, err := sw.SweepContext(ctx, topo, assign, comms, opts, scens, exhaustive, 1, nil); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs > 100 {
+			t.Errorf("%s: steady-state sweep allocates %.1f objects/op, want <= 100", tc.name, allocs)
+		}
+	}
+}
+
+// TestSweeperReuseMatchesFresh checks the Sweeper's buffer reuse never
+// leaks state between design points: re-sweeping different models and
+// scenario sets through one Sweeper reports exactly what fresh sweeps do.
+func TestSweeperReuseMatchesFresh(t *testing.T) {
+	topo, assign, comms := vopdMesh()
+	opts := Degraded(route.Options{Function: route.MinPath, CapacityMBps: 500})
+	ctx := context.Background()
+	sw := NewSweeper()
+	for _, model := range []Model{
+		{K: 2, Elements: Both},
+		{K: 1, Elements: Links},
+		{K: 3, Elements: Both, Samples: 256},
+	} {
+		scens, exhaustive, err := Scenarios(topo, model)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := sw.SweepContext(ctx, topo, assign, comms, opts, scens, exhaustive, 1, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := Sweep(topo, assign, comms, opts, scens, exhaustive)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%+v: reused sweeper diverged:\ngot:  %+v\nwant: %+v", model, got, want)
+		}
+	}
+}
+
 // TestSweepIdenticalAcrossParallelism checks the determinism contract:
 // the folded report is byte-identical no matter how many workers
 // evaluated the scenarios.

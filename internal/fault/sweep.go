@@ -2,8 +2,12 @@ package fault
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"sunmap/internal/graph"
 	"sunmap/internal/pool"
@@ -69,23 +73,40 @@ type Evaluator struct {
 // fault-free baseline, validating that the assignment and commodities
 // route at all under the (typically Degraded) options.
 func NewEvaluator(topo topology.Topology, assign []int, comms []graph.Commodity, opts route.Options) (*Evaluator, error) {
-	e := &Evaluator{
-		topo:   topo,
-		assign: append([]int(nil), assign...),
-		comms:  comms,
-		opts:   opts,
-		rt:     route.NewRouter(),
-		mask:   make([]bool, len(topo.Links())),
-		dead:   make([]bool, topo.NumRouters()),
+	e := &Evaluator{rt: route.NewRouter()}
+	if err := e.bind(topo, assign, comms, opts); err != nil {
+		return nil, err
 	}
+	return e, nil
+}
+
+// bind retargets a warm evaluator at a design point, reusing its mask,
+// assignment and routing buffers, and re-routes the fault-free baseline —
+// the reuse primitive a Sweeper calls once per sweep.
+func (e *Evaluator) bind(topo topology.Topology, assign []int, comms []graph.Commodity, opts route.Options) error {
+	e.topo = topo
+	e.assign = append(e.assign[:0], assign...)
+	e.comms = comms
+	e.opts = opts
 	e.opts.LoadsOnly = true
 	e.opts.DownLinks = nil
+	e.mask = resizeBools(e.mask, len(topo.Links()))
+	e.dead = resizeBools(e.dead, topo.NumRouters())
 	base, err := e.eval(Scenario{})
 	if err != nil {
-		return nil, fmt.Errorf("fault: baseline routing on %s: %w", topo.Name(), err)
+		return fmt.Errorf("fault: baseline routing on %s: %w", topo.Name(), err)
 	}
 	e.baseline = base
-	return e, nil
+	return nil
+}
+
+// resizeBools resizes buf to n without zeroing (eval clears the masks it
+// uses on every call).
+func resizeBools(buf []bool, n int) []bool {
+	if cap(buf) < n {
+		return make([]bool, n)
+	}
+	return buf[:n]
 }
 
 // Baseline returns the fault-free outcome the degradation metrics are
@@ -99,6 +120,10 @@ func (e *Evaluator) Eval(s Scenario) Outcome {
 	out, _ := e.eval(s)
 	return out
 }
+
+// errEndpointSevered marks a scenario whose failed switch hosts a
+// commodity endpoint — disconnected by construction, no rerouting needed.
+var errEndpointSevered = errors.New("fault: commodity endpoint switch failed")
 
 // eval is Eval with the routing error preserved (NewEvaluator surfaces
 // it for the baseline; fault scenarios fold it into a disconnected
@@ -117,11 +142,13 @@ func (e *Evaluator) eval(s Scenario) (Outcome, error) {
 		e.dead[r] = true
 	}
 	// A failed switch severs its attached cores outright — no rerouting
-	// can recover a commodity whose endpoint router is gone.
+	// can recover a commodity whose endpoint router is gone. The error is
+	// a shared sentinel: switch-failure sweeps hit this branch for a large
+	// share of scenarios, and the steady-state loop must not allocate.
 	if len(s.Switches) > 0 {
 		for _, c := range e.comms {
 			if e.dead[e.topo.InjectRouter(e.assign[c.Src])] || e.dead[e.topo.EjectRouter(e.assign[c.Dst])] {
-				return Outcome{}, fmt.Errorf("fault: commodity %d endpoint switch failed", c.ID)
+				return Outcome{}, errEndpointSevered
 			}
 		}
 	}
@@ -190,21 +217,53 @@ func Sweep(topo topology.Topology, assign []int, comms []graph.Commodity, opts r
 }
 
 // SweepContext evaluates every failure scenario of one design point and
-// folds the outcomes into a Report. Scenarios fan out over up to
-// parallelism workers (0 selects GOMAXPROCS); each worker owns its own
-// Evaluator, holds one slot of the shared admission limiter while it
-// works, and writes outcomes at their scenario index, so the folded
-// report is byte-identical at every parallelism setting. ctx aborts the
-// sweep between scenario evaluations.
+// folds the outcomes into a Report; see (*Sweeper).SweepContext for the
+// admission and determinism contract. Callers sweeping many design
+// points should hold a Sweeper instead and reuse its buffers.
 func SweepContext(ctx context.Context, topo topology.Topology, assign []int, comms []graph.Commodity, opts route.Options, scenarios []Scenario, exhaustive bool, parallelism int, limit *pool.Limiter) (*Report, error) {
+	return NewSweeper().SweepContext(ctx, topo, assign, comms, opts, scenarios, exhaustive, parallelism, limit)
+}
+
+// Sweeper owns the reusable state of repeated survivability sweeps: the
+// calling goroutine's Evaluator and the index-addressed outcome buffer.
+// Once warm, a sequential sweep's steady state allocates only the Report
+// it returns (plus the rare disconnected-by-link reroute error). A
+// Sweeper is single-goroutine state, like the Evaluator it wraps.
+type Sweeper struct {
+	ev       *Evaluator
+	outcomes []Outcome
+}
+
+// NewSweeper returns an empty Sweeper; buffers grow on first use.
+func NewSweeper() *Sweeper { return &Sweeper{} }
+
+// SweepContext evaluates every failure scenario of one design point and
+// folds the outcomes into a Report.
+//
+// Work distribution is an atomic next-scenario counter, so any worker
+// count yields the same index-addressed outcomes and the sequential fold
+// keeps the report byte-identical at every parallelism setting (0
+// selects GOMAXPROCS). Worker 0 runs inline on the calling goroutine
+// under whatever limiter slot the caller already holds; the extra
+// workers are opportunistic — each polls limit.TryAcquire until a slot
+// frees, the work runs out, or ctx is done, so a fully subscribed
+// limiter never deadlocks on nested acquisition and blocking Acquire
+// callers keep strict priority over the sweep's helpers. ctx aborts the
+// sweep between scenario evaluations.
+func (sw *Sweeper) SweepContext(ctx context.Context, topo topology.Topology, assign []int, comms []graph.Commodity, opts route.Options, scenarios []Scenario, exhaustive bool, parallelism int, limit *pool.Limiter) (*Report, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	ev, err := NewEvaluator(topo, assign, comms, opts)
-	if err != nil {
+	if sw.ev == nil {
+		sw.ev = &Evaluator{rt: route.NewRouter()}
+	}
+	if err := sw.ev.bind(topo, assign, comms, opts); err != nil {
 		return nil, err
 	}
-	outcomes := make([]Outcome, len(scenarios))
+	if cap(sw.outcomes) < len(scenarios) {
+		sw.outcomes = make([]Outcome, len(scenarios))
+	}
+	outcomes := sw.outcomes[:len(scenarios)]
 	workers := parallelism
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -212,61 +271,96 @@ func SweepContext(ctx context.Context, topo topology.Topology, assign []int, com
 	if workers > len(scenarios) {
 		workers = len(scenarios)
 	}
-	if workers <= 1 {
-		if err := evalChunk(ctx, ev, scenarios, outcomes, 0, len(scenarios)); err != nil {
-			return nil, err
+	var next atomic.Int64
+	run := func(ev *Evaluator) error {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= len(scenarios) {
+				return nil
+			}
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			outcomes[i] = ev.Eval(scenarios[i])
 		}
+	}
+	var err error
+	if workers <= 1 {
+		err = run(sw.ev)
 	} else {
 		errs := make([]error, workers)
-		pool.ForEach(ctx, workers, workers, func(w int) {
-			if err := limit.Acquire(ctx); err != nil {
-				return // canceled while queued; ctx.Err() reported below
-			}
-			defer limit.Release()
-			wev := ev
-			if w > 0 {
-				// Worker 0 reuses the validated evaluator; the others
-				// build their own (evaluators are single-goroutine).
-				if wev, errs[w] = NewEvaluator(topo, assign, comms, opts); errs[w] != nil {
+		var wg sync.WaitGroup
+		for w := 1; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				if !pollAcquire(ctx, limit, &next, int64(len(scenarios))) {
 					return
 				}
-			}
-			lo, hi := w*len(scenarios)/workers, (w+1)*len(scenarios)/workers
-			errs[w] = evalChunk(ctx, wev, scenarios, outcomes, lo, hi)
-		})
-		for _, err := range errs {
-			if err != nil {
-				return nil, err
+				defer limit.Release()
+				// Each helper owns its own Evaluator (single-goroutine
+				// state); worker 0 already validated the baseline, so a
+				// build failure here would be that same deterministic
+				// error.
+				ev, err := NewEvaluator(topo, assign, comms, opts)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				errs[w] = run(ev)
+			}(w)
+		}
+		errs[0] = run(sw.ev)
+		wg.Wait()
+		for _, e := range errs {
+			if e != nil {
+				err = e
+				break
 			}
 		}
+	}
+	if err != nil {
+		return nil, err
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	return fold(ev.Baseline(), scenarios, outcomes, exhaustive), nil
+	return fold(sw.ev.Baseline(), scenarios, outcomes, exhaustive), nil
 }
 
-// evalChunk fills outcomes[lo:hi], checking the context between
-// evaluations.
-func evalChunk(ctx context.Context, ev *Evaluator, scenarios []Scenario, outcomes []Outcome, lo, hi int) error {
-	for i := lo; i < hi; i++ {
-		if err := ctx.Err(); err != nil {
-			return err
+// pollAcquire opportunistically takes a limiter slot for an intra-sweep
+// helper. It never joins the limiter's blocking queue — a Release wakes
+// a blocked Acquire before a later TryAcquire can win the slot, so
+// whole-candidate admissions keep strict priority — and gives up once
+// the sweep's work runs out or ctx is done.
+func pollAcquire(ctx context.Context, limit *pool.Limiter, next *atomic.Int64, n int64) bool {
+	for {
+		if next.Load() >= n {
+			return false
 		}
-		outcomes[i] = ev.Eval(scenarios[i])
+		if limit.TryAcquire() {
+			return true
+		}
+		select {
+		case <-ctx.Done():
+			return false
+		case <-time.After(500 * time.Microsecond):
+		}
 	}
-	return nil
 }
 
 // fold aggregates per-scenario outcomes in scenario order, so the
-// floating-point sums never depend on worker scheduling.
+// floating-point sums never depend on worker scheduling. The scenarios
+// quoted in the report (WorstCase, Disconnecting) are copied out of the
+// scenario set's shared arenas, so a Report stays valid however its
+// producer reuses them.
 func fold(baseline Outcome, scenarios []Scenario, outcomes []Outcome, exhaustive bool) *Report {
 	rep := &Report{Scenarios: len(scenarios), Exhaustive: exhaustive, Baseline: baseline}
 	worst := -1
 	for i, o := range outcomes {
 		if !o.Connected {
 			if rep.Disconnecting == nil {
-				s := scenarios[i]
+				s := ownScenario(scenarios[i])
 				rep.Disconnecting = &s
 			}
 			continue
@@ -290,7 +384,15 @@ func fold(baseline Outcome, scenarios []Scenario, outcomes []Outcome, exhaustive
 		rep.ExpAvgHops /= float64(rep.Connected)
 	}
 	if worst >= 0 {
-		rep.WorstCase = scenarios[worst]
+		rep.WorstCase = ownScenario(scenarios[worst])
 	}
 	return rep
+}
+
+// ownScenario deep-copies a scenario out of its arena.
+func ownScenario(s Scenario) Scenario {
+	return Scenario{
+		Links:    append([]int(nil), s.Links...),
+		Switches: append([]int(nil), s.Switches...),
+	}
 }

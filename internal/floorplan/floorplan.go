@@ -103,10 +103,93 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// Planner holds the floorplanner's reusable workspace: the LP solver's
+// tableau arena, the constraint-coefficient arena, the relative-block and
+// binning scratch, and a cache of block-name strings. One Planner serves
+// one goroutine; the mapper keeps one per Scratch so its exact
+// evaluations stop allocating LP state. Only the returned Result (which
+// escapes into mapping results) is freshly allocated per call.
+type Planner struct {
+	lp     lp.Solver
+	blocks []relBlock
+
+	routerNames []string
+	coreNames   map[string]string
+
+	colVals, rowVals []float64
+	binScratch       []float64
+	colOf, rowOf     []int
+	softIdx          []int
+	hardW, hardH     []float64
+
+	objective   []float64
+	coeffArena  []float64
+	coeffOff    int
+	constraints []lp.Constraint
+
+	slotCount, slotStart, slotNext []int
+	slotMembers                    []int
+
+	wOf, hOf               []float64
+	colW, rowH, colX, rowY []float64
+	stackUsed              []float64
+}
+
+// NewPlanner returns a Planner with empty workspace; buffers grow on
+// first use.
+func NewPlanner() *Planner { return &Planner{coreNames: make(map[string]string)} }
+
 // Floorplan places the cores (via assign: core index -> terminal) and the
-// switches of topo. switchAreasMM2 gives the area of each router's switch
-// (index = router ID); switches are hard square blocks.
+// switches of topo with a throwaway Planner. switchAreasMM2 gives the area
+// of each router's switch (index = router ID); switches are hard square
+// blocks. Callers floorplanning many candidates should hold a Planner.
 func Floorplan(topo topology.Topology, assign []int, cores []graph.Core, switchAreasMM2 []float64, opts Options) (*Result, error) {
+	return NewPlanner().Floorplan(topo, assign, cores, switchAreasMM2, opts)
+}
+
+// routerName returns the cached "router:N" string.
+func (pl *Planner) routerName(r int) string {
+	for len(pl.routerNames) <= r {
+		pl.routerNames = append(pl.routerNames, fmt.Sprintf("router:%d", len(pl.routerNames)))
+	}
+	return pl.routerNames[r]
+}
+
+// coreName returns the cached "core:<name>" string.
+func (pl *Planner) coreName(name string) string {
+	if s, ok := pl.coreNames[name]; ok {
+		return s
+	}
+	s := "core:" + name
+	pl.coreNames[name] = s
+	return s
+}
+
+// coeff carves one zeroed coefficient row of width n out of the arena.
+// ensureCoeffs must have reserved enough rows first; rows stay valid for
+// the rest of the call because the arena never regrows mid-build.
+func (pl *Planner) coeff(n int) []float64 {
+	row := pl.coeffArena[pl.coeffOff : pl.coeffOff+n]
+	pl.coeffOff += n
+	return row
+}
+
+// ensureCoeffs sizes the coefficient arena for at most rows rows of width
+// n and zeroes it.
+func (pl *Planner) ensureCoeffs(rows, n int) {
+	need := rows * n
+	if cap(pl.coeffArena) < need {
+		pl.coeffArena = make([]float64, need)
+	}
+	pl.coeffArena = pl.coeffArena[:need]
+	for i := range pl.coeffArena {
+		pl.coeffArena[i] = 0
+	}
+	pl.coeffOff = 0
+}
+
+// Floorplan is the workspace-reusing form of the package-level Floorplan.
+func (pl *Planner) Floorplan(topo topology.Topology, assign []int, cores []graph.Core, switchAreasMM2 []float64, opts Options) (*Result, error) {
 	if len(assign) != len(cores) {
 		return nil, fmt.Errorf("floorplan: %d assignments for %d cores", len(assign), len(cores))
 	}
@@ -117,11 +200,11 @@ func Floorplan(topo topology.Topology, assign []int, cores []graph.Core, switchA
 
 	// Collect relative positions: routers at their template positions,
 	// cores at their terminal positions.
-	var blocks []relBlock
+	blocks := pl.blocks[:0]
 	for r := 0; r < topo.NumRouters(); r++ {
 		x, y := topo.Position(r)
 		blocks = append(blocks, relBlock{
-			name: fmt.Sprintf("router:%d", r),
+			name: pl.routerName(r),
 			rx:   x, ry: y,
 			area: switchAreasMM2[r],
 			core: -1, router: r,
@@ -130,12 +213,13 @@ func Floorplan(topo topology.Topology, assign []int, cores []graph.Core, switchA
 	for i, c := range cores {
 		term := assign[i]
 		if term < 0 || term >= topo.NumTerminals() {
+			pl.blocks = blocks
 			return nil, fmt.Errorf("floorplan: core %d assigned to invalid terminal %d", i, term)
 		}
 		x, y := topo.TerminalPosition(term)
 		lo, hi := c.AspectBounds()
 		blocks = append(blocks, relBlock{
-			name: "core:" + c.Name,
+			name: pl.coreName(c.Name),
 			rx:   x, ry: y,
 			area: c.AreaMM2,
 			soft: c.Soft,
@@ -143,12 +227,14 @@ func Floorplan(topo topology.Topology, assign []int, cores []graph.Core, switchA
 			core: i, router: -1,
 		})
 	}
+	pl.blocks = blocks
 
 	// Bin relative coordinates into columns and rows.
-	cols := binCoords(blocks, func(b relBlock) float64 { return b.rx })
-	rows := binCoords(blocks, func(b relBlock) float64 { return b.ry })
-	colOf := make([]int, len(blocks))
-	rowOf := make([]int, len(blocks))
+	cols := pl.binCoords(&pl.colVals, blocks, func(b relBlock) float64 { return b.rx })
+	rows := pl.binCoords(&pl.rowVals, blocks, func(b relBlock) float64 { return b.ry })
+	pl.colOf = resizeInts(pl.colOf, len(blocks))
+	pl.rowOf = resizeInts(pl.rowOf, len(blocks))
+	colOf, rowOf := pl.colOf, pl.rowOf
 	for i, b := range blocks {
 		colOf[i] = indexOf(cols, b.rx)
 		rowOf[i] = indexOf(rows, b.ry)
@@ -156,7 +242,8 @@ func Floorplan(topo topology.Topology, assign []int, cores []graph.Core, switchA
 
 	// LP variables: [0, nSoft) widths w_i, [nSoft, 2nSoft) heights h_i,
 	// then column widths, then row heights.
-	softIdx := make([]int, len(blocks)) // block -> soft ordinal or -1
+	pl.softIdx = resizeInts(pl.softIdx, len(blocks)) // block -> soft ordinal or -1
+	softIdx := pl.softIdx
 	nSoft := 0
 	for i, b := range blocks {
 		if b.soft && b.area > 0 {
@@ -170,7 +257,8 @@ func Floorplan(topo topology.Topology, assign []int, cores []graph.Core, switchA
 	rowVar := func(r int) int { return 2*nSoft + len(cols) + r }
 	numVars := 2*nSoft + len(cols) + len(rows)
 
-	p := lp.Problem{NumVars: numVars, Objective: make([]float64, numVars)}
+	pl.objective = resizeFloats(pl.objective, numVars)
+	p := lp.Problem{NumVars: numVars, Objective: pl.objective, Constraints: pl.constraints[:0]}
 	for c := range cols {
 		p.Objective[colVar(c)] = 1
 	}
@@ -178,10 +266,15 @@ func Floorplan(topo topology.Topology, assign []int, cores []graph.Core, switchA
 		p.Objective[rowVar(r)] = 1
 	}
 
+	// Upper bound on constraint rows: the soft-block rows, one column row
+	// per block and at most one slot row per block.
+	pl.ensureCoeffs(nSoft*(2+opts.Tangents)+2*len(blocks), numVars)
+
 	sp := opts.SpacingMM
 	// Hard block dimensions (squares).
-	hardW := make([]float64, len(blocks))
-	hardH := make([]float64, len(blocks))
+	pl.hardW = resizeFloats(pl.hardW, len(blocks))
+	pl.hardH = resizeFloats(pl.hardH, len(blocks))
+	hardW, hardH := pl.hardW, pl.hardH
 	for i, b := range blocks {
 		if softIdx[i] == -1 {
 			side := math.Sqrt(math.Max(b.area, 0))
@@ -199,10 +292,10 @@ func Floorplan(topo topology.Topology, assign []int, cores []graph.Core, switchA
 		wv, hv := s, nSoft+s
 		wMin := math.Sqrt(b.area * b.arLo)
 		wMax := math.Sqrt(b.area * b.arHi)
-		cw := make([]float64, numVars)
+		cw := pl.coeff(numVars)
 		cw[wv] = 1
 		p.AddConstraint(cw, lp.GE, wMin)
-		cw2 := make([]float64, numVars)
+		cw2 := pl.coeff(numVars)
 		cw2[wv] = 1
 		p.AddConstraint(cw2, lp.LE, wMax)
 		// Tangents of h = A/w at sample widths: h >= 2A/w0 - (A/w0^2) w.
@@ -211,7 +304,7 @@ func Floorplan(topo topology.Topology, assign []int, cores []graph.Core, switchA
 			if w0 <= 0 {
 				continue
 			}
-			ct := make([]float64, numVars)
+			ct := pl.coeff(numVars)
 			ct[hv] = 1
 			ct[wv] = b.area / (w0 * w0)
 			p.AddConstraint(ct, lp.GE, 2*b.area/w0)
@@ -221,7 +314,7 @@ func Floorplan(topo topology.Topology, assign []int, cores []graph.Core, switchA
 	// Column width >= block width (+halo) for every block in the column.
 	for i := range blocks {
 		c := colOf[i]
-		cw := make([]float64, numVars)
+		cw := pl.coeff(numVars)
 		cw[colVar(c)] = 1
 		if s := softIdx[i]; s != -1 {
 			cw[s] = -1
@@ -230,31 +323,45 @@ func Floorplan(topo topology.Topology, assign []int, cores []graph.Core, switchA
 			p.AddConstraint(cw, lp.GE, hardW[i]+sp)
 		}
 	}
-	// Row height >= stacked heights of each slot (col,row).
-	type slotKey struct{ c, r int }
-	slots := make(map[slotKey][]int)
+	// Row height >= stacked heights of each slot (col,row). Slots are
+	// bucketed densely by slot ID = row*len(cols)+col; iterating rows then
+	// columns visits non-empty slots in exactly the (row, col) order the
+	// original map-and-sort version produced, with members in block order.
+	numSlots := len(cols) * len(rows)
+	pl.slotCount = resizeZeroInts(pl.slotCount, numSlots)
+	slotCount := pl.slotCount
 	for i := range blocks {
-		k := slotKey{colOf[i], rowOf[i]}
-		slots[k] = append(slots[k], i)
+		slotCount[rowOf[i]*len(cols)+colOf[i]]++
 	}
-	slotKeys := make([]slotKey, 0, len(slots))
-	for k := range slots {
-		slotKeys = append(slotKeys, k)
+	pl.slotStart = resizeInts(pl.slotStart, numSlots+1)
+	slotStart := pl.slotStart
+	sum := 0
+	for s := 0; s < numSlots; s++ {
+		slotStart[s] = sum
+		sum += slotCount[s]
 	}
-	sort.Slice(slotKeys, func(a, b int) bool {
-		if slotKeys[a].r != slotKeys[b].r {
-			return slotKeys[a].r < slotKeys[b].r
+	slotStart[numSlots] = sum
+	pl.slotNext = resizeInts(pl.slotNext, numSlots)
+	slotNext := pl.slotNext
+	copy(slotNext, slotStart[:numSlots])
+	pl.slotMembers = resizeInts(pl.slotMembers, len(blocks))
+	slotMembers := pl.slotMembers
+	for i := range blocks {
+		s := rowOf[i]*len(cols) + colOf[i]
+		slotMembers[slotNext[s]] = i
+		slotNext[s]++
+	}
+	for s := 0; s < numSlots; s++ {
+		members := slotMembers[slotStart[s]:slotStart[s+1]]
+		if len(members) == 0 {
+			continue
 		}
-		return slotKeys[a].c < slotKeys[b].c
-	})
-	for _, k := range slotKeys {
-		members := slots[k]
-		cw := make([]float64, numVars)
-		cw[rowVar(k.r)] = 1
+		cw := pl.coeff(numVars)
+		cw[rowVar(s/len(cols))] = 1
 		rhs := 0.0
 		for _, i := range members {
-			if s := softIdx[i]; s != -1 {
-				cw[nSoft+s] -= 1
+			if si := softIdx[i]; si != -1 {
+				cw[nSoft+si] -= 1
 			} else {
 				rhs += hardH[i]
 			}
@@ -262,8 +369,9 @@ func Floorplan(topo topology.Topology, assign []int, cores []graph.Core, switchA
 		}
 		p.AddConstraint(cw, lp.GE, rhs)
 	}
+	pl.constraints = p.Constraints[:0]
 
-	sol, err := lp.Solve(p)
+	sol, err := pl.lp.Solve(p)
 	if err != nil {
 		return nil, fmt.Errorf("floorplan: %v", err)
 	}
@@ -272,8 +380,9 @@ func Floorplan(topo topology.Topology, assign []int, cores []graph.Core, switchA
 	}
 
 	// Extract dimensions, re-exactifying soft areas: h = A/w.
-	wOf := make([]float64, len(blocks))
-	hOf := make([]float64, len(blocks))
+	pl.wOf = resizeFloats(pl.wOf, len(blocks))
+	pl.hOf = resizeFloats(pl.hOf, len(blocks))
+	wOf, hOf := pl.wOf, pl.hOf
 	for i, b := range blocks {
 		if s := softIdx[i]; s != -1 {
 			w := sol.X[s]
@@ -287,11 +396,13 @@ func Floorplan(topo topology.Topology, assign []int, cores []graph.Core, switchA
 			hOf[i] = hardH[i]
 		}
 	}
-	colW := make([]float64, len(cols))
+	pl.colW = resizeFloats(pl.colW, len(cols))
+	colW := pl.colW
 	for c := range cols {
 		colW[c] = sol.X[colVar(c)]
 	}
-	rowH := make([]float64, len(rows))
+	pl.rowH = resizeFloats(pl.rowH, len(rows))
+	rowH := pl.rowH
 	for r := range rows {
 		rowH[r] = sol.X[rowVar(r)]
 	}
@@ -301,40 +412,44 @@ func Floorplan(topo topology.Topology, assign []int, cores []graph.Core, switchA
 			colW[colOf[i]] = wOf[i] + sp
 		}
 	}
-	for _, k := range slotKeys {
+	for s := 0; s < numSlots; s++ {
 		var need float64
-		for _, i := range slots[k] {
+		for _, i := range slotMembers[slotStart[s]:slotStart[s+1]] {
 			need += hOf[i] + sp
 		}
-		if need > rowH[k.r] {
-			rowH[k.r] = need
+		if need > rowH[s/len(cols)] {
+			rowH[s/len(cols)] = need
 		}
 	}
 
 	// Absolute placement: columns left to right, rows bottom to top,
 	// blocks stacked within a slot in deterministic (router-first) order.
-	colX := make([]float64, len(cols))
+	pl.colX = resizeFloats(pl.colX, len(cols))
+	colX := pl.colX
 	for c := 1; c < len(cols); c++ {
 		colX[c] = colX[c-1] + colW[c-1]
 	}
-	rowY := make([]float64, len(rows))
+	pl.rowY = resizeFloats(pl.rowY, len(rows))
+	rowY := pl.rowY
 	for r := 1; r < len(rows); r++ {
 		rowY[r] = rowY[r-1] + rowH[r-1]
 	}
 
 	res := &Result{
+		Blocks:       make([]Block, 0, len(blocks)),
 		CoreBlocks:   make([]int, len(cores)),
 		RouterBlocks: make([]int, topo.NumRouters()),
 	}
-	stackUsed := make(map[slotKey]float64)
+	pl.stackUsed = resizeFloats(pl.stackUsed, numSlots)
+	stackUsed := pl.stackUsed
 	for i, b := range blocks {
-		k := slotKey{colOf[i], rowOf[i]}
-		yOff := stackUsed[k]
-		stackUsed[k] = yOff + hOf[i] + sp
+		s := rowOf[i]*len(cols) + colOf[i]
+		yOff := stackUsed[s]
+		stackUsed[s] = yOff + hOf[i] + sp
 		placed := Block{
 			Name: b.name,
-			X:    colX[k.c] + (colW[k.c]-wOf[i])/2,
-			Y:    rowY[k.r] + yOff + sp/2,
+			X:    colX[colOf[i]] + (colW[colOf[i]]-wOf[i])/2,
+			Y:    rowY[rowOf[i]] + yOff + sp/2,
 			W:    wOf[i],
 			H:    hOf[i],
 			Soft: b.soft,
@@ -384,20 +499,23 @@ type relBlock struct {
 	router     int     // router index or -1
 }
 
-// binCoords returns the sorted distinct coordinate values (1e-6 tolerance).
-func binCoords(blocks []relBlock, get func(relBlock) float64) []float64 {
-	vals := make([]float64, 0, len(blocks))
+// binCoords fills *out with the sorted distinct coordinate values (1e-6
+// tolerance), reusing its backing array and the planner's sort scratch.
+func (pl *Planner) binCoords(out *[]float64, blocks []relBlock, get func(relBlock) float64) []float64 {
+	vals := pl.binScratch[:0]
 	for _, b := range blocks {
 		vals = append(vals, get(b))
 	}
 	sort.Float64s(vals)
-	out := vals[:0]
+	pl.binScratch = vals
+	bins := (*out)[:0]
 	for _, v := range vals {
-		if len(out) == 0 || v-out[len(out)-1] > 1e-6 {
-			out = append(out, v)
+		if len(bins) == 0 || v-bins[len(bins)-1] > 1e-6 {
+			bins = append(bins, v)
 		}
 	}
-	return append([]float64(nil), out...)
+	*out = bins
+	return bins
 }
 
 // indexOf finds v in the sorted bin list within tolerance.
@@ -410,4 +528,36 @@ func indexOf(bins []float64, v float64) int {
 		return i - 1
 	}
 	return i // should not happen; nearest bin
+}
+
+// resizeInts returns buf resized to n without zeroing.
+func resizeInts(buf []int, n int) []int {
+	if cap(buf) < n {
+		return make([]int, n)
+	}
+	return buf[:n]
+}
+
+// resizeZeroInts returns buf resized to n with every element zeroed.
+func resizeZeroInts(buf []int, n int) []int {
+	if cap(buf) < n {
+		return make([]int, n)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = 0
+	}
+	return buf
+}
+
+// resizeFloats returns buf resized to n with every element zeroed.
+func resizeFloats(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = 0
+	}
+	return buf
 }

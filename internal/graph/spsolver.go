@@ -181,6 +181,118 @@ func (s *SPSolver) Dijkstra(d *Digraph, src int, w WeightFunc, allowed []bool) {
 	}
 }
 
+// DijkstraTo runs Dijkstra from src but stops as soon as dst is settled.
+// Distances and predecessor chains of vertices settled before dst are
+// final and identical to a full run's; dst's own chain — the only thing a
+// subsequent PathTo(src, dst, ...) reads — is final at settlement, so
+// single-destination callers get bit-identical paths at a fraction of the
+// work (the router graph's search frontier stops growing at dst instead
+// of sweeping the whole topology).
+func (s *SPSolver) DijkstraTo(d *Digraph, src, dst int, w WeightFunc, allowed []bool) {
+	n := len(d.adj)
+	s.reset(n)
+	if src < 0 || src >= n {
+		panic(fmt.Sprintf("graph: Dijkstra source %d out of range", src))
+	}
+	if allowed != nil && !allowed[src] {
+		return
+	}
+	s.dist[src] = 0
+	s.prevV[src] = -1
+	s.prevArc[src] = -1
+	s.stamp[src] = s.epoch
+	heapPush(&s.heap, pqItem{v: src, dist: 0})
+	for len(s.heap) > 0 {
+		it := heapPop(&s.heap)
+		u := it.v
+		if s.settled[u] == s.epoch || it.dist > s.dist[u] {
+			continue
+		}
+		s.settled[u] = s.epoch
+		if u == dst {
+			return
+		}
+		du := s.dist[u]
+		for _, a := range d.adj[u] {
+			if allowed != nil && !allowed[a.To] {
+				continue
+			}
+			wt := w(u, a)
+			if math.IsInf(wt, 1) {
+				continue
+			}
+			if wt < 0 {
+				panic(fmt.Sprintf("graph: negative arc weight %g on %d->%d", wt, u, a.To))
+			}
+			if nd := du + wt; nd < s.Dist(a.To) {
+				s.dist[a.To] = nd
+				s.prevV[a.To] = u
+				s.prevArc[a.To] = a.ID
+				s.stamp[a.To] = s.epoch
+				heapPush(&s.heap, pqItem{v: a.To, dist: nd})
+			}
+		}
+	}
+}
+
+// DijkstraLoads is DijkstraTo specialized to the routing hot path's
+// congestion weight, loads[arc]+bias, with the weight and its masks
+// inlined instead of going through a WeightFunc closure: arcs excluded by
+// the dag mask (nil = no restriction) or marked down are unreachable
+// (exactly the closure's +Inf), everything else relaxes in the same order
+// with the same arithmetic, so paths stay bit-identical to the generic
+// solver's. This removes the indirect call per arc from the innermost
+// loop of the mapper's swap sweep.
+func (s *SPSolver) DijkstraLoads(d *Digraph, src, dst int, loads []float64, bias float64, dag, down, allowed []bool) {
+	n := len(d.adj)
+	s.reset(n)
+	if src < 0 || src >= n {
+		panic(fmt.Sprintf("graph: Dijkstra source %d out of range", src))
+	}
+	if allowed != nil && !allowed[src] {
+		return
+	}
+	s.dist[src] = 0
+	s.prevV[src] = -1
+	s.prevArc[src] = -1
+	s.stamp[src] = s.epoch
+	heapPush(&s.heap, pqItem{v: src, dist: 0})
+	for len(s.heap) > 0 {
+		it := heapPop(&s.heap)
+		u := it.v
+		if s.settled[u] == s.epoch || it.dist > s.dist[u] {
+			continue
+		}
+		s.settled[u] = s.epoch
+		if u == dst {
+			return
+		}
+		du := s.dist[u]
+		for _, a := range d.adj[u] {
+			if allowed != nil && !allowed[a.To] {
+				continue
+			}
+			if dag != nil && !dag[a.ID] {
+				continue
+			}
+			if down != nil && down[a.ID] {
+				continue
+			}
+			wt := loads[a.ID] + bias
+			if wt < 0 {
+				panic(fmt.Sprintf("graph: negative arc weight %g on %d->%d", wt, u, a.To))
+			}
+			if nd := du + wt; nd < s.Dist(a.To) {
+				s.dist[a.To] = nd
+				s.prevV[a.To] = u
+				s.prevArc[a.To] = a.ID
+				s.stamp[a.To] = s.epoch
+				heapPush(&s.heap, pqItem{v: a.To, dist: nd})
+			}
+		}
+	}
+}
+
 // PathTo recovers the src->dst path of the last Dijkstra run, appending the
 // vertex sequence and arc-ID sequence into the provided buffers (which are
 // truncated first and may be nil). It returns the filled slices and whether

@@ -83,12 +83,34 @@ type Solution struct {
 
 const eps = 1e-9
 
+// Solver holds reusable dual-simplex workspace: the tableau rows live in
+// one flat arena, and the basis, reduced-cost and solution vectors are
+// recycled across Solve calls. One Solver serves one goroutine; the
+// floorplanner keeps one per mapping Scratch so the per-candidate (and
+// final) LP solves perform no steady-state allocations. Solutions
+// returned by a Solver alias its scratch (see Solver.Solve).
+type Solver struct {
+	arena []float64
+	tab   [][]float64
+	basis []int
+	z     []float64
+	x     []float64
+}
+
+// NewSolver returns a Solver with empty workspace; buffers grow on first
+// use.
+func NewSolver() *Solver { return &Solver{} }
+
 // Solve minimizes p. Inequality-only problems with a non-negative
 // objective — the floorplanner's shape — start from the all-slack basis
 // and run dual simplex, which needs no phase-1 artificials at all; every
 // other problem (or a dual run hitting its safety cap) takes the general
 // two-phase primal path.
-func Solve(p Problem) (Solution, error) {
+//
+// The returned Solution's X aliases the Solver's scratch and is valid
+// only until the next Solve call on the same Solver; callers keeping it
+// must copy it out.
+func (s *Solver) Solve(p Problem) (Solution, error) {
 	if p.NumVars <= 0 {
 		return Solution{}, fmt.Errorf("lp: no variables")
 	}
@@ -102,10 +124,55 @@ func Solve(p Problem) (Solution, error) {
 		return Solution{}, fmt.Errorf("lp: objective has %d coefficients for %d variables",
 			len(p.Objective), p.NumVars)
 	}
-	if sol, ok := solveDual(p); ok {
+	if sol, ok := s.solveDual(p); ok {
 		return sol, nil
 	}
 	return solveTwoPhase(p)
+}
+
+// Solve minimizes p with a throwaway Solver; the Solution owns its
+// memory. Callers solving many problems should hold a Solver instead.
+func Solve(p Problem) (Solution, error) {
+	return NewSolver().Solve(p)
+}
+
+// rows carves m zeroed rows of the given width out of the Solver's
+// arena, growing it only when the problem outgrows every previous one.
+func (s *Solver) rows(m, width int) [][]float64 {
+	need := m * width
+	if cap(s.arena) < need {
+		s.arena = make([]float64, need)
+	}
+	s.arena = s.arena[:need]
+	for i := range s.arena {
+		s.arena[i] = 0
+	}
+	if cap(s.tab) < m {
+		s.tab = make([][]float64, m)
+	}
+	s.tab = s.tab[:m]
+	for i := 0; i < m; i++ {
+		s.tab[i] = s.arena[i*width : (i+1)*width]
+	}
+	return s.tab
+}
+
+func resizeInts(buf []int, n int) []int {
+	if cap(buf) < n {
+		return make([]int, n)
+	}
+	return buf[:n]
+}
+
+func resizeFloats(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		buf = make([]float64, n)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = 0
+	}
+	return buf
 }
 
 // solveDual runs dual simplex from the all-slack basis. It applies only
@@ -114,7 +181,7 @@ func Solve(p Problem) (Solution, error) {
 // never be unbounded below). Returns ok=false when the problem does not
 // qualify or the iteration cap trips, in which case the caller falls back
 // to the two-phase primal solver.
-func solveDual(p Problem) (Solution, bool) {
+func (s *Solver) solveDual(p Problem) (Solution, bool) {
 	for _, c := range p.Objective {
 		if c < 0 {
 			return Solution{}, false
@@ -128,13 +195,15 @@ func solveDual(p Problem) (Solution, bool) {
 	m := len(p.Constraints)
 	n := p.NumVars
 	if m == 0 {
-		return Solution{Status: Optimal, X: make([]float64, n)}, true
+		s.x = resizeFloats(s.x, n)
+		return Solution{Status: Optimal, X: s.x}, true
 	}
 	total := n + m
-	tab := make([][]float64, m)
-	basis := make([]int, m)
+	tab := s.rows(m, total+1)
+	basis := resizeInts(s.basis, m)
+	s.basis = basis
 	for i, c := range p.Constraints {
-		row := make([]float64, total+1)
+		row := tab[i]
 		sign := 1.0
 		if c.Rel == GE { // a·x >= b  ⇔  -a·x <= -b
 			sign = -1
@@ -145,11 +214,11 @@ func solveDual(p Problem) (Solution, bool) {
 		row[total] = sign * c.RHS
 		row[n+i] = 1
 		basis[i] = n + i
-		tab[i] = row
 	}
 	// Reduced costs start at the objective itself (all basis costs are 0)
 	// and stay non-negative throughout — the dual-feasibility invariant.
-	z := make([]float64, total+1)
+	z := resizeFloats(s.z, total+1)
+	s.z = z
 	copy(z, p.Objective)
 	for iter := 0; ; iter++ {
 		if iter > 50000 {
@@ -167,7 +236,8 @@ func solveDual(p Problem) (Solution, bool) {
 		}
 		if leave == -1 {
 			// Primal feasible and still dual feasible: optimal.
-			x := make([]float64, n)
+			x := resizeFloats(s.x, n)
+			s.x = x
 			for i, b := range basis {
 				if b < n {
 					x[b] = tab[i][total]

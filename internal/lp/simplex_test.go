@@ -287,7 +287,7 @@ func TestDualMatchesTwoPhase(t *testing.T) {
 				p.AddConstraint(coeffs, GE, rhs)
 			}
 		}
-		dual, ok := solveDual(p)
+		dual, ok := NewSolver().solveDual(p)
 		if !ok {
 			return true // fell back; nothing to compare
 		}

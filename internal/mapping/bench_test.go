@@ -2,6 +2,7 @@ package mapping
 
 import (
 	"context"
+	"math"
 	"testing"
 
 	"sunmap/internal/apps"
@@ -53,7 +54,7 @@ func BenchmarkMap(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				ca, cb := occupant[pairA], occupant[pairB]
 				swapTerminals(assign, occupant, pairA, pairB)
-				if _, err := st.eval(assign, ca, cb, false); err != nil {
+				if _, _, err := st.eval(assign, ca, cb, false, math.Inf(1)); err != nil {
 					b.Fatal(err)
 				}
 				swapTerminals(assign, occupant, pairA, pairB) // reject
@@ -71,11 +72,12 @@ func benchSweepState(tb testing.TB, g *graph.CoreGraph, topo topology.Topology, 
 	ev := &evaluator{g: g, topo: topo, comms: g.Commodities(), opts: opts}
 	st := &sc.inc
 	st.bind(ev, sc.rt)
-	assign := greedyInitial(g, topo)
-	base, err := st.evalInitial(assign)
+	assign := greedyInitial(g, topo, sc)
+	base, _, err := st.eval(assign, -1, -1, true, math.Inf(1))
 	if err != nil {
 		tb.Fatal(err)
 	}
+	st.promote()
 	ev.norm = base.raw
 	occupant := make([]int, topo.NumTerminals())
 	for t := range occupant {
@@ -121,7 +123,7 @@ func TestSwapEvalAllocFree(t *testing.T) {
 		run := func() {
 			ca, cb := occupant[pairA], occupant[pairB]
 			swapTerminals(assign, occupant, pairA, pairB)
-			if _, err := st.eval(assign, ca, cb, false); err != nil {
+			if _, _, err := st.eval(assign, ca, cb, false, math.Inf(1)); err != nil {
 				t.Fatal(err)
 			}
 			swapTerminals(assign, occupant, pairA, pairB)
@@ -135,7 +137,7 @@ func TestSwapEvalAllocFree(t *testing.T) {
 				}
 				ca, cb := occupant[a], occupant[b]
 				swapTerminals(assign, occupant, a, b)
-				if _, err := st.eval(assign, ca, cb, false); err != nil {
+				if _, _, err := st.eval(assign, ca, cb, false, math.Inf(1)); err != nil {
 					t.Fatal(err)
 				}
 				swapTerminals(assign, occupant, a, b)
@@ -147,6 +149,54 @@ func TestSwapEvalAllocFree(t *testing.T) {
 	}
 }
 
+// TestFullEvalAllocBudget is the whole-candidate companion of
+// TestSwapEvalAllocFree: with a warmed Scratch, one full Map call
+// (greedy seed, incremental swap search, final exact evaluation and LP
+// floorplan) must stay within 40 allocations per evaluation, for every
+// tracked configuration. The fault-sweep steady state has its own gate
+// in internal/fault (TestSweepSteadyAllocBudget).
+func TestFullEvalAllocBudget(t *testing.T) {
+	ctx := context.Background()
+	for _, tc := range benchCases {
+		g := tc.app()
+		topo := mustTopo(topology.NewMesh(3, 4))
+		sc := NewScratch()
+		run := func() {
+			if _, err := MapContextWith(ctx, g, topo, tc.opts, sc); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// First call warms the scratch: routing buffers, swap heaps,
+		// quadrant masks and the LP workspace all reach steady size.
+		run()
+		if allocs := testing.AllocsPerRun(20, run); allocs > 40 {
+			t.Errorf("%s: scratch-reused full evaluation allocates %.1f objects/op, want <= 40", tc.name, allocs)
+		}
+	}
+}
+
+// TestSplitRouteAllocFree gates the SM rung as the mapper drives it:
+// once the router's min-hop DAG caches are warm, re-routing the whole
+// commodity set with split-minimal must not allocate at all.
+func TestSplitRouteAllocFree(t *testing.T) {
+	g := apps.VOPD()
+	topo := mustTopo(topology.NewMesh(3, 4))
+	assign := greedyInitial(g, topo, NewScratch())
+	comms := g.Commodities()
+	opts := route.Options{Function: route.SplitMin, CapacityMBps: 500, LoadsOnly: true}
+	rt := route.NewRouter()
+	var res route.Result
+	routeOnce := func() {
+		if err := rt.RouteInto(&res, topo, assign, comms, opts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	routeOnce() // warm: builds and caches the per-pair min-hop DAGs
+	if allocs := testing.AllocsPerRun(200, routeOnce); allocs != 0 {
+		t.Errorf("SM split routing allocates %.1f objects/op on a warm router, want 0", allocs)
+	}
+}
+
 // BenchmarkRoute is covered in internal/route; this sibling measures the
 // route stack as the mapper drives it — scratch router, loads only —
 // against the allocating public entry point, on the mapped seed
@@ -154,7 +204,7 @@ func TestSwapEvalAllocFree(t *testing.T) {
 func BenchmarkRouteViaMapper(b *testing.B) {
 	g := apps.VOPD()
 	topo := mustTopo(topology.NewMesh(3, 4))
-	assign := greedyInitial(g, topo)
+	assign := greedyInitial(g, topo, NewScratch())
 	comms := g.Commodities()
 	opts := route.Options{Function: route.MinPath, CapacityMBps: 500, LoadsOnly: true}
 	rt := route.NewRouter()

@@ -44,6 +44,7 @@ package mapping
 
 import (
 	"context"
+	"math"
 	"slices"
 
 	"sunmap/internal/area"
@@ -55,18 +56,35 @@ import (
 )
 
 // Scratch holds the reusable state of one mapping worker: the routing
-// solver and the incremental evaluator's load arrays, path buffers and
-// switch-config scratch. Buffers are bound to a topology per Map call and
+// solver, the incremental evaluator's load arrays, path buffers and
+// switch-config scratch, the greedy-placement and occupancy buffers, and
+// the full-evaluation workspace (a routing Result plus the floorplanner's
+// LP workspace) used by every non-incremental cost evaluation — the final
+// exact evaluation of each Map call, the reference sweep, and the
+// LP-in-the-loop mode. Buffers are bound to a topology per Map call and
 // regrown as needed, so one Scratch serves an entire library sweep. It is
 // single-goroutine state: give each worker its own (internal/engine pools
 // them via internal/pool.Free).
 type Scratch struct {
 	rt  *route.Router
 	inc incState
+	fp  *floorplan.Planner
+
+	// Greedy placement / sweep occupancy buffers.
+	assign, occupant []int
+	greedyFree       []bool
+
+	// Full-evaluation scratch: the routing result every ev.cost call
+	// accumulates into (cloned before escaping) and the switch-area list
+	// fed to the floorplanner.
+	evalRes route.Result
+	swAreas []float64
 }
 
 // NewScratch returns an empty Scratch; buffers grow on first use.
-func NewScratch() *Scratch { return &Scratch{rt: route.NewRouter()} }
+func NewScratch() *Scratch {
+	return &Scratch{rt: route.NewRouter(), fp: floorplan.NewPlanner()}
+}
 
 // incState is the incremental candidate evaluator.
 type incState struct {
@@ -83,11 +101,17 @@ type incState struct {
 	effChunks     int  // splitting granularity after defaulting
 
 	// Assignment-independent constants of the cost model.
-	cores    []graph.Core
-	linkLens []float64
-	linkArea float64
-	coreArea float64
-	niMW     float64
+	cores     []graph.Core
+	linkLens  []float64
+	linkArea  float64
+	coreArea  float64
+	niMW      float64
+	totalMBps float64
+
+	// Hop-lower-bound pruning scratch: hopSuffix[k] is the
+	// bandwidth-weighted minimum-hop sum of commodities k.. under the
+	// candidate assignment.
+	hopSuffix []float64
 
 	// Baseline: the routed structure of every commodity under the
 	// currently accepted assignment.
@@ -111,12 +135,17 @@ type incState struct {
 func sweepIncremental(ctx context.Context, ev *evaluator, assign, occupant []int, sc *Scratch) (int, error) {
 	st := &sc.inc
 	st.bind(ev, sc.rt)
-	baseCost, err := st.evalInitial(assign)
+	baseCost, _, err := st.eval(assign, -1, -1, true, math.Inf(1))
 	if err != nil {
 		return 0, err
 	}
+	st.promote()
 	ev.norm = baseCost.raw // normalize weighted objectives by the seed mapping
 	curCost := ev.objective(baseCost)
+	// Hop-lower-bound pruning applies only under the pure MinDelay
+	// objective, where the bound argument (see eval) is certified; other
+	// objectives evaluate every candidate, exactly like the reference.
+	usePrune := ev.opts.Objective == MinDelay && st.totalMBps > 0
 	numT := ev.topo.NumTerminals()
 	swaps := 0
 	for pass := 0; pass < ev.opts.SwapPasses; pass++ {
@@ -129,11 +158,19 @@ func sweepIncremental(ctx context.Context, ev *evaluator, assign, occupant []int
 				if occupant[a] == -1 && occupant[b] == -1 {
 					continue
 				}
+				bound := math.Inf(1)
+				if usePrune {
+					bound = curCost
+				}
 				ca, cb := occupant[a], occupant[b] // the cores about to move
 				swapTerminals(assign, occupant, a, b)
-				cand, err := st.eval(assign, ca, cb, false)
+				cand, pruned, err := st.eval(assign, ca, cb, false, bound)
 				if err != nil {
 					return 0, err
+				}
+				if pruned {
+					swapTerminals(assign, occupant, a, b) // undo
+					continue
 				}
 				if c := ev.objective(cand); c < curCost-1e-12 {
 					curCost = c
@@ -172,7 +209,7 @@ func (st *incState) bind(ev *evaluator, rt *route.Router) {
 		st.effChunks = route.DefaultChunks
 	}
 
-	st.cores = ev.g.Cores()
+	st.cores = ev.coreList()
 	// Estimated link lengths depend only on the topology template and the
 	// application's average core pitch — not on the assignment — so the
 	// in-loop wiring-area term is a per-Map constant.
@@ -180,6 +217,10 @@ func (st *incState) bind(ev *evaluator, rt *route.Router) {
 	st.linkArea = area.LinkAreaMM2(st.linkLens, ev.opts.Tech)
 	st.coreArea = ev.g.TotalCoreAreaMM2()
 	st.niMW = ev.niHookupMW(st.cores)
+	st.totalMBps = 0
+	for _, c := range st.comms {
+		st.totalMBps += c.ValueMBps
+	}
 
 	m := len(st.comms)
 	st.base = resizeRecs(st.base, m)
@@ -198,23 +239,68 @@ func (st *incState) bind(ev *evaluator, rt *route.Router) {
 	st.cfgs = st.cfgs[:r]
 }
 
-// evalInitial evaluates the seed assignment with a full re-route and
-// promotes its paths to the baseline.
-func (st *incState) evalInitial(assign []int) (*evalResult, error) {
-	e, err := st.eval(assign, -1, -1, true)
-	if err != nil {
-		return nil, err
+// pruneSlack is the relative safety margin of the hop-lower-bound prune:
+// a candidate is rejected without (full) evaluation only when its
+// certified lower bound clears the current cost by this margin, which
+// exceeds any float divergence between the bound's arithmetic and the
+// evaluated objective's by several orders of magnitude. The equivalence
+// suite (incremental vs reference, which never prunes) is the regression
+// gate on this reasoning.
+const pruneSlack = 1e-10
+
+// hopBound returns a certified lower bound on the MinDelay objective of
+// the assignment after commodity k-1, given the hop aggregate routed so
+// far: every remaining commodity must visit at least its terminal pair's
+// MinHops routers, the load tie-break only adds a non-negative term, and
+// the overload penalty multiplies by a factor that is monotone in the
+// link loads — which at commodity boundaries only ever grow toward the
+// final loads. So no completion of this partial evaluation can score
+// below the returned value.
+func (st *incState) hopBound(res *route.Result, k int) float64 {
+	lb := (res.HopSumMBps + st.hopSuffix[k]) / st.totalMBps
+	if limit := st.ev.opts.CapacityMBps; limit > 0 {
+		var overload float64
+		for _, l := range res.LinkLoads {
+			if l > limit {
+				overload += (l - limit) / limit
+			}
+		}
+		if overload > 0 {
+			lb *= 1 + 10*overload
+		}
 	}
-	st.promote()
-	return e, nil
+	return lb
 }
 
 // eval evaluates the current assignment. ca and cb are the cores the
 // preceding swap moved (-1 when a terminal was free); all forces a full
 // re-route of every commodity. The returned evalResult is scratch, valid
 // until the next eval call.
-func (st *incState) eval(assign []int, ca, cb int, all bool) (*evalResult, error) {
+//
+// bound enables hop-lower-bound pruning: when finite (MinDelay sweeps
+// pass the current best cost), the evaluation is abandoned — pruned=true,
+// nil result — as soon as the certified lower bound shows the candidate
+// cannot beat bound. A pruned candidate is exactly one the reference
+// sweep would have evaluated and rejected.
+func (st *incState) eval(assign []int, ca, cb int, all bool, bound float64) (e *evalResult, pruned bool, err error) {
 	opts := st.ev.opts
+	prune := !math.IsInf(bound, 1)
+	if prune {
+		// Fill the minimum-hop suffix sums for this assignment; the k=0
+		// entry is the whole-candidate lower bound, checked before any
+		// routing work.
+		m := len(st.comms)
+		st.hopSuffix = resizeFloats(st.hopSuffix, m+1)
+		st.hopSuffix[m] = 0
+		for k := m - 1; k >= 0; k-- {
+			c := st.comms[k]
+			st.hopSuffix[k] = st.hopSuffix[k+1] +
+				c.ValueMBps*float64(st.topo.MinHops(assign[c.Src], assign[c.Dst]))
+		}
+		if st.hopSuffix[0]/st.totalMBps*(1-pruneSlack) >= bound {
+			return nil, true, nil
+		}
+	}
 	res := &st.res
 	res.Reset(len(st.links), st.topo.NumRouters())
 	st.dirtyEpoch++
@@ -242,6 +328,9 @@ func (st *incState) eval(assign []int, ca, cb int, all bool) (*evalResult, error
 		}
 		if !reroute {
 			st.applyRec(res, c, &st.base[k])
+			if prune && st.hopBound(res, k+1)*(1-pruneSlack) >= bound {
+				return nil, true, nil
+			}
 			continue
 		}
 		srcT, dstT := assign[c.Src], assign[c.Dst]
@@ -266,7 +355,7 @@ func (st *incState) eval(assign []int, ca, cb int, all bool) (*evalResult, error
 			}
 		}
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
 		st.reroutedIDs = append(st.reroutedIDs, k)
 		if !all && !st.oblivious && !recEqual(rec, &st.base[k]) {
@@ -276,9 +365,13 @@ func (st *incState) eval(assign []int, ca, cb int, all bool) (*evalResult, error
 			st.markRecDirty(&st.base[k])
 			st.markRecDirty(rec)
 		}
+		if prune && st.hopBound(res, k+1)*(1-pruneSlack) >= bound {
+			return nil, true, nil
+		}
 	}
 	route.FinalizeLoads(res, opts.CapacityMBps)
-	return st.buildEval(assign)
+	e, err = st.buildEval(assign)
+	return e, false, err
 }
 
 // rerouteSplit routes one split commodity through the scratch router
@@ -529,4 +622,21 @@ func resizeInts(s []int, n int) []int {
 		s[i] = 0
 	}
 	return s
+}
+
+// resizeFloats returns s resized to n without zeroing (callers overwrite
+// every element).
+func resizeFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+// resizeBools returns s resized to n without zeroing.
+func resizeBools(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	return s[:n]
 }

@@ -198,10 +198,14 @@ func mapContext(ctx context.Context, g *graph.CoreGraph, topo topology.Topology,
 	}
 	comms := g.Commodities()
 
-	ev := &evaluator{g: g, topo: topo, comms: comms, opts: opts}
+	if sc == nil {
+		sc = NewScratch()
+	}
+	ev := &evaluator{g: g, topo: topo, comms: comms, opts: opts, sc: sc}
 
-	assign := greedyInitial(g, topo)
-	occupant := make([]int, topo.NumTerminals()) // terminal -> core or -1
+	assign := greedyInitial(g, topo, sc)
+	sc.occupant = resizeInts(sc.occupant, topo.NumTerminals())
+	occupant := sc.occupant // terminal -> core or -1
 	for t := range occupant {
 		occupant[t] = -1
 	}
@@ -225,9 +229,6 @@ func mapContext(ctx context.Context, g *graph.CoreGraph, topo topology.Topology,
 	if reference || opts.ExactFloorplanInLoop {
 		swaps, err = sweepReference(ctx, ev, assign, occupant)
 	} else {
-		if sc == nil {
-			sc = NewScratch()
-		}
 		swaps, err = sweepIncremental(ctx, ev, assign, occupant, sc)
 	}
 	if err != nil {
@@ -322,14 +323,18 @@ func swapTerminals(assign, occupant []int, a, b int) {
 // greedyInitial implements step 1 of Fig. 5: the core with maximum total
 // communication goes to the terminal whose router has the most neighbours;
 // then, repeatedly, the unplaced core communicating most with placed cores
-// takes the free terminal minimizing bandwidth-weighted hop cost.
-func greedyInitial(g *graph.CoreGraph, topo topology.Topology) []int {
+// takes the free terminal minimizing bandwidth-weighted hop cost. The
+// returned assignment lives in sc and is valid until the next Map call on
+// the same Scratch (Result copies it before escaping).
+func greedyInitial(g *graph.CoreGraph, topo topology.Topology, sc *Scratch) []int {
 	n := g.NumCores()
-	assign := make([]int, n)
+	sc.assign = resizeInts(sc.assign, n)
+	assign := sc.assign
 	for i := range assign {
 		assign[i] = -1
 	}
-	free := make([]bool, topo.NumTerminals())
+	sc.greedyFree = resizeBools(sc.greedyFree, topo.NumTerminals())
+	free := sc.greedyFree
 	for t := range free {
 		free[t] = true
 	}
@@ -428,14 +433,36 @@ type evaluator struct {
 	comms []graph.Commodity
 	opts  Options
 	norm  rawMetrics // normalization baseline for the weighted objective
+	sc    *Scratch   // full-evaluation workspace (router, floorplanner)
+	cores []graph.Core
+}
+
+// coreList returns the core list, copied out of the graph once per Map
+// call.
+func (ev *evaluator) coreList() []graph.Core {
+	if ev.cores == nil {
+		ev.cores = ev.g.Cores()
+	}
+	return ev.cores
 }
 
 // cost evaluates a mapping: route, size switches, estimate (or exactly
 // compute, when exact != nil) floorplan lengths, and derive area/power.
+// With a Scratch attached, routing and the LP floorplanner run in reused
+// workspace and only the escaping result structures are allocated.
 func (ev *evaluator) cost(assign []int, exact *exactMode) (*evalResult, error) {
-	res, err := route.Route(ev.topo, assign, ev.comms, ev.opts.RouteOptions())
-	if err != nil {
-		return nil, err
+	var res *route.Result
+	if sc := ev.sc; sc != nil {
+		if err := sc.rt.RouteInto(&sc.evalRes, ev.topo, assign, ev.comms, ev.opts.RouteOptions()); err != nil {
+			return nil, err
+		}
+		res = sc.evalRes.Clone()
+	} else {
+		var err error
+		res, err = route.Route(ev.topo, assign, ev.comms, ev.opts.RouteOptions())
+		if err != nil {
+			return nil, err
+		}
 	}
 	t := ev.opts.Tech
 	cfgs := area.SwitchConfigs(ev.topo, assign, t)
@@ -443,17 +470,28 @@ func (ev *evaluator) cost(assign []int, exact *exactMode) (*evalResult, error) {
 	for _, c := range cfgs {
 		swArea += area.SwitchAreaMM2(c, t)
 	}
-	cores := ev.g.Cores()
+	cores := ev.coreList()
 
+	var err error
 	var linkLens []float64
 	var fp *floorplan.Result
 	useExact := exact != nil || ev.opts.ExactFloorplanInLoop
 	if useExact {
-		swAreas := make([]float64, len(cfgs))
+		var swAreas []float64
+		if ev.sc != nil {
+			ev.sc.swAreas = resizeFloats(ev.sc.swAreas, len(cfgs))
+			swAreas = ev.sc.swAreas
+		} else {
+			swAreas = make([]float64, len(cfgs))
+		}
 		for i, c := range cfgs {
 			swAreas[i] = area.SwitchAreaMM2(c, t)
 		}
-		fp, err = floorplan.Floorplan(ev.topo, assign, cores, swAreas, ev.opts.Floorplan)
+		if ev.sc != nil {
+			fp, err = ev.sc.fp.Floorplan(ev.topo, assign, cores, swAreas, ev.opts.Floorplan)
+		} else {
+			fp, err = floorplan.Floorplan(ev.topo, assign, cores, swAreas, ev.opts.Floorplan)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -501,10 +539,11 @@ func (ev *evaluator) cost(assign []int, exact *exactMode) (*evalResult, error) {
 func (ev *evaluator) niHookupMW(cores []graph.Core) float64 {
 	t := ev.opts.Tech
 	hookupMM := 0.5 * floorplan.EstimatePitchMM(cores, ev.opts.Floorplan)
+	edges := ev.g.Edges()
 	var niMW float64
 	for i := range cores {
 		io := 0.0
-		for _, e := range ev.g.Edges() {
+		for _, e := range edges {
 			if e.From == i || e.To == i {
 				io += e.BandwidthMBps
 			}

@@ -286,7 +286,7 @@ func TestGreedyInitialValidProperty(t *testing.T) {
 		if err != nil || g.NumCores() > topo.NumTerminals() {
 			return true // skip impossible combos
 		}
-		assign := greedyInitial(g, topo)
+		assign := greedyInitial(g, topo, NewScratch())
 		seen := make(map[int]bool)
 		for _, term := range assign {
 			if term < 0 || term >= topo.NumTerminals() || seen[term] {

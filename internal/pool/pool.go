@@ -45,6 +45,25 @@ func (l *Limiter) Acquire(ctx context.Context) error {
 	}
 }
 
+// TryAcquire takes a slot only if one is immediately free, returning
+// whether it did. A nil Limiter admits immediately (mirroring Acquire).
+// It is the admission primitive for opportunistic intra-candidate
+// workers: a job that already holds a slot may fan its inner work across
+// extra workers that each TryAcquire, so idle budget is used when
+// available but a fully subscribed limiter can never deadlock on nested
+// acquisition (the inner worker simply doesn't start).
+func (l *Limiter) TryAcquire() bool {
+	if l == nil {
+		return true
+	}
+	select {
+	case l.ch <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
 // Release frees a slot taken by a successful Acquire.
 func (l *Limiter) Release() {
 	if l == nil {

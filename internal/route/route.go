@@ -163,6 +163,46 @@ func (r *Result) AvgHops() float64 {
 // feasTolerance absorbs float accumulation error in the capacity check.
 const feasTolerance = 1e-6
 
+// Clone returns a deep, independently owned copy of r. All FlowPath
+// vertex and arc sequences are packed into two flat backing arrays, so
+// the copy costs six allocations regardless of path count — this is how
+// scratch-based evaluations (whose Result and Paths alias reused
+// buffers) hand a result to a caller that outlives the scratch.
+func (r *Result) Clone() *Result {
+	out := &Result{
+		LinkLoads:   append([]float64(nil), r.LinkLoads...),
+		RouterLoads: append([]float64(nil), r.RouterLoads...),
+		MaxLinkLoad: r.MaxLinkLoad,
+		HopSumMBps:  r.HopSumMBps,
+		TotalMBps:   r.TotalMBps,
+		Feasible:    r.Feasible,
+	}
+	if len(r.Paths) == 0 {
+		return out
+	}
+	nv, na := 0, 0
+	for i := range r.Paths {
+		nv += len(r.Paths[i].Routers)
+		na += len(r.Paths[i].LinkIDs)
+	}
+	verts := make([]int, 0, nv)
+	arcs := make([]int, 0, na)
+	out.Paths = make([]FlowPath, len(r.Paths))
+	for i := range r.Paths {
+		p := &r.Paths[i]
+		v0, a0 := len(verts), len(arcs)
+		verts = append(verts, p.Routers...)
+		arcs = append(arcs, p.LinkIDs...)
+		out.Paths[i] = FlowPath{
+			Commodity: p.Commodity,
+			Fraction:  p.Fraction,
+			Routers:   verts[v0:len(verts):len(verts)],
+			LinkIDs:   arcs[a0:len(arcs):len(arcs)],
+		}
+	}
+	return out
+}
+
 // Route routes every commodity over topo under the given core-to-terminal
 // assignment. assign[c] is the terminal hosting core c; every commodity's
 // endpoints must be assigned. Commodities are processed in the given order,
@@ -178,7 +218,10 @@ func Route(topo topology.Topology, assign []int, comms []graph.Commodity, opts O
 
 // commit records one flow path carrying fraction f of commodity c. When
 // collect is false the FlowPath record (and its slice copies) is skipped;
-// every aggregate update is identical either way.
+// every aggregate update is identical either way. Collected FlowPath
+// entries reuse the buffers of whatever path occupied the same Paths slot
+// before the last Reset, so a steady-state RouteInto caller collects
+// paths without allocating; Clone makes an owned snapshot.
 func commit(res *Result, c graph.Commodity, f float64, verts, arcs []int, collect bool) {
 	bw := c.ValueMBps * f
 	for _, id := range arcs {
@@ -190,12 +233,18 @@ func commit(res *Result, c graph.Commodity, f float64, verts, arcs []int, collec
 	res.HopSumMBps += bw * float64(len(verts))
 	res.TotalMBps += bw
 	if collect {
-		res.Paths = append(res.Paths, FlowPath{
-			Commodity: c,
-			Fraction:  f,
-			Routers:   append([]int(nil), verts...),
-			LinkIDs:   append([]int(nil), arcs...),
-		})
+		var p *FlowPath
+		if n := len(res.Paths); n < cap(res.Paths) {
+			res.Paths = res.Paths[:n+1]
+			p = &res.Paths[n]
+		} else {
+			res.Paths = append(res.Paths, FlowPath{})
+			p = &res.Paths[len(res.Paths)-1]
+		}
+		p.Commodity = c
+		p.Fraction = f
+		p.Routers = append(p.Routers[:0], verts...)
+		p.LinkIDs = append(p.LinkIDs[:0], arcs...)
 	}
 }
 
@@ -233,11 +282,10 @@ func (rt *Router) routeSplit(srcT, dstT int, c graph.Commodity, res *Result, chu
 	topo := rt.topo
 	src, dst := topo.InjectRouter(srcT), topo.EjectRouter(dstT)
 	var mask []bool
-	w := rt.wLoad
+	rt.dag = nil
 	if minOnly {
 		mask = rt.Quadrant(srcT, dstT)
 		rt.dag = rt.MinHopDAG(srcT, dstT)
-		w = rt.wDAG
 	}
 	rt.loads = res.LinkLoads
 	rt.bias = hopBiasFor(c.ValueMBps)
@@ -249,7 +297,7 @@ func (rt *Router) routeSplit(srcT, dstT int, c graph.Commodity, res *Result, chu
 	acc := rt.accs[:0]
 	rt.chunkAcc = rt.chunkAcc[:0]
 	for i := 0; i < chunks; i++ {
-		verts, arcs, ok := rt.shortest(src, dst, w, mask)
+		verts, arcs, ok := rt.shortestLoads(src, dst, rt.dag, mask)
 		if !ok {
 			rt.accs = acc
 			return fmt.Errorf("route: no path for commodity %d chunk %d on %s", c.ID, i, topo.Name())

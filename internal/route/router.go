@@ -18,7 +18,6 @@ package route
 
 import (
 	"fmt"
-	"math"
 
 	"sunmap/internal/graph"
 	"sunmap/internal/topology"
@@ -32,19 +31,18 @@ type Router struct {
 	// Path scratch shared by the single-path primitives.
 	verts, arcs []int
 
-	// Congestion weight closure, allocated once and re-aimed per query via
-	// the loads/bias fields (a per-call closure would escape to the heap).
-	wLoad graph.WeightFunc
+	// Congestion weight state for the load-aware searches: per-link loads
+	// plus a commodity-scaled tie-break bias, consumed inline by the
+	// solver's specialized DijkstraLoads (no per-arc closure call).
 	loads []float64
 	bias  float64
 
 	// Split-routing (SM/SA) merged-path arena.
 	accs []accum
 
-	// DAG-restricted weight closure for SM routing, pre-bound like wLoad;
-	// dag points at the active minimum-hop arc mask.
-	wDAG graph.WeightFunc
-	dag  []bool
+	// dag, when non-nil, restricts load-aware searches to the active
+	// minimum-hop arc mask (SM routing).
+	dag []bool
 
 	// down, when non-nil, is the active failed-link mask
 	// (Options.DownLinks): both weight closures treat masked arcs as
@@ -67,20 +65,7 @@ type Router struct {
 
 // NewRouter returns a Router with empty scratch; buffers grow on first use.
 func NewRouter() *Router {
-	rt := &Router{sp: graph.NewSPSolver()}
-	rt.wLoad = func(_ int, a graph.Arc) float64 {
-		if rt.down != nil && rt.down[a.ID] {
-			return math.Inf(1)
-		}
-		return rt.loads[a.ID] + rt.bias
-	}
-	rt.wDAG = func(_ int, a graph.Arc) float64 {
-		if !rt.dag[a.ID] || (rt.down != nil && rt.down[a.ID]) {
-			return math.Inf(1)
-		}
-		return rt.loads[a.ID] + rt.bias
-	}
-	return rt
+	return &Router{sp: graph.NewSPSolver()}
 }
 
 // Bind points the Router's quadrant cache at topo, clearing it when the
@@ -143,7 +128,7 @@ func (rt *Router) PathMP(srcT, dstT int, c graph.Commodity, linkLoads []float64,
 	src, dst := rt.topo.InjectRouter(srcT), rt.topo.EjectRouter(dstT)
 	rt.loads = linkLoads
 	rt.bias = hopBiasFor(c.ValueMBps)
-	verts, arcs, ok := rt.shortest(src, dst, rt.wLoad, mask)
+	verts, arcs, ok := rt.shortestLoads(src, dst, nil, mask)
 	rt.loads = nil
 	if !ok {
 		return nil, nil, fmt.Errorf("route: no path for commodity %d (terminals %d->%d) on %s",
@@ -156,14 +141,30 @@ func (rt *Router) clearLoads() { rt.loads = nil }
 
 // shortest runs the solver over the bound topology's router graph, handling
 // the degenerate case where inject and eject are the same router (a
-// one-router path, as on the star hub).
+// one-router path, as on the star hub). The search stops once dst settles.
 func (rt *Router) shortest(src, dst int, w graph.WeightFunc, mask []bool) (verts, arcs []int, ok bool) {
 	if src == dst {
 		rt.verts = append(rt.verts[:0], src)
 		rt.arcs = rt.arcs[:0]
 		return rt.verts, rt.arcs, true
 	}
-	rt.sp.Dijkstra(rt.topo.Graph(), src, w, mask)
+	rt.sp.DijkstraTo(rt.topo.Graph(), src, dst, w, mask)
+	rt.verts, rt.arcs, ok = rt.sp.PathTo(src, dst, rt.verts, rt.arcs)
+	return rt.verts, rt.arcs, ok
+}
+
+// shortestLoads is shortest specialized to the congestion weight
+// loads+bias (rt.loads/rt.bias), optionally restricted to a minimum-hop
+// dag arc mask and always honoring the active down-link mask. It drives
+// the solver's closure-free fast path; results are bit-identical to the
+// generic search under the equivalent WeightFunc.
+func (rt *Router) shortestLoads(src, dst int, dag, mask []bool) (verts, arcs []int, ok bool) {
+	if src == dst {
+		rt.verts = append(rt.verts[:0], src)
+		rt.arcs = rt.arcs[:0]
+		return rt.verts, rt.arcs, true
+	}
+	rt.sp.DijkstraLoads(rt.topo.Graph(), src, dst, rt.loads, rt.bias, dag, rt.down, mask)
 	rt.verts, rt.arcs, ok = rt.sp.PathTo(src, dst, rt.verts, rt.arcs)
 	return rt.verts, rt.arcs, ok
 }

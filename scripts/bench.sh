@@ -6,14 +6,18 @@
 # Usage:
 #   scripts/bench.sh [output.json] [benchtime]
 #
-# Defaults: output BENCH_5.json in the repo root, -benchtime 50x (fixed
+# Defaults: output BENCH_6.json in the repo root, -benchtime 50x (fixed
 # iteration counts keep runtimes bounded and comparable on CI-class
 # machines; raise it locally for tighter numbers).
 set -eu
 
 cd "$(dirname "$0")/.."
-OUT="${1:-BENCH_5.json}"
+OUT="${1:-BENCH_6.json}"
 BENCHTIME="${2:-50x}"
+
+# The snapshot records GOMAXPROCS so speedup numbers are interpretable:
+# a 1.0x "speedup" on a 1-core box is expected, not a regression.
+MAXPROCS="${GOMAXPROCS:-$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)}"
 
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
@@ -27,19 +31,33 @@ go test -run '^$' -bench 'BenchmarkRoute$' \
     -benchmem -benchtime "$BENCHTIME" ./internal/route | tee -a "$RAW"
 go test -run '^$' -bench 'BenchmarkFaultSweep$' \
     -benchmem -benchtime "$BENCHTIME" ./internal/fault | tee -a "$RAW"
+# The selection sweep runs at 1 and 4 procs when the box has the cores,
+# so the snapshot captures the scaling claim, not just one point.
+if [ "$MAXPROCS" -ge 4 ]; then
+    SELECT_CPU="-cpu 1,4"
+else
+    SELECT_CPU=""
+fi
+# shellcheck disable=SC2086  # SELECT_CPU is intentionally word-split
 go test -run '^$' -bench 'BenchmarkSelect$' \
-    -benchmem -benchtime 5x . | tee -a "$RAW"
+    -benchmem -benchtime 5x $SELECT_CPU . | tee -a "$RAW"
 
 # Fold `pkg:` headers and `BenchmarkX-N iter value unit [value unit]...`
-# rows into JSON.
-awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+# rows into JSON. The `-N` name suffix is Go's GOMAXPROCS marker (absent
+# at 1): it becomes the row's "gomaxprocs" field instead of polluting
+# the name.
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v hostprocs="$MAXPROCS" '
 BEGIN { print "{"; printf "  \"generated\": \"%s\",\n", date; print "  \"results\": [" }
 /^pkg: / { pkg = $2 }
 /^cpu: / { sub(/^cpu: /, ""); if (cpu == "") cpu = $0 }
 /^Benchmark/ {
-    name = $1; sub(/-[0-9]+$/, "", name)
+    name = $1; procs = 1
+    if (match(name, /-[0-9]+$/)) {
+        procs = substr(name, RSTART + 1)
+        name = substr(name, 1, RSTART - 1)
+    }
     if (n++) printf ",\n"
-    printf "    {\"pkg\": \"%s\", \"name\": \"%s\", \"iterations\": %s", pkg, name, $2
+    printf "    {\"pkg\": \"%s\", \"name\": \"%s\", \"gomaxprocs\": %s, \"iterations\": %s", pkg, name, procs, $2
     for (i = 3; i + 1 <= NF; i += 2) {
         unit = $(i + 1)
         gsub(/[^A-Za-z0-9%\/-]/, "_", unit)
@@ -47,7 +65,7 @@ BEGIN { print "{"; printf "  \"generated\": \"%s\",\n", date; print "  \"results
     }
     printf "}"
 }
-END { print "\n  ],"; printf "  \"cpu\": \"%s\"\n}\n", cpu }
+END { print "\n  ],"; printf "  \"cpu\": \"%s\",\n  \"gomaxprocs\": %s\n}\n", cpu, hostprocs }
 ' "$RAW" >"$OUT"
 
 echo "wrote $OUT"

@@ -2,10 +2,11 @@ package sunmap_test
 
 import (
 	"context"
-	"runtime"
 	"testing"
+	"time"
 
 	"sunmap"
+	"sunmap/internal/pool"
 )
 
 // selectConfig is the Fig. 6 / Fig. 7b library sweep for one app.
@@ -24,9 +25,12 @@ func selectConfig(app string, parallelism int) sunmap.SelectConfig {
 
 // BenchmarkSelect times the full Phase-1 library sweep sequentially and on
 // the concurrent engine — the wall-clock speedup claim of the evaluation
-// engine. Compare with:
+// engine. The parallel sub-benchmark reports the *achieved* speedup (the
+// ratio of a measured sequential run to the parallel ns/op, not the core
+// count) and the effective Limiter cap the run was admitted under as
+// "workers". Compare across core counts with:
 //
-//	go test -bench 'BenchmarkSelect/' -benchtime 3x
+//	go test -bench 'BenchmarkSelect/' -benchtime 3x -cpu 1,4
 func BenchmarkSelect(b *testing.B) {
 	for _, app := range []string{"vopd", "mpeg4"} {
 		b.Run(app+"/sequential", func(b *testing.B) {
@@ -37,12 +41,23 @@ func BenchmarkSelect(b *testing.B) {
 			}
 		})
 		b.Run(app+"/parallel", func(b *testing.B) {
-			b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "workers")
 			for i := 0; i < b.N; i++ {
 				if _, err := sunmap.Select(selectConfig(app, 0)); err != nil {
 					b.Fatal(err)
 				}
 			}
+			parNs := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+			b.StopTimer()
+			// A reference sequential run under the current GOMAXPROCS: the
+			// honest baseline for this sub-run, measured outside the timer.
+			start := time.Now()
+			if _, err := sunmap.Select(selectConfig(app, 1)); err != nil {
+				b.Fatal(err)
+			}
+			seqNs := float64(time.Since(start).Nanoseconds())
+			b.ReportMetric(seqNs/parNs, "speedup")
+			// Parallelism 0 resolves to the same cap Select provisions.
+			b.ReportMetric(float64(pool.NewLimiter(0).Cap()), "workers")
 		})
 	}
 }

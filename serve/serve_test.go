@@ -230,11 +230,15 @@ func TestServeHealthz(t *testing.T) {
 
 func TestServePerRequestTimeout(t *testing.T) {
 	srv, _ := newServer(t, serve.Options{RequestTimeout: time.Minute})
+	// The request must reliably outlast its 1ms budget no matter how fast
+	// the mapper gets, so pile a large Monte Carlo fault sweep (every
+	// feasible candidate × 1<<17 scenarios) on top of the selection.
 	req := sunmap.Request{
 		Op:        sunmap.OpSelect,
 		TimeoutMS: 1,
 		Select: &sunmap.SelectRequest{
 			App: sunmap.AppSpec{Name: "netproc"}, Mapping: sunmap.MapSpec{},
+			Fault: &sunmap.FaultSpec{K: 3, Samples: 1 << 17},
 		},
 	}
 	blob, _ := json.Marshal(req)
