@@ -11,6 +11,7 @@
 //	sunmap -app dsp -topo butterfly-3ary2fly
 //	sunmap -app vopd -j 8 -timeout 30s -progress
 //	sunmap -app mpeg4 -synth               # add synthesized candidates
+//	sunmap -app mpeg4 -search -search-budget 100000 -seed 1  # anneal a custom topology
 //	sunmap -app dsp -synth -synth-radix 6  # looser switch-radix bound
 //	sunmap serve -addr :8080 -j 8          # HTTP/JSON batch service
 //	sunmap -app vopd -cpuprofile cpu.out -memprofile mem.out  # field profiling
@@ -92,6 +93,9 @@ func run(args []string, out io.Writer) error {
 	extras := fs.Bool("extras", false, "include octagon and star in the library")
 	synthesize := fs.Bool("synth", false, "synthesize application-specific candidate topologies")
 	synthRadix := fs.Int("synth-radix", 0, "switch radix bound for synthesized topologies (0 = default 4)")
+	doSearch := fs.Bool("search", false, "discover an application-specific topology by annealing search instead of selecting")
+	searchBudget := fs.Int("search-budget", 0, "candidate-evaluation budget for -search (0 = default 20000)")
+	seed := fs.Int64("seed", 0, "random seed for -search (same seed, same topology at any -j)")
 	faults := fs.Bool("faults", false, "fault-sweep the chosen design: survivability under simultaneous link failures")
 	faultK := fs.Int("fault-k", 1, "simultaneous failures for -faults (k<=2 exhaustive, above Monte Carlo)")
 	genDir := fs.String("gen", "", "write the generated SystemC design to this directory")
@@ -177,7 +181,26 @@ func run(args []string, out io.Writer) error {
 
 	var best *sunmap.DesignReport
 	routingUsed := *routing
-	if *topoName != "" {
+	if *doSearch {
+		if *topoName != "" {
+			return fmt.Errorf("give either -search or -topo, not both")
+		}
+		rep, err := sess.Search(ctx, sunmap.SearchRequest{
+			App:     appSpec,
+			Mapping: mapSpec,
+			Search:  sunmap.SearchOptions{Budget: *searchBudget, Seed: *seed},
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "%s: search seed %d, %d evaluations across %d chains (%d accepted)\n",
+			rep.App, rep.Seed, rep.Evaluations, rep.Chains, rep.Accepted)
+		fmt.Fprintf(out, "discovered %s: %d switches, %d bidirectional links, fitness %.4f\n",
+			rep.Topology, rep.Routers, len(rep.BiLinks), rep.Fitness)
+		fmt.Fprintf(out, "links: %v\n", rep.BiLinks)
+		best = rep.Best
+		printResult(out, best)
+	} else if *topoName != "" {
 		best, err = sess.Map(ctx, sunmap.MapRequest{App: appSpec, Topology: *topoName, Mapping: mapSpec})
 		if err != nil {
 			return err

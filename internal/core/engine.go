@@ -196,6 +196,19 @@ func safeDiv(a, b float64) float64 {
 	return a / b
 }
 
+// ReliabilityScore is the composite objective of a fault-aware ranking:
+// objective cost normalized by the best feasible cost, plus w·(1 −
+// survivability). A non-positive w selects the default weight 1. Phase
+// 2's reliability re-pick and the topology search's final fold share this
+// function, so a machine-discovered network is judged by exactly the rule
+// that ranks library candidates.
+func ReliabilityScore(cost, bestCost, survivability, w float64) float64 {
+	if w <= 0 {
+		w = 1
+	}
+	return safeDiv(cost, bestCost) + w*(1-survivability)
+}
+
 // escalation orders the routing functions by increasing flexibility.
 var escalation = []route.Function{route.DimensionOrdered, route.MinPath, route.SplitMin, route.SplitAll}
 
@@ -420,10 +433,6 @@ func applyReliability(ctx context.Context, cfg Config, sel *Selection, eo engine
 	if err != nil {
 		return err
 	}
-	w := cfg.ReliabilityWeight
-	if w <= 0 {
-		w = 1
-	}
 	minCost := math.Inf(1)
 	for _, i := range idxs {
 		if c := sel.Candidates[i].Result; c.Cost < minCost {
@@ -434,7 +443,7 @@ func applyReliability(ctx context.Context, cfg Config, sel *Selection, eo engine
 	const scoreTol = 1e-12
 	for _, i := range idxs {
 		c := sel.Candidates[i]
-		score := safeDiv(c.Result.Cost, minCost) + w*(1-c.Survivability.Survivability())
+		score := ReliabilityScore(c.Result.Cost, minCost, c.Survivability.Survivability(), cfg.ReliabilityWeight)
 		switch {
 		case best == -1 || score < bestScore-scoreTol:
 			best, bestScore = i, score

@@ -45,6 +45,26 @@ func (d *Digraph) AddArc(u, v, id int) {
 // and must not be modified.
 func (d *Digraph) Out(u int) []Arc { return d.adj[u] }
 
+// Reset re-dimensions the graph to n vertices with no arcs, retaining the
+// per-vertex adjacency backing arrays. Callers that rebuild a small graph
+// every iteration — the topology-search inner loop re-deriving a router
+// graph from a mutated edge set — stay allocation-free in steady state.
+func (d *Digraph) Reset(n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("graph: negative vertex count %d", n))
+	}
+	if cap(d.adj) < n {
+		grown := make([][]Arc, n)
+		copy(grown, d.adj[:cap(d.adj)])
+		d.adj = grown
+	}
+	d.adj = d.adj[:n]
+	for i := range d.adj {
+		d.adj[i] = d.adj[i][:0]
+	}
+	d.numArcs = 0
+}
+
 // WeightFunc maps an arc (by tail vertex and arc value) to a non-negative
 // cost. Returning math.Inf(1) removes the arc from consideration.
 type WeightFunc func(from int, a Arc) float64

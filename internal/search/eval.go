@@ -1,0 +1,198 @@
+package search
+
+import (
+	"sunmap/internal/graph"
+	"sunmap/internal/mapping"
+	"sunmap/internal/route"
+)
+
+// overloadPenalty scales the fitness penalty per unit of relative link
+// overload; it must dwarf any hop-count difference so the annealer never
+// trades feasibility for delay.
+const overloadPenalty = 10.0
+
+// evaluator owns all scratch of one chain's mutate→evaluate→accept cycle.
+// Evaluation is three stages, each rejecting outright (a rejected
+// candidate is never accepted, making radix bounds, connectivity and
+// deadlock freedom hard constraints rather than penalty terms):
+//
+//  1. structural design rules: switch-count window, per-router radix and
+//     terminal caps, whole-graph connectivity;
+//  2. routability: congestion-aware minimum-path routing of every
+//     commodity (identity core→terminal assignment);
+//  3. deadlock freedom: the channel-dependency graph of the exact routes
+//     just installed must be acyclic.
+//
+// Everything is rebuilt in place per evaluation; steady state allocates
+// nothing (see TestSearchInnerLoopAllocBudget).
+type evaluator struct {
+	b      bounds
+	topo   *searchTopo
+	rt     *route.Router
+	res    route.Result
+	ropts  route.Options
+	comms  []graph.Commodity
+	assign []int
+
+	// fitness shaping
+	alphaEdge   float64 // cost per bidirectional link
+	alphaRouter float64 // cost per switch
+
+	// connectivity scratch (epoch-stamped visited marks)
+	seen  []int32
+	queue []int32
+	epoch int32
+
+	// channel-dependency-graph scratch (Kahn's algorithm)
+	succ  [][]int32
+	indeg []int32
+	cq    []int32
+}
+
+func newEvaluator(comms []graph.Commodity, terms int, b bounds, mopts mapping.Options) *evaluator {
+	ev := &evaluator{
+		b:     b,
+		topo:  newSearchTopo(b.maxR, terms),
+		rt:    route.NewRouter(),
+		comms: comms,
+		ropts: route.Options{
+			Function:        route.MinPath,
+			CapacityMBps:    mopts.CapacityMBps,
+			DisableQuadrant: true,
+		},
+		assign: make([]int, terms),
+		seen:   make([]int32, b.maxR),
+		queue:  make([]int32, 0, b.maxR),
+	}
+	for i := range ev.assign {
+		ev.assign[i] = i
+	}
+	// The inner loop cannot afford a full map (placement + floorplan +
+	// power) per candidate, so fitness is the routing core of the
+	// objective — bandwidth-weighted average hops under congestion-aware
+	// MP — plus small structural terms steering toward cheaper networks.
+	// Under the delay objective the structural terms are tie-breaks; under
+	// area/power they carry real weight, since links and switches are what
+	// those objectives charge for.
+	if mopts.Objective == mapping.MinDelay {
+		ev.alphaEdge, ev.alphaRouter = 0.002, 0.001
+	} else {
+		ev.alphaEdge, ev.alphaRouter = 0.05, 0.02
+	}
+	return ev
+}
+
+// eval scores a candidate, reporting ok=false when any hard constraint
+// fails.
+func (ev *evaluator) eval(c *cand) (fit float64, ok bool) {
+	if !ev.checkStructure(c) {
+		return 0, false
+	}
+	ev.topo.rebuild(c)
+	if err := ev.rt.RouteInto(&ev.res, ev.topo, ev.assign, ev.comms, ev.ropts); err != nil {
+		return 0, false
+	}
+	if !ev.acyclicCDG(ev.res.Paths, len(ev.topo.links)) {
+		return 0, false
+	}
+	return ev.fitness(c), true
+}
+
+func (ev *evaluator) fitness(c *cand) float64 {
+	f := ev.res.AvgHops()
+	if capMBps := ev.ropts.CapacityMBps; capMBps > 0 && ev.res.MaxLinkLoad > capMBps {
+		f += overloadPenalty * (ev.res.MaxLinkLoad/capMBps - 1)
+	}
+	return f + ev.alphaEdge*float64(len(c.edges)) + ev.alphaRouter*float64(c.nR)
+}
+
+// checkStructure verifies the pure design rules: switch-count window,
+// per-router radix and terminal-attachment caps, and router-graph
+// connectivity.
+func (ev *evaluator) checkStructure(c *cand) bool {
+	if c.nR < ev.b.minR || c.nR > ev.b.maxR {
+		return false
+	}
+	for r := 0; r < c.nR; r++ {
+		if c.deg[r] > ev.b.maxRadix || c.tcnt[r] > ev.b.maxCores {
+			return false
+		}
+	}
+	if len(c.edges) < c.nR-1 {
+		return false
+	}
+	return ev.connected(c)
+}
+
+func (ev *evaluator) connected(c *cand) bool {
+	if c.nR <= 1 {
+		return true
+	}
+	ev.epoch++
+	ev.queue = append(ev.queue[:0], 0)
+	ev.seen[0] = ev.epoch
+	visited := 1
+	for len(ev.queue) > 0 {
+		u := int(ev.queue[len(ev.queue)-1])
+		ev.queue = ev.queue[:len(ev.queue)-1]
+		row := u * c.maxR
+		for v := 0; v < c.nR; v++ {
+			if c.eidx[row+v] >= 0 && ev.seen[v] != ev.epoch {
+				ev.seen[v] = ev.epoch
+				visited++
+				ev.queue = append(ev.queue, int32(v))
+			}
+		}
+	}
+	return visited == c.nR
+}
+
+// acyclicCDG reports whether the channel-dependency graph of the routed
+// paths — a node per directed link, an arc for every consecutive link
+// pair some flow traverses — is acyclic (Kahn's algorithm over reused
+// buffers). An acyclic CDG is Dally/Seitz deadlock freedom for the exact
+// routes the network would install.
+func (ev *evaluator) acyclicCDG(paths []route.FlowPath, numLinks int) bool {
+	if cap(ev.succ) < numLinks {
+		grown := make([][]int32, numLinks)
+		copy(grown, ev.succ[:cap(ev.succ)])
+		ev.succ = grown
+	}
+	ev.succ = ev.succ[:numLinks]
+	for i := range ev.succ {
+		ev.succ[i] = ev.succ[i][:0]
+	}
+	if cap(ev.indeg) < numLinks {
+		ev.indeg = make([]int32, numLinks)
+	}
+	ev.indeg = ev.indeg[:numLinks]
+	for i := range ev.indeg {
+		ev.indeg[i] = 0
+	}
+	for _, p := range paths {
+		for i := 0; i+1 < len(p.LinkIDs); i++ {
+			a, b := p.LinkIDs[i], p.LinkIDs[i+1]
+			ev.succ[a] = append(ev.succ[a], int32(b))
+			ev.indeg[b]++
+		}
+	}
+	ev.cq = ev.cq[:0]
+	for i := 0; i < numLinks; i++ {
+		if ev.indeg[i] == 0 {
+			ev.cq = append(ev.cq, int32(i))
+		}
+	}
+	processed := 0
+	for len(ev.cq) > 0 {
+		u := ev.cq[len(ev.cq)-1]
+		ev.cq = ev.cq[:len(ev.cq)-1]
+		processed++
+		for _, v := range ev.succ[u] {
+			ev.indeg[v]--
+			if ev.indeg[v] == 0 {
+				ev.cq = append(ev.cq, v)
+			}
+		}
+	}
+	return processed == numLinks
+}

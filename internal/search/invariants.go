@@ -1,0 +1,198 @@
+package search
+
+import (
+	"fmt"
+
+	"sunmap/internal/graph"
+	"sunmap/internal/route"
+	"sunmap/internal/topology"
+)
+
+// CheckInvariants verifies the safety contract every topology this
+// package emits — and every topology the internal/synth generators emit
+// — must satisfy under app's traffic:
+//
+//  1. radix bounds: no router has more than maxRadix inter-router input
+//     or output channels;
+//  2. strong connectivity: the channel graph lets every router reach
+//     every other router (forward and reverse), so any core placement is
+//     routable — not just the one the current traffic exercises;
+//  3. deadlock freedom: the channel-dependency graph of the installed
+//     congestion-aware minimum-path routes is acyclic — or, when strict
+//     is false, the topology admits an up*/down* escape routing whose
+//     dependency graph is verified acyclic (Duato's criterion: adaptive
+//     routes may form cycles if a connected, cycle-free escape
+//     subnetwork exists).
+//
+// Search-accepted candidates must pass with strict=true — the annealer
+// rejects cyclic CDGs outright — while generator outputs (e.g. a trimmed
+// mesh whose adaptive min-path routes can cycle) are held to the escape
+// discipline.
+//
+// The returned error describes the first violated invariant, naming the
+// offending routers/links so a shrinking harness can print the minimal
+// counterexample.
+func CheckInvariants(topo topology.Topology, app *graph.CoreGraph, maxRadix int, strict bool) error {
+	for r := 0; r < topo.NumRouters(); r++ {
+		in, out := topo.RouterDegree(r)
+		if in > maxRadix || out > maxRadix {
+			return fmt.Errorf("router %d degree (in %d, out %d) exceeds radix bound %d", r, in, out, maxRadix)
+		}
+	}
+	if topo.NumTerminals() < app.NumCores() {
+		return fmt.Errorf("%d terminals cannot host %d cores", topo.NumTerminals(), app.NumCores())
+	}
+	assign := make([]int, app.NumCores())
+	for i := range assign {
+		assign[i] = i
+	}
+	if err := stronglyConnected(topo); err != nil {
+		return err
+	}
+	// Route under the exact discipline the search evaluator certifies:
+	// congestion-aware minimum-path with quadrant pruning off (quadrant
+	// masks assume positional regularity arbitrary digraphs lack, and
+	// would check different paths than the ones the annealer accepted).
+	res, err := route.Route(topo, assign, app.Commodities(), route.Options{
+		Function:        route.MinPath,
+		DisableQuadrant: true,
+	})
+	if err != nil {
+		return fmt.Errorf("routing failed despite connectivity: %w", err)
+	}
+	if acyclicPaths(res.Paths, len(topo.Links())) {
+		return nil
+	}
+	if strict {
+		return fmt.Errorf("channel-dependency graph of installed routes is cyclic")
+	}
+	if err := upDownEscapeAcyclic(topo); err != nil {
+		return fmt.Errorf("routed CDG is cyclic and no escape discipline holds: %w", err)
+	}
+	return nil
+}
+
+// stronglyConnected checks invariant 2: a BFS over the forward channel
+// graph and one over its reverse must each span every router.
+func stronglyConnected(topo topology.Topology) error {
+	n := topo.NumRouters()
+	if n <= 1 {
+		return nil
+	}
+	fwd := make([][]int, n)
+	rev := make([][]int, n)
+	for _, l := range topo.Links() {
+		fwd[l.From] = append(fwd[l.From], l.To)
+		rev[l.To] = append(rev[l.To], l.From)
+	}
+	for dir, adj := range [2][][]int{fwd, rev} {
+		seen := make([]bool, n)
+		seen[0] = true
+		queue := []int{0}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, v := range adj[u] {
+				if !seen[v] {
+					seen[v] = true
+					queue = append(queue, v)
+				}
+			}
+		}
+		for r := 0; r < n; r++ {
+			if !seen[r] {
+				what := "reach"
+				if dir == 1 {
+					what = "be reached from"
+				}
+				return fmt.Errorf("router %d cannot %s router 0: channel graph is not strongly connected", r, what)
+			}
+		}
+	}
+	return nil
+}
+
+// acyclicPaths is the test-path variant of the evaluator's CDG check.
+func acyclicPaths(paths []route.FlowPath, numLinks int) bool {
+	var ev evaluator
+	return ev.acyclicCDG(paths, numLinks)
+}
+
+// upDownEscapeAcyclic verifies the up*/down* escape discipline: build a
+// BFS spanning tree from router 0, route every ordered router pair up to
+// the pair's meeting point and down to the destination, and check the
+// dependency graph of those tree routes. On a connected bidirectional
+// network this must always pass (tree links split into up/down classes
+// with dependencies only up→up, up→down, down→down); verifying it
+// concretely is the property the harness pins.
+func upDownEscapeAcyclic(topo topology.Topology) error {
+	n := topo.NumRouters()
+	g := topo.Graph()
+	parent := make([]int, n)
+	parentLink := make([]int, n) // link child->parent
+	childLink := make([]int, n)  // link parent->child
+	depth := make([]int, n)
+	for i := range parent {
+		parent[i] = -1
+	}
+	parent[0] = 0
+	queue := []int{0}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, a := range g.Out(u) {
+			if parent[a.To] != -1 || a.To == 0 {
+				continue
+			}
+			parent[a.To] = u
+			childLink[a.To] = a.ID
+			depth[a.To] = depth[u] + 1
+			rev := -1
+			for _, b := range g.Out(a.To) {
+				if b.To == u {
+					rev = b.ID
+					break
+				}
+			}
+			if rev == -1 {
+				return fmt.Errorf("link %d->%d has no reverse channel", u, a.To)
+			}
+			parentLink[a.To] = rev
+			queue = append(queue, a.To)
+		}
+	}
+	for r := 0; r < n; r++ {
+		if parent[r] == -1 {
+			return fmt.Errorf("router %d unreachable from router 0", r)
+		}
+	}
+	var paths []route.FlowPath
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			if s == d {
+				continue
+			}
+			var ids []int
+			// climb both endpoints to their meeting point
+			su, du := s, d
+			var downIDs []int
+			for su != du {
+				if depth[su] >= depth[du] {
+					ids = append(ids, parentLink[su])
+					su = parent[su]
+				} else {
+					downIDs = append(downIDs, childLink[du])
+					du = parent[du]
+				}
+			}
+			for i := len(downIDs) - 1; i >= 0; i-- {
+				ids = append(ids, downIDs[i])
+			}
+			paths = append(paths, route.FlowPath{LinkIDs: ids})
+		}
+	}
+	if !acyclicPaths(paths, len(topo.Links())) {
+		return fmt.Errorf("up*/down* escape routes have a cyclic dependency graph")
+	}
+	return nil
+}

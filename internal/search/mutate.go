@@ -1,0 +1,154 @@
+package search
+
+import "math/rand"
+
+// bounds are the hard design rules every candidate must satisfy.
+type bounds struct {
+	maxRadix int // max undirected inter-router links per router
+	maxCores int // max terminals attached to one router
+	minR     int // minimum switch count
+	maxR     int // maximum switch count (also the matrix dimension)
+}
+
+// mutate applies one randomly drawn operator in place and reports whether
+// the candidate changed. A false return still consumes the draw — the
+// annealing loop charges every iteration one evaluation either way, which
+// is what keeps the budget accounting (and therefore the result)
+// independent of how often operators happen to no-op.
+func (c *cand) mutate(rng *rand.Rand, b bounds) bool {
+	switch pick := rng.Intn(10); {
+	case pick < 3:
+		return c.edgeAdd(rng, b)
+	case pick < 5:
+		return c.edgeRemove(rng)
+	case pick < 8:
+		return c.edgeSwap(rng, b)
+	case pick < 9:
+		return c.nodeSplit(rng, b)
+	default:
+		return c.nodeMerge(rng, b)
+	}
+}
+
+// edgeAdd inserts a random absent link whose endpoints have radix
+// headroom, sampling up to 8 pairs.
+func (c *cand) edgeAdd(rng *rand.Rand, b bounds) bool {
+	for try := 0; try < 8; try++ {
+		u, v := rng.Intn(c.nR), rng.Intn(c.nR)
+		if u == v || c.hasEdge(u, v) || c.deg[u] >= b.maxRadix || c.deg[v] >= b.maxRadix {
+			continue
+		}
+		c.addEdge(u, v)
+		return true
+	}
+	return false
+}
+
+// edgeRemove deletes a random link. The removal may disconnect the router
+// graph; the evaluator's structure check rejects such candidates.
+func (c *cand) edgeRemove(rng *rand.Rand) bool {
+	if len(c.edges) == 0 {
+		return false
+	}
+	e := c.edges[rng.Intn(len(c.edges))]
+	c.removeEdge(e[0], e[1])
+	return true
+}
+
+// edgeSwap removes a random link and re-adds one elsewhere, keeping the
+// link count — the budget-neutral rewiring move. If no replacement spot
+// is found the original link is restored.
+func (c *cand) edgeSwap(rng *rand.Rand, b bounds) bool {
+	if len(c.edges) == 0 {
+		return false
+	}
+	e := c.edges[rng.Intn(len(c.edges))]
+	c.removeEdge(e[0], e[1])
+	if !c.edgeAdd(rng, b) {
+		c.addEdge(e[0], e[1])
+		return false
+	}
+	return true
+}
+
+// nodeSplit introduces a new router, hands it every second terminal and
+// every second link of a random existing router, and connects the two —
+// the move that grows capacity where a switch is congested or over-radix.
+func (c *cand) nodeSplit(rng *rand.Rand, b bounds) bool {
+	if c.nR >= b.maxR {
+		return false
+	}
+	r := rng.Intn(c.nR)
+	s := c.nR
+	c.nR++
+	c.deg[s] = 0
+	c.tcnt[s] = 0
+	j := 0
+	for t, rt := range c.att {
+		if rt != r {
+			continue
+		}
+		if j&1 == 1 {
+			c.att[t] = s
+			c.tcnt[r]--
+			c.tcnt[s]++
+		}
+		j++
+	}
+	c.nbr = c.neighbors(r, c.nbr[:0])
+	for i, x := range c.nbr {
+		if i&1 == 1 {
+			c.removeEdge(r, x)
+			c.addEdge(s, x)
+		}
+	}
+	c.addEdge(r, s)
+	return true
+}
+
+// nodeMerge collapses a random link's endpoints into one router: the
+// higher endpoint's terminals and links move to the lower one (links that
+// would duplicate or exceed the radix are dropped) and the last router is
+// renumbered into the freed slot, keeping router indices dense.
+func (c *cand) nodeMerge(rng *rand.Rand, b bounds) bool {
+	if c.nR <= b.minR || len(c.edges) == 0 {
+		return false
+	}
+	e := c.edges[rng.Intn(len(c.edges))]
+	u, v := e[0], e[1] // u < v
+	if c.tcnt[u]+c.tcnt[v] > b.maxCores {
+		return false
+	}
+	c.removeEdge(u, v)
+	c.nbr = c.neighbors(v, c.nbr[:0])
+	for _, x := range c.nbr {
+		c.removeEdge(v, x)
+		if x != u && !c.hasEdge(u, x) && c.deg[u] < b.maxRadix && c.deg[x] < b.maxRadix {
+			c.addEdge(u, x)
+		}
+	}
+	for t, rt := range c.att {
+		if rt == v {
+			c.att[t] = u
+			c.tcnt[v]--
+			c.tcnt[u]++
+		}
+	}
+	last := c.nR - 1
+	if v != last {
+		c.nbr = c.neighbors(last, c.nbr[:0])
+		for _, x := range c.nbr {
+			c.removeEdge(last, x)
+			c.addEdge(v, x)
+		}
+		for t, rt := range c.att {
+			if rt == last {
+				c.att[t] = v
+			}
+		}
+		c.tcnt[v] = c.tcnt[last]
+		c.tcnt[last] = 0
+	}
+	c.nR--
+	return true
+}

@@ -217,11 +217,22 @@ var customReg struct {
 // because the evaluation cache keys on the full structural digest, never
 // on the name alone. Library-grammar names are rejected so a custom entry
 // can never shadow a standard configuration.
+//
+// The registry is process-wide and unbounded, which is the right contract
+// for the handful of synthesized candidates an interactive run names. It
+// is the wrong contract for machine-generated topologies: a long-running
+// serve process running topology search would leak one entry per
+// discovered candidate and let two sessions silently overwrite each
+// other's names. Search workloads register into a per-session Scope
+// instead.
 func Register(t Topology) error {
 	if err := Validate(t); err != nil {
 		return err
 	}
 	name := t.Name()
+	if name == "" {
+		return fmt.Errorf("topology: cannot register a topology with an empty name")
+	}
 	if builtin, err := byLibraryName(name); err == nil {
 		return fmt.Errorf("topology: cannot register %q: name is taken by library topology %s",
 			name, builtin.Name())

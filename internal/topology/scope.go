@@ -1,0 +1,96 @@
+package topology
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Scope is a bounded, session-local registry of custom topologies. It
+// exists for machine-generated networks — topology search emits one
+// candidate per (app, seed, structure) — where the process-wide Register
+// map has the wrong lifecycle: entries would accumulate for the life of a
+// serve process, and identically named candidates from concurrent
+// sessions would overwrite each other. A Scope is owned by one Session,
+// so lookups cannot observe another session's candidates, and eviction of
+// the oldest entries bounds memory under sustained search load.
+//
+// Scope applies the same safety rules as Register: entries are validated
+// and may not shadow a library-grammar name. All methods are safe for
+// concurrent use.
+type Scope struct {
+	mu    sync.Mutex
+	limit int
+	m     map[string]Topology
+	order []string // registration order, oldest first
+}
+
+// DefaultScopeLimit is the entry cap a zero/negative NewScope limit
+// resolves to.
+const DefaultScopeLimit = 256
+
+// NewScope returns an empty scope holding at most limit entries
+// (DefaultScopeLimit when limit <= 0). When full, registering a new name
+// evicts the oldest entry.
+func NewScope(limit int) *Scope {
+	if limit <= 0 {
+		limit = DefaultScopeLimit
+	}
+	return &Scope{limit: limit, m: make(map[string]Topology)}
+}
+
+// Register validates t and adds it to the scope. Re-registering an
+// existing name replaces the entry in place (keeping its age); a new name
+// may evict the scope's oldest entry to stay within the limit.
+func (sc *Scope) Register(t Topology) error {
+	if err := Validate(t); err != nil {
+		return err
+	}
+	name := t.Name()
+	if name == "" {
+		return fmt.Errorf("topology: cannot register a topology with an empty name")
+	}
+	if builtin, err := byLibraryName(name); err == nil {
+		return fmt.Errorf("topology: cannot register %q: name is taken by library topology %s",
+			name, builtin.Name())
+	}
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if _, exists := sc.m[name]; !exists {
+		sc.order = append(sc.order, name)
+		for len(sc.order) > sc.limit {
+			delete(sc.m, sc.order[0])
+			copy(sc.order, sc.order[1:])
+			sc.order = sc.order[:len(sc.order)-1]
+		}
+	}
+	sc.m[name] = t
+	return nil
+}
+
+// Lookup returns the scoped topology registered under name, if any.
+func (sc *Scope) Lookup(name string) (Topology, bool) {
+	sc.mu.Lock()
+	t, ok := sc.m[name]
+	sc.mu.Unlock()
+	return t, ok
+}
+
+// Names returns the registered names sorted lexicographically.
+func (sc *Scope) Names() []string {
+	sc.mu.Lock()
+	out := make([]string, 0, len(sc.m))
+	for name := range sc.m {
+		out = append(out, name)
+	}
+	sc.mu.Unlock()
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of registered entries.
+func (sc *Scope) Len() int {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return len(sc.m)
+}

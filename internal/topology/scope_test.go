@@ -1,0 +1,126 @@
+package topology
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func scopedCustom(t *testing.T, name string) Topology {
+	t.Helper()
+	topo, err := NewCustom(CustomSpec{
+		Name:        name,
+		NumRouters:  2,
+		BiLinks:     [][2]int{{0, 1}},
+		Terminals:   []int{0, 1},
+		RouterPos:   [][2]float64{{0, 0}, {2, 0}},
+		TerminalPos: [][2]float64{{0, 1}, {2, 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+func TestScopeRegisterLookup(t *testing.T) {
+	sc := NewScope(0)
+	topo := scopedCustom(t, "scoped-a")
+	if err := sc.Register(topo); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := sc.Lookup("scoped-a")
+	if !ok || got.Name() != "scoped-a" {
+		t.Fatalf("Lookup = %v, %v", got, ok)
+	}
+	if _, ok := sc.Lookup("scoped-missing"); ok {
+		t.Error("Lookup found an unregistered name")
+	}
+	// Scoped entries must stay invisible to the process-wide resolver.
+	if _, err := ByName("scoped-a"); err == nil {
+		t.Error("scoped entry resolved through the global registry")
+	}
+	if sc.Len() != 1 {
+		t.Errorf("Len = %d, want 1", sc.Len())
+	}
+}
+
+// TestScopeRejectsUnsafeNames mirrors the global Register safety rules:
+// no empty names, no shadowing the library grammar.
+func TestScopeRejectsUnsafeNames(t *testing.T) {
+	sc := NewScope(0)
+	if err := sc.Register(scopedCustom(t, "mesh-1x2")); err == nil {
+		t.Error("Register accepted a library-grammar name")
+	}
+	if sc.Len() != 0 {
+		t.Errorf("rejected registration still stored: Len = %d", sc.Len())
+	}
+}
+
+// TestScopeEviction pins the bounded-memory contract: the oldest entry
+// goes first, re-registering refreshes content without growing the scope.
+func TestScopeEviction(t *testing.T) {
+	sc := NewScope(3)
+	for i := 0; i < 4; i++ {
+		if err := sc.Register(scopedCustom(t, fmt.Sprintf("scoped-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sc.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", sc.Len())
+	}
+	if _, ok := sc.Lookup("scoped-0"); ok {
+		t.Error("oldest entry survived eviction")
+	}
+	for i := 1; i < 4; i++ {
+		if _, ok := sc.Lookup(fmt.Sprintf("scoped-%d", i)); !ok {
+			t.Errorf("scoped-%d missing after eviction", i)
+		}
+	}
+	// Replacing in place keeps the count and the entry's age.
+	if err := sc.Register(scopedCustom(t, "scoped-2")); err != nil {
+		t.Fatal(err)
+	}
+	if sc.Len() != 3 {
+		t.Errorf("re-registration grew the scope to %d", sc.Len())
+	}
+	want := []string{"scoped-1", "scoped-2", "scoped-3"}
+	names := sc.Names()
+	if len(names) != len(want) {
+		t.Fatalf("Names = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("Names = %v, want %v", names, want)
+		}
+	}
+}
+
+// TestScopeConcurrent hammers one scope from many goroutines — the race
+// detector is the assertion.
+func TestScopeConcurrent(t *testing.T) {
+	sc := NewScope(8)
+	topos := make([]Topology, 16)
+	for i := range topos {
+		topos[i] = scopedCustom(t, fmt.Sprintf("scoped-c%d", i))
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				topo := topos[(g*13+i)%len(topos)]
+				if err := sc.Register(topo); err != nil {
+					t.Error(err)
+					return
+				}
+				sc.Lookup(topo.Name())
+				sc.Names()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if sc.Len() > 8 {
+		t.Errorf("Len = %d exceeds limit 8", sc.Len())
+	}
+}

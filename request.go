@@ -34,6 +34,7 @@ const (
 	OpSimulate     = "simulate"
 	OpGenerate     = "generate"
 	OpFaultSweep   = "fault-sweep"
+	OpSearch       = "search"
 )
 
 // CoreSpec is one IP block of an inline application graph.
@@ -348,6 +349,40 @@ type SimRequest struct {
 	Mapping       *MapSpec  `json:"mapping,omitempty"`
 }
 
+// SearchOptions tunes the simulated-annealing topology search of an
+// OpSearch Request. Zero values select the defaults.
+type SearchOptions struct {
+	// Budget is the total candidate-evaluation count across all annealing
+	// chains (default 20000). The budget fixes the iteration count
+	// exactly, so a (seed, budget) pair always explores the same
+	// candidate sequence.
+	Budget int `json:"budget,omitempty"`
+	// Restarts is the number of independent annealing chains (default 4).
+	Restarts int `json:"restarts,omitempty"`
+	// Seed drives all search randomness.
+	Seed int64 `json:"seed,omitempty"`
+	// MaxRadix caps inter-router links per switch (default 4, min 2).
+	MaxRadix int `json:"max_radix,omitempty"`
+	// MaxCoresPerSwitch caps terminals per switch (default 4, min 1).
+	MaxCoresPerSwitch int `json:"max_cores_per_switch,omitempty"`
+	// MaxSwitches caps the router count (default: the core count).
+	MaxSwitches int `json:"max_switches,omitempty"`
+}
+
+// SearchRequest asks the annealing engine to discover an
+// application-specific topology under the mapping options' capacity and
+// objective. The winner is registered in the session's topology scope, so
+// follow-up map/simulate/fault-sweep requests on the same session can
+// address it by the reported name. With Fault set, chain winners are
+// additionally scored for survivability and ranked by the composite
+// reliability score.
+type SearchRequest struct {
+	App     AppSpec       `json:"app"`
+	Mapping MapSpec       `json:"mapping"`
+	Search  SearchOptions `json:"search"`
+	Fault   *FaultSpec    `json:"fault,omitempty"`
+}
+
 // GenerateRequest asks for the SystemC description of a mapped design
 // (Phase 3). With Topology empty, a full selection picks the network
 // first (honoring Escalate); otherwise the app is mapped onto the named
@@ -378,6 +413,7 @@ type Request struct {
 	Simulate     *SimRequest        `json:"simulate,omitempty"`
 	Generate     *GenerateRequest   `json:"generate,omitempty"`
 	FaultSweep   *FaultSweepRequest `json:"fault_sweep,omitempty"`
+	Search       *SearchRequest     `json:"search,omitempty"`
 }
 
 // Validate checks the op tag and payload shape; violations wrap
@@ -387,7 +423,7 @@ func (r *Request) Validate() error {
 	for _, p := range []bool{
 		r.Select != nil, r.Map != nil, r.RoutingSweep != nil,
 		r.Pareto != nil, r.Simulate != nil, r.Generate != nil,
-		r.FaultSweep != nil,
+		r.FaultSweep != nil, r.Search != nil,
 	} {
 		if p {
 			set++
@@ -412,6 +448,8 @@ func (r *Request) Validate() error {
 		want = r.Generate != nil
 	case OpFaultSweep:
 		want = r.FaultSweep != nil
+	case OpSearch:
+		want = r.Search != nil
 	default:
 		return fmt.Errorf("%w: unknown op %q", ErrBadRequest, r.Op)
 	}
@@ -480,6 +518,7 @@ type Report struct {
 	Simulate     *SimReport      `json:"simulate,omitempty"`
 	Generate     *GenerateReport `json:"generate,omitempty"`
 	FaultSweep   *FaultReport    `json:"fault_sweep,omitempty"`
+	Search       *SearchReport   `json:"search,omitempty"`
 }
 
 // ParseReport strictly decodes one Report from JSON (unknown fields and
@@ -714,6 +753,39 @@ type FaultReport struct {
 	// Sim carries the optional cycle-accurate fault injection (SimRate
 	// > 0 and at least one connected scenario).
 	Sim *FaultSimReport `json:"sim,omitempty"`
+}
+
+// SearchReport is the outcome of an OpSearch Request: the machine-
+// discovered topology, the search statistics backing its determinism
+// contract, and the full mapped evaluation of the winner. The discovered
+// topology is registered in the session's scope under Topology, so
+// follow-up requests (map, fault_sweep, generate …) in the same session
+// can name it like any library network.
+type SearchReport struct {
+	App string `json:"app"`
+	// Topology is the session-scoped name of the discovered network,
+	// stable for a fixed (app, seed) pair at any parallelism.
+	Topology string `json:"topology"`
+	Seed     int64  `json:"seed"`
+	Budget   int    `json:"budget"`
+	// Evaluations counts candidate evaluations actually charged against
+	// the budget across all chains; Accepted the annealer's accepted
+	// moves; Chains the number of independent restarts folded.
+	Evaluations int `json:"evaluations"`
+	Accepted    int `json:"accepted"`
+	Chains      int `json:"chains"`
+	// Structure of the winner: switch count, directed channel count, and
+	// the normalized bidirectional link list (each pair u<v).
+	Routers int      `json:"routers"`
+	Links   int      `json:"links"`
+	BiLinks [][2]int `json:"bilinks"`
+	// Fitness is the annealer's internal score of the winner (routing
+	// cost plus structural terms); Best is its full mapped evaluation.
+	Fitness float64       `json:"fitness"`
+	Best    *DesignReport `json:"best"`
+	// Survivability is the winner's score under the request's fault
+	// model; nil when the search ran without one.
+	Survivability *float64 `json:"survivability,omitempty"`
 }
 
 // GeneratedFile is one emitted SystemC source file.

@@ -23,6 +23,11 @@ func FuzzParseRequest(f *testing.F) {
 		`{"op":"fault-sweep","fault_sweep":{"app":{"name":"mpeg4"},"topology":"mesh-3x4","mapping":{"routing":"SM"},"fault":{"k":3,"elements":"both","samples":128,"seed":7,"force_sampling":true},"sim_rate":0.2,"sim_cycle":2500}}`,
 		`{"op":"select","select":{"app":{"name":"vopd"},"mapping":{},"fault":{"k":2,"elements":"switches","reliability_weight":0.5}}}`,
 		`{"op":"pareto","pareto":{"app":{"name":"vopd"},"topology":"mesh-3x4","mapping":{},"steps":3,"fault":{"k":1}}}`,
+		`{"op":"search","search":{"app":{"name":"mpeg4"},"mapping":{"routing":"MP","capacity_mbps":1000},"search":{"budget":1000,"restarts":2,"seed":7,"max_radix":4,"max_cores_per_switch":4,"max_switches":6}}}`,
+		`{"op":"search","search":{"app":{"name":"vopd"},"mapping":{},"search":{},"fault":{"k":1,"reliability_weight":0.5}}}`,
+		`{"op":"search","search":{"app":{"name":"vopd"},"mapping":{},"search":{"budget":-5,"max_radix":1}}}`,
+		`{"op":"search"}`,
+		`{"op":"search","search":{},"map":{}}`,
 		`{"op":"fault-sweep","fault_sweep":{"fault":{"k":-1,"elements":"gremlins"}}}`,
 		`{"op":"fault-sweep"}`,
 		`{"op":"select","select":{"app":{"cores":[{"name":"a","area_mm2":2}],"flows":[{"from":"a","to":"a","mbps":1}]}}}`,

@@ -6,13 +6,13 @@
 # Usage:
 #   scripts/bench.sh [output.json] [benchtime]
 #
-# Defaults: output BENCH_6.json in the repo root, -benchtime 50x (fixed
+# Defaults: output BENCH_7.json in the repo root, -benchtime 50x (fixed
 # iteration counts keep runtimes bounded and comparable on CI-class
 # machines; raise it locally for tighter numbers).
 set -eu
 
 cd "$(dirname "$0")/.."
-OUT="${1:-BENCH_6.json}"
+OUT="${1:-BENCH_7.json}"
 BENCHTIME="${2:-50x}"
 
 # The snapshot records GOMAXPROCS so speedup numbers are interpretable:
@@ -23,14 +23,19 @@ RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
 # The tracked set: the mapping/routing hot-path benches, the fault
-# subsystem's survivability sweep, plus the whole-pipeline selection
-# sweep the acceptance criteria quote.
+# subsystem's survivability sweep, the annealing topology search
+# (whole-run evals/sec and single candidate-evaluation latency), plus
+# the whole-pipeline selection sweep the acceptance criteria quote.
 go test -run '^$' -bench 'BenchmarkMap$|BenchmarkRouteViaMapper$' \
     -benchmem -benchtime "$BENCHTIME" ./internal/mapping | tee -a "$RAW"
 go test -run '^$' -bench 'BenchmarkRoute$' \
     -benchmem -benchtime "$BENCHTIME" ./internal/route | tee -a "$RAW"
 go test -run '^$' -bench 'BenchmarkFaultSweep$' \
     -benchmem -benchtime "$BENCHTIME" ./internal/fault | tee -a "$RAW"
+go test -run '^$' -bench 'BenchmarkSearch$' \
+    -benchmem -benchtime 5x ./internal/search | tee -a "$RAW"
+go test -run '^$' -bench 'BenchmarkSearchEval$' \
+    -benchmem -benchtime "$BENCHTIME" ./internal/search | tee -a "$RAW"
 # The selection sweep runs at 1 and 4 procs when the box has the cores,
 # so the snapshot captures the scaling claim, not just one point.
 if [ "$MAXPROCS" -ge 4 ]; then

@@ -1,0 +1,119 @@
+package sunmap_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"runtime"
+	"testing"
+
+	"sunmap"
+)
+
+func searchReq(budget int) sunmap.SearchRequest {
+	return sunmap.SearchRequest{
+		App:     sunmap.AppSpec{Name: "mpeg4"},
+		Mapping: sunmap.MapSpec{Routing: "MP", Objective: "delay", CapacityMBps: 1000},
+		Search:  sunmap.SearchOptions{Budget: budget, Seed: 1},
+	}
+}
+
+// TestSearchIdenticalAcrossParallelism is the determinism acceptance
+// criterion at the wire level: the marshaled SearchReport must be
+// byte-identical at parallelism 1, 4 and GOMAXPROCS — same topology name,
+// same structure, same costs, same statistics.
+func TestSearchIdenticalAcrossParallelism(t *testing.T) {
+	var ref []byte
+	for _, p := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		sess, err := sunmap.NewSession(sunmap.WithParallelism(p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := sess.Search(context.Background(), searchReq(6000))
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", p, err)
+		}
+		blob, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = blob
+			continue
+		}
+		if !bytes.Equal(ref, blob) {
+			t.Errorf("parallelism %d report differs:\nwant %s\ngot  %s", p, ref, blob)
+		}
+	}
+}
+
+// TestSearchScopeIsolation is the regression test for the registry fix:
+// discovered topologies live in the owning session's scope — resolvable
+// by that session's follow-up requests, invisible to other sessions and
+// to the process-wide registry a serve process would otherwise leak
+// names into.
+func TestSearchScopeIsolation(t *testing.T) {
+	sess, err := sunmap.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sess.Search(context.Background(), searchReq(2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Topology == "" || rep.Best == nil || rep.Best.Topology != rep.Topology {
+		t.Fatalf("inconsistent report: %+v", rep)
+	}
+
+	// The owning session resolves the name for follow-up operations.
+	des, err := sess.Map(context.Background(), sunmap.MapRequest{
+		App:      sunmap.AppSpec{Name: "mpeg4"},
+		Topology: rep.Topology,
+		Mapping:  sunmap.MapSpec{Routing: "MP", CapacityMBps: 1000},
+	})
+	if err != nil {
+		t.Fatalf("owning session cannot map onto %s: %v", rep.Topology, err)
+	}
+	if des.Topology != rep.Topology {
+		t.Errorf("mapped %q, want %q", des.Topology, rep.Topology)
+	}
+
+	// The process-wide registry must not have been touched.
+	if _, err := sunmap.TopologyByName(rep.Topology); !errors.Is(err, sunmap.ErrUnknownTopology) {
+		t.Errorf("discovered topology leaked into the process-wide registry: %v", err)
+	}
+
+	// A different session must not see it either.
+	other, err := sunmap.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = other.Map(context.Background(), sunmap.MapRequest{
+		App:      sunmap.AppSpec{Name: "mpeg4"},
+		Topology: rep.Topology,
+		Mapping:  sunmap.MapSpec{},
+	})
+	if !errors.Is(err, sunmap.ErrUnknownTopology) {
+		t.Errorf("foreign session resolved a scoped topology: %v", err)
+	}
+}
+
+// TestSearchErrorClassification pins the wire-level error kinds: bad
+// options are bad requests, and Do must carry the kind.
+func TestSearchErrorClassification(t *testing.T) {
+	sess, err := sunmap.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := searchReq(100)
+	req.Search.MaxRadix = 1
+	if _, err := sess.Search(context.Background(), req); !errors.Is(err, sunmap.ErrBadRequest) {
+		t.Errorf("MaxRadix 1: got %v, want ErrBadRequest", err)
+	}
+
+	rep := sess.Do(context.Background(), sunmap.Request{Op: sunmap.OpSearch, Search: &req})
+	if rep.ErrorKind != sunmap.ErrorKindBadRequest {
+		t.Errorf("Do error kind %q, want %q (%s)", rep.ErrorKind, sunmap.ErrorKindBadRequest, rep.Error)
+	}
+}

@@ -312,3 +312,72 @@ func TestListenAndServeGracefulShutdown(t *testing.T) {
 		t.Error("ListenAndServe did not return after cancel")
 	}
 }
+
+// TestServeSearchRoundTrip drives the search op over the wire: the
+// discovered topology must come back with its structure and full
+// evaluation, and — because the winner registers in the serving session's
+// scope — a follow-up map request on the same server must resolve the
+// discovered name.
+func TestServeSearchRoundTrip(t *testing.T) {
+	srv, _ := newServer(t, serve.Options{})
+
+	req := sunmap.Request{
+		ID: "discover",
+		Op: sunmap.OpSearch,
+		Search: &sunmap.SearchRequest{
+			App:     sunmap.AppSpec{Name: "mpeg4"},
+			Mapping: sunmap.MapSpec{Routing: "MP", Objective: "delay", CapacityMBps: 1000},
+			Search:  sunmap.SearchOptions{Budget: 2000, Seed: 1},
+		},
+	}
+	blob, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, body := post(t, srv.URL+"/v1/do", blob)
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, body)
+	}
+	rep, err := sunmap.ParseReport(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ID != "discover" || rep.Err() != nil {
+		t.Fatalf("report: %+v", rep)
+	}
+	sr := rep.Search
+	if sr == nil || sr.Topology == "" || sr.Best == nil || len(sr.BiLinks) == 0 {
+		t.Fatalf("incomplete search report: %+v", sr)
+	}
+	if !sr.Best.Feasible {
+		t.Fatalf("served search winner infeasible: %+v", sr.Best)
+	}
+
+	follow := sunmap.Request{
+		ID: "follow",
+		Op: sunmap.OpMap,
+		Map: &sunmap.MapRequest{
+			App:      sunmap.AppSpec{Name: "mpeg4"},
+			Topology: sr.Topology,
+			Mapping:  sunmap.MapSpec{Routing: "MP", CapacityMBps: 1000},
+		},
+	}
+	blob, err = json.Marshal(follow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, body = post(t, srv.URL+"/v1/do", blob)
+	if status != http.StatusOK {
+		t.Fatalf("follow-up status %d: %s", status, body)
+	}
+	frep, err := sunmap.ParseReport(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frep.Err() != nil {
+		t.Fatalf("follow-up map on %s failed: %v", sr.Topology, frep.Err())
+	}
+	if frep.Map.Topology != sr.Topology {
+		t.Errorf("follow-up mapped %q, want %q", frep.Map.Topology, sr.Topology)
+	}
+}

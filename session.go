@@ -16,6 +16,7 @@ import (
 	"sunmap/internal/mapping"
 	"sunmap/internal/pool"
 	"sunmap/internal/route"
+	"sunmap/internal/search"
 	"sunmap/internal/sim"
 	"sunmap/internal/tech"
 	"sunmap/internal/topology"
@@ -43,6 +44,10 @@ type Session struct {
 	fault       *FaultSpec
 	tech        tech.Tech
 	limit       *pool.Limiter
+	// scope holds machine-discovered topologies registered by Search —
+	// session-local so serve processes never leak or collide names across
+	// tenants the way the process-wide registry would.
+	scope *topology.Scope
 }
 
 // SessionOption configures a Session at construction time.
@@ -150,6 +155,7 @@ func NewSession(opts ...SessionOption) (*Session, error) {
 	}
 	s := c.Session
 	s.limit = pool.NewLimiter(s.parallelism)
+	s.scope = topology.NewScope(topology.DefaultScopeLimit)
 	if p := s.progress; p != nil {
 		// Serialize callbacks across the session's concurrent engine runs
 		// (the engine only serializes within one run).
@@ -188,6 +194,20 @@ func (s *Session) workers(n int) int {
 		w = 1
 	}
 	return w
+}
+
+// topologyByName resolves a topology name for this session: machine-
+// discovered topologies registered in the session scope take precedence,
+// then the process-wide library/custom registry. Scope names can never
+// shadow library names (Scope.Register rejects the library grammar), so
+// the precedence is safe.
+func (s *Session) topologyByName(name string) (Topology, error) {
+	if s.scope != nil {
+		if t, ok := s.scope.Lookup(name); ok {
+			return t, nil
+		}
+	}
+	return TopologyByName(name)
 }
 
 // Select runs SUNMAP Phases 1 and 2 for one request: map the application
@@ -237,7 +257,7 @@ func (s *Session) Map(ctx context.Context, req MapRequest) (*DesignReport, error
 	if err != nil {
 		return nil, err
 	}
-	topo, err := TopologyByName(req.Topology)
+	topo, err := s.topologyByName(req.Topology)
 	if err != nil {
 		return nil, err
 	}
@@ -282,7 +302,7 @@ func (s *Session) RoutingSweep(ctx context.Context, req SweepRequest) (*SweepRep
 	if err != nil {
 		return nil, err
 	}
-	topo, err := TopologyByName(req.Topology)
+	topo, err := s.topologyByName(req.Topology)
 	if err != nil {
 		return nil, err
 	}
@@ -318,7 +338,7 @@ func (s *Session) ParetoExplore(ctx context.Context, req ParetoRequest) (*Pareto
 	if err != nil {
 		return nil, err
 	}
-	topo, err := TopologyByName(req.Topology)
+	topo, err := s.topologyByName(req.Topology)
 	if err != nil {
 		return nil, err
 	}
@@ -403,7 +423,7 @@ func applyFaultSpec(cfg *core.Config, spec *FaultSpec) error {
 // within the session's parallelism; results are deterministic for a given
 // seed at every setting.
 func (s *Session) Simulate(ctx context.Context, req SimRequest) (*SimReport, error) {
-	topo, err := TopologyByName(req.Topology)
+	topo, err := s.topologyByName(req.Topology)
 	if err != nil {
 		return nil, err
 	}
@@ -548,7 +568,7 @@ func (s *Session) Generate(ctx context.Context, req GenerateRequest) (*GenerateR
 		}
 		res = sel.Best
 	} else {
-		topo, err := TopologyByName(req.Topology)
+		topo, err := s.topologyByName(req.Topology)
 		if err != nil {
 			return nil, err
 		}
@@ -584,7 +604,7 @@ func (s *Session) FaultSweep(ctx context.Context, req FaultSweepRequest) (*Fault
 	if err != nil {
 		return nil, err
 	}
-	topo, err := TopologyByName(req.Topology)
+	topo, err := s.topologyByName(req.Topology)
 	if err != nil {
 		return nil, err
 	}
@@ -721,6 +741,79 @@ func (s *Session) faultSim(ctx context.Context, app *graph.CoreGraph, res *mappi
 	}, nil
 }
 
+// Search discovers an application-specific topology by simulated
+// annealing over arbitrary digraph edge sets (see internal/search),
+// registers the winner in the session's topology scope, and reports its
+// full mapped evaluation. Follow-up requests on the same session can
+// address the discovered network by the reported name exactly like a
+// library topology. The result is deterministic for a fixed seed at
+// every parallelism setting.
+func (s *Session) Search(ctx context.Context, req SearchRequest) (*SearchReport, error) {
+	app, err := req.App.resolve()
+	if err != nil {
+		return nil, err
+	}
+	mopts, err := req.Mapping.options(s.tech)
+	if err != nil {
+		return nil, err
+	}
+	opts := search.Options{
+		Budget:            req.Search.Budget,
+		Restarts:          req.Search.Restarts,
+		Seed:              req.Search.Seed,
+		MaxRadix:          req.Search.MaxRadix,
+		MaxCoresPerSwitch: req.Search.MaxCoresPerSwitch,
+		MaxSwitches:       req.Search.MaxSwitches,
+		Mapping:           mopts,
+		Parallelism:       s.parallelism,
+		Limit:             s.limit,
+	}
+	if spec := s.faultSpec(req.Fault); spec != nil {
+		m, err := spec.model()
+		if err != nil {
+			return nil, err
+		}
+		opts.Fault = &m
+		opts.ReliabilityWeight = spec.ReliabilityWeight
+	}
+	res, err := search.Run(ctx, app, opts)
+	if err != nil {
+		switch {
+		case errors.Is(err, search.ErrBadOptions):
+			return nil, fmt.Errorf("sunmap: %w: %v", ErrBadRequest, err)
+		case errors.Is(err, search.ErrNoFeasible):
+			return nil, fmt.Errorf("sunmap: search %s: %w within budget (try a larger budget or capacity)",
+				app.Name(), ErrInfeasible)
+		default:
+			return nil, err
+		}
+	}
+	best := res.Best
+	topo := best.Evaluated.Topology
+	if err := s.scope.Register(topo); err != nil {
+		return nil, fmt.Errorf("sunmap: search %s: registering %s: %w", app.Name(), topo.Name(), err)
+	}
+	rep := &SearchReport{
+		App:         app.Name(),
+		Topology:    topo.Name(),
+		Seed:        res.Seed,
+		Budget:      res.Budget,
+		Evaluations: res.Evaluations,
+		Accepted:    res.Accepted,
+		Chains:      res.Chains,
+		Routers:     best.Routers,
+		Links:       2 * len(best.BiLinks),
+		BiLinks:     best.BiLinks,
+		Fitness:     best.Fitness,
+		Best:        buildDesignReport(app, best.Evaluated),
+	}
+	if best.HasSurvivability {
+		sv := best.Survivability
+		rep.Survivability = &sv
+	}
+	return rep, nil
+}
+
 // Do executes one Request and always returns a Report: operation failures
 // land in Report.Error/ErrorKind instead of propagating, panics are
 // recovered into internal-error reports, and Request.TimeoutMS bounds the
@@ -760,6 +853,8 @@ func (s *Session) Do(ctx context.Context, req Request) (rep Report) {
 		rep.Generate, err = s.Generate(ctx, *req.Generate)
 	case OpFaultSweep:
 		rep.FaultSweep, err = s.FaultSweep(ctx, *req.FaultSweep)
+	case OpSearch:
+		rep.Search, err = s.Search(ctx, *req.Search)
 	}
 	if err != nil {
 		rep.Error = err.Error()
