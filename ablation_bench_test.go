@@ -11,6 +11,7 @@ package sunmap_test
 // speed and quality can be read off one run.
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -83,7 +84,7 @@ func benchSwap(b *testing.B, passes int) {
 	b.ResetTimer()
 	var hops float64
 	for i := 0; i < b.N; i++ {
-		res, err := mapping.Map(app, topo, mapping.Options{
+		res, err := mapping.MapContext(context.Background(), app, topo, mapping.Options{
 			Routing:      route.MinPath,
 			Objective:    mapping.MinDelay,
 			CapacityMBps: apps.DefaultCapacityMBps,
@@ -110,7 +111,7 @@ func benchChunks(b *testing.B, chunks int) {
 	b.ResetTimer()
 	var maxLoad float64
 	for i := 0; i < b.N; i++ {
-		res, err := mapping.Map(app, topo, mapping.Options{
+		res, err := mapping.MapContext(context.Background(), app, topo, mapping.Options{
 			Routing:      route.SplitMin,
 			Objective:    mapping.MinDelay,
 			CapacityMBps: apps.DefaultCapacityMBps,
@@ -139,7 +140,7 @@ func benchFloorplan(b *testing.B, exact bool) {
 	b.ResetTimer()
 	var area float64
 	for i := 0; i < b.N; i++ {
-		res, err := mapping.Map(app, topo, mapping.Options{
+		res, err := mapping.MapContext(context.Background(), app, topo, mapping.Options{
 			Routing:              route.MinPath,
 			Objective:            mapping.MinPower,
 			CapacityMBps:         apps.DSPCapacityMBps,
@@ -170,7 +171,7 @@ func BenchmarkAblationLibraryBreadth(b *testing.B) {
 					b.Fatal(err)
 				}
 				for _, t := range lib {
-					if _, err := mapping.Map(app, t, mapping.Options{
+					if _, err := mapping.MapContext(context.Background(), app, t, mapping.Options{
 						Routing:      route.MinPath,
 						CapacityMBps: apps.DSPCapacityMBps,
 					}); err != nil {
@@ -194,7 +195,7 @@ func BenchmarkMappingScaling(b *testing.B) {
 		topo := benchTopo(topology.NewMesh(rows, (n+rows-1)/rows))
 		b.Run(fmt.Sprintf("n%d-%s", n, topo.Name()), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := mapping.Map(app, topo, mapping.Options{
+				if _, err := mapping.MapContext(context.Background(), app, topo, mapping.Options{
 					Routing:      route.MinPath,
 					CapacityMBps: 0,
 				}); err != nil {

@@ -1,9 +1,10 @@
 package sunmap_test
 
-// API-migration enforcement: the examples are the public face of the
-// Session API, so they must not lean on the deprecated pre-Session
-// wrappers. This backs the acceptance criterion "every example compiles
-// against the Session API with zero calls to deprecated wrappers".
+// API-migration enforcement: the pre-Session wrappers have been removed
+// from the shipped package (they live on only as test-binary helpers in
+// compat_test.go), and the examples are the public face of the Session
+// API. Two guards back that: the shipped root sources must not declare
+// the removed identifiers, and no example may reference them.
 
 import (
 	"go/ast"
@@ -11,11 +12,11 @@ import (
 	"go/token"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
-// deprecatedFuncs lists the root-package identifiers kept only as
-// deprecated wrappers.
+// deprecatedFuncs lists the removed pre-Session identifiers.
 var deprecatedFuncs = map[string]bool{
 	"App":                  true,
 	"Select":               true,
@@ -29,6 +30,36 @@ var deprecatedFuncs = map[string]bool{
 	"Simulate":             true,
 	"SimulateContext":      true,
 	"Generate":             true,
+}
+
+// TestDeprecatedWrappersRemoved asserts the shipped root package no
+// longer declares any pre-Session wrapper: the identifiers may exist
+// only in _test.go files.
+func TestDeprecatedWrappersRemoved(t *testing.T) {
+	files, err := filepath.Glob("*.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	for _, file := range files {
+		if strings.HasSuffix(file, "_test.go") {
+			continue
+		}
+		af, err := parser.ParseFile(fset, file, nil, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", file, err)
+		}
+		for _, d := range af.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok || fn.Recv != nil {
+				continue
+			}
+			if deprecatedFuncs[fn.Name.Name] {
+				t.Errorf("%s: shipped package declares removed wrapper %s — Session methods are the only entry points",
+					file, fn.Name.Name)
+			}
+		}
+	}
 }
 
 func TestExamplesAvoidDeprecatedAPI(t *testing.T) {

@@ -9,11 +9,16 @@
 package sunmap_test
 
 import (
+	"context"
 	"sync"
 	"testing"
 
 	"sunmap/internal/exp"
 )
+
+// bgctx saves threading context.Background() through every benchmark
+// body; benchmarks run to completion, so cancellation is moot.
+var bgctx = context.Background()
 
 // logOnce prints each experiment's table a single time per bench run.
 var logOnce sync.Map
@@ -28,7 +33,7 @@ func logTable(b *testing.B, key, table string) {
 // comparison of Fig. 3(d).
 func BenchmarkFig3dVOPDMeshTorus(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := exp.Fig3d()
+		r, err := exp.Runner{}.Fig3d(bgctx)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -40,7 +45,7 @@ func BenchmarkFig3dVOPDMeshTorus(b *testing.B) {
 // characteristics of Fig. 6(a-d): hops, resources, area and power.
 func BenchmarkFig6VOPDTopologies(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := exp.Fig6()
+		r, err := exp.Runner{}.Fig6(bgctx)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -53,7 +58,7 @@ func BenchmarkFig6VOPDTopologies(b *testing.B) {
 // infeasibility.
 func BenchmarkFig7bMPEG4(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := exp.Fig7b()
+		r, err := exp.Runner{}.Fig7b(bgctx)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -66,7 +71,7 @@ func BenchmarkFig7bMPEG4(b *testing.B) {
 // iteration; run sunexp for the full sweep).
 func BenchmarkFig8bNetProcLatency(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := exp.Fig8b([]float64{0.1, 0.3, 0.5})
+		r, err := exp.Runner{}.Fig8b(bgctx, []float64{0.1, 0.3, 0.5})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -78,7 +83,7 @@ func BenchmarkFig8bNetProcLatency(b *testing.B) {
 // of Fig. 8(c, d).
 func BenchmarkFig8cdNetProcAreaPower(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := exp.Fig8cd()
+		r, err := exp.Runner{}.Fig8cd(bgctx)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -90,7 +95,7 @@ func BenchmarkFig8cdNetProcAreaPower(b *testing.B) {
 // Fig. 9(a) for MPEG4 on a mesh under DO/MP/SM/SA.
 func BenchmarkFig9aRoutingFunctions(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := exp.Fig9a()
+		r, err := exp.Runner{}.Fig9a(bgctx)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -102,7 +107,7 @@ func BenchmarkFig9aRoutingFunctions(b *testing.B) {
 // exploration of Fig. 9(b).
 func BenchmarkFig9bParetoExploration(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := exp.Fig9b()
+		r, err := exp.Runner{}.Fig9b(bgctx)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -114,7 +119,7 @@ func BenchmarkFig9bParetoExploration(b *testing.B) {
 // Fig. 10: selection, floorplan and trace-driven simulated latency.
 func BenchmarkFig10DSPFlow(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := exp.Fig10()
+		r, err := exp.Runner{}.Fig10(bgctx)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -126,7 +131,7 @@ func BenchmarkFig10DSPFlow(b *testing.B) {
 // simulation Fig. 11 snapshots.
 func BenchmarkFig11SystemCGeneration(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := exp.Fig11()
+		r, err := exp.Runner{}.Fig11(bgctx)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -140,10 +145,10 @@ func BenchmarkFig11SystemCGeneration(b *testing.B) {
 func BenchmarkFullFlowAllApps(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		for _, f := range []func() error{
-			func() error { _, err := exp.Fig6(); return err },   // VOPD
-			func() error { _, err := exp.Fig7b(); return err },  // MPEG4
-			func() error { _, err := exp.Fig8cd(); return err }, // NetProc
-			func() error { _, err := exp.Fig10(); return err },  // DSP
+			func() error { _, err := exp.Runner{}.Fig6(bgctx); return err },   // VOPD
+			func() error { _, err := exp.Runner{}.Fig7b(bgctx); return err },  // MPEG4
+			func() error { _, err := exp.Runner{}.Fig8cd(bgctx); return err }, // NetProc
+			func() error { _, err := exp.Runner{}.Fig10(bgctx); return err },  // DSP
 		} {
 			if err := f(); err != nil {
 				b.Fatal(err)

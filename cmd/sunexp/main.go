@@ -94,7 +94,7 @@ func run(args []string, out io.Writer) error {
 		start := time.Now()
 		res, err := e.run(ctx, runner, rateList)
 		if err != nil {
-			return fmt.Errorf("%s: %v", e.name, err)
+			return fmt.Errorf("%s: %w", e.name, err)
 		}
 		fmt.Fprintln(out, res.String())
 		fmt.Fprintf(out, "[%s regenerated in %v]\n\n", e.name, time.Since(start).Round(time.Millisecond))

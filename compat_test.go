@@ -1,0 +1,69 @@
+package sunmap
+
+// Test-only stand-ins for the removed pre-Session wrappers. The library
+// no longer ships a ctx-less surface (ctxdiscipline forbids minting
+// contexts outside package main), but the root tests exercise the
+// internal pipeline through these thin typed entry points, which read
+// better than threading context.Background() through every call site.
+// Being declared in a _test.go file, they exist only in the test binary
+// and are invisible to both importers and the analyzers.
+
+import (
+	"context"
+
+	"sunmap/internal/core"
+	"sunmap/internal/mapping"
+	"sunmap/internal/sim"
+	"sunmap/internal/xpipes"
+)
+
+// App returns a built-in benchmark application, panicking on unknown
+// names — acceptable in tests, forbidden in the library.
+func App(name string) *CoreGraph {
+	g, err := AppByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Select runs Phases 1 and 2 without cancellation.
+func Select(cfg SelectConfig) (*Selection, error) {
+	return core.SelectContext(context.Background(), cfg)
+}
+
+// SelectContext is Select with cancellation.
+func SelectContext(ctx context.Context, cfg SelectConfig) (*Selection, error) {
+	return core.SelectContext(ctx, cfg)
+}
+
+// Map runs the Fig. 5 mapping algorithm on one topology.
+func Map(app *CoreGraph, topo Topology, opts MapOptions) (*MapResult, error) {
+	return mapping.MapContext(context.Background(), app, topo, opts)
+}
+
+// RoutingSweep reports the minimum required link bandwidth per routing
+// function (Fig. 9a).
+func RoutingSweep(app *CoreGraph, topo Topology, opts MapOptions) ([]RoutingSweepRow, error) {
+	return core.RoutingSweepContext(context.Background(), app, topo, opts, ExploreOptions{})
+}
+
+// RoutingSweepContext is RoutingSweep on the engine pool.
+func RoutingSweepContext(ctx context.Context, app *CoreGraph, topo Topology, opts MapOptions, xo ExploreOptions) ([]RoutingSweepRow, error) {
+	return core.RoutingSweepContext(ctx, app, topo, opts, xo)
+}
+
+// ParetoExploreContext sweeps weighted objectives on the engine pool.
+func ParetoExploreContext(ctx context.Context, app *CoreGraph, topo Topology, opts MapOptions, steps int, xo ExploreOptions) ([]ParetoPoint, error) {
+	return core.ParetoExploreContext(ctx, app, topo, opts, steps, xo)
+}
+
+// Generate emits the SystemC description of a mapped design (Phase 3).
+func Generate(app *CoreGraph, res *MapResult, t Tech) (*SystemC, error) {
+	return xpipes.Generate(app, res, t)
+}
+
+// Simulate runs the cycle-accurate simulator.
+func Simulate(cfg SimConfig) (*SimStats, error) {
+	return sim.RunContext(context.Background(), cfg)
+}

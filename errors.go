@@ -30,6 +30,12 @@ var (
 	// missing payload, malformed JSON). The serve layer maps it to HTTP
 	// 400; everything else surfaces as 500-class.
 	ErrBadRequest = errors.New("invalid request")
+	// ErrInternal reports a server-side failure with no more specific
+	// classification — the sentinel behind the wire kind "internal".
+	// Report.Err wraps it when a remote Report carries an unrecognized
+	// (or internal) error kind, so even those errors remain matchable
+	// with errors.Is instead of vanishing into an opaque string.
+	ErrInternal = errors.New("internal error")
 )
 
 // AppByName returns a built-in benchmark application ("vopd", "mpeg4",

@@ -5,6 +5,7 @@ package sunmap_test
 // that individual package tests cannot see end to end.
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -101,7 +102,7 @@ func TestMappedDesignSimulates(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", r.Topology.Name(), err)
 		}
-		st, err := sim.Run(sim.Config{
+		st, err := sim.RunContext(context.Background(), sim.Config{
 			Topo:            r.Topology,
 			Routes:          rt,
 			Pattern:         tr,

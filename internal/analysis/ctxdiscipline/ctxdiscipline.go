@@ -1,0 +1,121 @@
+// Package ctxdiscipline enforces the repo's context plumbing rules,
+// introduced when the Session API threaded cancellation through every
+// layer (PR 5):
+//
+//  1. on an exported function or method that takes a context.Context,
+//     the context is the first parameter — mixed positions make call
+//     sites unreadable and break the mechanical "ctx flows left to
+//     right" audit;
+//  2. context.Background() and context.TODO() appear only in package
+//     main (cmd/ and examples/) and tests — library code receives its
+//     context from the caller, it never invents one. The single audited
+//     exception is a //sunmap:detached line annotation for sites that
+//     deliberately outlive the caller (the server's graceful drain);
+//  3. contexts are not stored in struct fields — a stored context
+//     outlives the call it scoped, hiding cancellation bugs; pass it
+//     per call instead.
+//
+// Test files are exempt by construction: the loader analyzes a
+// package's GoFiles only.
+package ctxdiscipline
+
+import (
+	"go/ast"
+	"go/types"
+
+	"sunmap/internal/analysis"
+)
+
+// Analyzer enforces ctx-first signatures, no invented contexts in
+// library code, and no contexts in structs.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxdiscipline",
+	Doc: "enforce context plumbing: ctx first, no Background/TODO in libraries, no ctx struct fields\n\n" +
+		"Library code receives its context; only package main and tests may\n" +
+		"mint one. //sunmap:detached audits deliberate detachment sites.",
+	Run: run,
+}
+
+const ctxType = "context.Context"
+
+func run(pass *analysis.Pass) error {
+	isMain := pass.Pkg.Name() == "main"
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				checkSignature(pass, n)
+			case *ast.CallExpr:
+				if !isMain {
+					checkMinted(pass, n)
+				}
+			case *ast.StructType:
+				checkFields(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isContext reports whether the expression's type is context.Context.
+func isContext(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	return tv.Type.String() == ctxType
+}
+
+// checkSignature flags an exported func whose context parameter is not
+// first.
+func checkSignature(pass *analysis.Pass, fn *ast.FuncDecl) {
+	if !fn.Name.IsExported() || fn.Type.Params == nil {
+		return
+	}
+	pos := 0 // flat parameter index, counting each name in a group
+	for fi, field := range fn.Type.Params.List {
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		if isContext(pass, field.Type) && !(fi == 0 && pos == 0 && n == 1) {
+			pass.Reportf(field.Pos(),
+				"context.Context must be the first parameter of exported %s", fn.Name.Name)
+			return
+		}
+		pos += n
+	}
+}
+
+// checkMinted flags context.Background()/TODO() in library code.
+func checkMinted(pass *analysis.Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	obj, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || obj.Pkg() == nil || obj.Pkg().Path() != "context" {
+		return
+	}
+	name := obj.Name()
+	if name != "Background" && name != "TODO" {
+		return
+	}
+	if pass.LineAnnotated(call.Pos(), analysis.AnnotationDetached) {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"context.%s in library code: accept a ctx from the caller (or audit detachment with %s)",
+		name, analysis.AnnotationDetached)
+}
+
+// checkFields flags context.Context struct fields.
+func checkFields(pass *analysis.Pass, st *ast.StructType) {
+	for _, field := range st.Fields.List {
+		if isContext(pass, field.Type) {
+			pass.Reportf(field.Pos(),
+				"context.Context stored in a struct outlives the call it scoped; pass it per call")
+		}
+	}
+}

@@ -1,0 +1,22 @@
+package ctxdiscipline_test
+
+import (
+	"testing"
+
+	"sunmap/internal/analysis/analysistest"
+	"sunmap/internal/analysis/ctxdiscipline"
+)
+
+func TestBad(t *testing.T) {
+	analysistest.Run(t, "testdata/bad", ctxdiscipline.Analyzer)
+}
+
+func TestClean(t *testing.T) {
+	analysistest.Run(t, "testdata/clean", ctxdiscipline.Analyzer)
+}
+
+// TestMainPackage pins the package-main exemption: entrypoints mint
+// contexts, libraries receive them.
+func TestMainPackage(t *testing.T) {
+	analysistest.Run(t, "testdata/mainpkg", ctxdiscipline.Analyzer)
+}

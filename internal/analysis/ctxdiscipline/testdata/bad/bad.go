@@ -1,0 +1,31 @@
+// Package bad violates each of the three context plumbing rules.
+package bad
+
+import "context"
+
+// Run takes its context in second position.
+func Run(name string, ctx context.Context) error { // want "context.Context must be the first parameter of exported Run"
+	_ = name
+	return ctx.Err()
+}
+
+// Detached mints a context in library code.
+func Detached() error {
+	ctx := context.Background() // want `context\.Background in library code`
+	return ctx.Err()
+}
+
+// Todo punts on plumbing entirely.
+func Todo() error {
+	return context.TODO().Err() // want `context\.TODO in library code`
+}
+
+// job squirrels a context away for later.
+type job struct {
+	ctx  context.Context // want "context.Context stored in a struct outlives the call it scoped"
+	name string
+}
+
+func (j *job) run() error { return j.ctx.Err() }
+
+var _ = (&job{}).run

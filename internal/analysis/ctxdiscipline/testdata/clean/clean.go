@@ -1,0 +1,27 @@
+// Package clean shows the sanctioned context forms.
+package clean
+
+import "context"
+
+// Run plumbs its context first.
+func Run(ctx context.Context, name string) error {
+	_ = name
+	return ctx.Err()
+}
+
+// NoCtx takes no context at all — nothing to order.
+func NoCtx(a, b int) int { return a + b }
+
+// helper is unexported: internal plumbing may order params freely.
+func helper(name string, ctx context.Context) error {
+	_ = name
+	return ctx.Err()
+}
+
+// Drain is the audited detachment pattern: shutdown work that must
+// outlive the request context that triggered it.
+func Drain() error {
+	ctx := context.Background() //sunmap:detached graceful drain outlives the triggering request
+	_ = helper("drain", ctx)
+	return nil
+}

@@ -1,0 +1,12 @@
+// Command mainpkg is an entrypoint fixture: package main is where
+// contexts are born, so Background/TODO are legal here.
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background()
+	_ = work(ctx)
+}
+
+func work(ctx context.Context) error { return ctx.Err() }

@@ -1,0 +1,35 @@
+// Package bad leaks nondeterminism through every construct detorder
+// guards against.
+package bad
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Collect folds a map into a slice in iteration order — the report
+// would differ run to run.
+func Collect(m map[string]int) []string {
+	var out []string
+	for k := range m { // want "map iteration order reaches an append"
+		out = append(out, k)
+	}
+	return out
+}
+
+// Stream sends map entries on a channel in iteration order.
+func Stream(m map[int]int, ch chan<- int) {
+	for _, v := range m { // want "map iteration order reaches a channel send"
+		ch <- v
+	}
+}
+
+// Draw uses the process-global rand source.
+func Draw(n int) int {
+	return rand.Intn(n) // want `bare math/rand\.Intn draws from the process-global source`
+}
+
+// Stamp reads the wall clock without a wallclock annotation.
+func Stamp() time.Time {
+	return time.Now() // want `time\.Now in a deterministic package outside a //sunmap:wallclock site`
+}

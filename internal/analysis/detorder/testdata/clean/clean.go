@@ -1,0 +1,68 @@
+// Package clean shows every sanctioned form of the constructs detorder
+// polices: sorted folds, explicit seeded generators, annotated clock
+// reads.
+package clean
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// SortedCollect folds a map into a slice, then canonicalizes the order
+// before anything observes it.
+func SortedCollect(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Count is order-insensitive by construction and annotated as such.
+func Count(m map[string]int) int {
+	n := 0
+	var hit []string
+	//sunmap:unordered — pure membership fold; output is sorted by caller
+	for k := range m {
+		if len(k) > 3 {
+			n++
+			hit = append(hit, k)
+		}
+	}
+	sort.Strings(hit)
+	return n
+}
+
+// SliceFold ranges over a slice — ordered input, no diagnostic.
+func SliceFold(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x*2)
+	}
+	return out
+}
+
+// ReadOnly ranges over a map without an ordered sink.
+func ReadOnly(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// SeededDraw uses an explicit generator — deterministic for a seed.
+func SeededDraw(seed int64, n int) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(n)
+}
+
+// Timed is the audited wall-clock site.
+//
+//sunmap:wallclock — measures evaluation latency for progress events
+func Timed() time.Duration {
+	start := time.Now()
+	return time.Since(start)
+}

@@ -1,0 +1,254 @@
+// Package hotpath is the static complement to the runtime allocation
+// gates (TestSwapEvalAllocFree, TestSearchInnerLoopAllocBudget,
+// TestMaskedRerouteAllocFree, ...): functions annotated //sunmap:hotpath
+// and everything they reach within their package must not contain
+// allocating constructs. The runtime gates prove today's code allocates
+// zero bytes in steady state; this analyzer keeps tomorrow's edits from
+// quietly reintroducing an allocation the benchmarks only catch later.
+//
+// Flagged constructs (each suppressible line-by-line with the
+// //sunmap:alloc annotation, the audit trail for growth and error paths
+// that the steady-state gates have proven cold):
+//
+//   - make and new
+//   - composite literals that must heap-allocate: &T{...}, slice and map
+//     literals (plain value composites like Outcome{...} stay legal —
+//     they live in registers or the caller's frame)
+//   - append, unless its first argument is an explicit reslice
+//     (append(buf[:0], ...) — the scratch-reuse discipline)
+//   - function literals (closure capture)
+//   - any call into package fmt
+//   - string concatenation (+ and +=)
+//   - interface boxing at call sites: a concrete non-pointer argument
+//     passed to an interface parameter
+//
+// The closure is same-package only: calls that leave the package are
+// trusted to carry their own annotations (route.Router.RouteInto is
+// itself a root, so fault.Evaluator reaching it is covered in the route
+// package's run, not re-traversed from fault's).
+package hotpath
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"sunmap/internal/analysis"
+)
+
+// Analyzer flags allocating constructs inside //sunmap:hotpath
+// functions and their same-package callees.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotpath",
+	Doc: "flag allocating constructs in //sunmap:hotpath functions and their same-package callees\n\n" +
+		"The static complement to the steady-state allocation benchmarks:\n" +
+		"make/new, escaping composites, undisciplined append, closures, fmt,\n" +
+		"string concatenation and interface boxing are build errors on hot\n" +
+		"paths unless audited with //sunmap:alloc.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	// Index every function declared in this package by its types.Func,
+	// and collect the annotated roots.
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	var roots []*ast.FuncDecl
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if obj, ok := pass.TypesInfo.Defs[fn.Name].(*types.Func); ok {
+				decls[obj] = fn
+			}
+			if analysis.FuncAnnotated(fn, analysis.AnnotationHotPath) {
+				roots = append(roots, fn)
+			}
+		}
+	}
+	if len(roots) == 0 {
+		return nil
+	}
+
+	// Breadth-first closure over same-package static calls, remembering
+	// which root first reached each function for the diagnostic message.
+	rootOf := make(map[*ast.FuncDecl]string)
+	var queue []*ast.FuncDecl
+	for _, r := range roots {
+		rootOf[r] = r.Name.Name
+		queue = append(queue, r)
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		root := rootOf[fn]
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			var id *ast.Ident
+			switch fun := call.Fun.(type) {
+			case *ast.Ident:
+				id = fun
+			case *ast.SelectorExpr:
+				id = fun.Sel
+			default:
+				return true
+			}
+			obj, ok := pass.TypesInfo.Uses[id].(*types.Func)
+			if !ok || obj.Pkg() != pass.Pkg {
+				return true
+			}
+			callee, ok := decls[obj]
+			if !ok {
+				return true
+			}
+			if _, seen := rootOf[callee]; !seen {
+				rootOf[callee] = root
+				queue = append(queue, callee)
+			}
+			return true
+		})
+	}
+
+	for fn, root := range rootOf {
+		checkFunc(pass, fn, root)
+	}
+	return nil
+}
+
+// checkFunc flags every allocating construct in one hot function.
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl, root string) {
+	report := func(pos token.Pos, what string) {
+		if pass.LineAnnotated(pos, analysis.AnnotationAlloc) {
+			return
+		}
+		pass.Reportf(pos, "%s in hot path (reachable from //sunmap:hotpath %s); pre-size scratch or audit with %s",
+			what, root, analysis.AnnotationAlloc)
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkCall(pass, n, report)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := n.X.(*ast.CompositeLit); ok {
+					report(n.Pos(), "heap composite literal (&T{...})")
+				}
+			}
+		case *ast.CompositeLit:
+			if tv, ok := pass.TypesInfo.Types[n]; ok {
+				switch tv.Type.Underlying().(type) {
+				case *types.Slice:
+					report(n.Pos(), "slice literal")
+				case *types.Map:
+					report(n.Pos(), "map literal")
+				}
+			}
+		case *ast.FuncLit:
+			report(n.Pos(), "function literal (closure capture)")
+			return false // the closure body is cold until it runs; its capture is the cost
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isString(pass, n.X) {
+				report(n.Pos(), "string concatenation")
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isString(pass, n.Lhs[0]) {
+				report(n.Pos(), "string concatenation (+=)")
+			}
+		}
+		return true
+	})
+}
+
+// checkCall flags builtin allocators, fmt calls and interface boxing.
+func checkCall(pass *analysis.Pass, call *ast.CallExpr, report func(token.Pos, string)) {
+	// Builtins: make, new, undisciplined append.
+	if id, ok := unwrapFun(call.Fun); ok {
+		switch obj := pass.TypesInfo.Uses[id].(type) {
+		case *types.Builtin:
+			switch obj.Name() {
+			case "make":
+				report(call.Pos(), "make")
+			case "new":
+				report(call.Pos(), "new")
+			case "append":
+				if len(call.Args) > 0 {
+					if _, resliced := call.Args[0].(*ast.SliceExpr); !resliced {
+						report(call.Pos(), "append without capacity discipline (append to an explicit reslice like buf[:0])")
+					}
+				}
+			}
+			return
+		case *types.Func:
+			if pkg := obj.Pkg(); pkg != nil && pkg.Path() == "fmt" {
+				report(call.Pos(), "fmt."+obj.Name()+" call")
+				return
+			}
+		}
+	}
+	// Interface boxing: a concrete non-pointer argument passed to an
+	// interface parameter allocates when it escapes — and the compiler,
+	// not the reader, decides when that is.
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok || tv.IsType() {
+		return // conversion, not a call
+	}
+	sig, ok := tv.Type.(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var param types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // forwarding a slice, no per-element boxing
+			}
+			param = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			param = params.At(i).Type()
+		default:
+			continue
+		}
+		if !types.IsInterface(param) {
+			continue
+		}
+		at, ok := pass.TypesInfo.Types[arg]
+		if !ok || at.IsNil() || at.Type == nil {
+			continue
+		}
+		t := at.Type
+		if types.IsInterface(t) {
+			continue
+		}
+		if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+			continue // pointers fit the iface word without allocating
+		}
+		report(arg.Pos(), "interface boxing at call site (concrete "+t.String()+" into interface parameter)")
+	}
+}
+
+// isString reports whether the expression has string type.
+func isString(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// unwrapFun extracts the identifier a call resolves through.
+func unwrapFun(fun ast.Expr) (*ast.Ident, bool) {
+	switch f := fun.(type) {
+	case *ast.Ident:
+		return f, true
+	case *ast.SelectorExpr:
+		return f.Sel, true
+	}
+	return nil, false
+}

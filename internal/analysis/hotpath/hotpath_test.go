@@ -1,0 +1,16 @@
+package hotpath_test
+
+import (
+	"testing"
+
+	"sunmap/internal/analysis/analysistest"
+	"sunmap/internal/analysis/hotpath"
+)
+
+func TestBad(t *testing.T) {
+	analysistest.Run(t, "testdata/bad", hotpath.Analyzer)
+}
+
+func TestClean(t *testing.T) {
+	analysistest.Run(t, "testdata/clean", hotpath.Analyzer)
+}

@@ -1,0 +1,51 @@
+// Package bad exercises every allocating construct hotpath flags, both
+// directly in an annotated root and transitively in a same-package
+// callee.
+package bad
+
+import "fmt"
+
+type evaluator struct {
+	scratch []int
+	tag     string
+}
+
+// Eval is the annotated root: every construct below must be flagged.
+//
+//sunmap:hotpath
+func (e *evaluator) Eval(xs []int) int {
+	buf := make([]int, len(xs))        // want `make in hot path \(reachable from //sunmap:hotpath Eval\)`
+	p := new(evaluator)                // want `new in hot path`
+	q := &evaluator{}                  // want `heap composite literal \(&T\{\.\.\.\}\) in hot path`
+	lit := []int{1, 2, 3}              // want `slice literal in hot path`
+	m := map[string]int{}              // want `map literal in hot path`
+	e.scratch = append(e.scratch, 1)   // want `append without capacity discipline`
+	f := func() int { return 1 }       // want `function literal \(closure capture\) in hot path`
+	s := e.tag + "x"                   // want `string concatenation in hot path`
+	s += "y"                           // want `string concatenation \(\+=\) in hot path`
+	fmt.Println(s)                     // want `fmt\.Println call in hot path`
+	return len(buf) + len(lit) + m["a"] + f() + p.helper(42) + q.helper(1)
+}
+
+// helper is reached from Eval, so its allocations are hot too.
+func (e *evaluator) helper(n int) int {
+	tmp := make([]int, n) // want `make in hot path \(reachable from //sunmap:hotpath Eval\)`
+	return len(tmp) + box(n)
+}
+
+// box passes a concrete int into an interface parameter.
+func box(n int) int {
+	return sink(n) // want `interface boxing at call site \(concrete int into interface parameter\)`
+}
+
+func sink(v any) int {
+	if v == nil {
+		return 0
+	}
+	return 1
+}
+
+// Cold is not annotated and not reachable from a root: free to allocate.
+func Cold() []int {
+	return make([]int, 8)
+}

@@ -1,0 +1,59 @@
+// Package clean shows every sanctioned hot-path form: scratch reuse via
+// reslice, value composites, pointer arguments to interface parameters,
+// and //sunmap:alloc-audited growth on cold branches.
+package clean
+
+type outcome struct {
+	Cost  float64
+	Valid bool
+}
+
+type evaluator struct {
+	scratch []int
+	grown   bool
+}
+
+// Eval allocates nothing in steady state.
+//
+//sunmap:hotpath
+func (e *evaluator) Eval(xs []int) outcome {
+	// Reslice discipline: append into reclaimed capacity.
+	e.scratch = append(e.scratch[:0], xs...)
+	if !e.grown && cap(e.scratch) < 2*len(xs) {
+		e.grow(len(xs))
+	}
+	total := e.describe()
+	for _, x := range e.scratch {
+		total += x
+	}
+	// Value composite returns live in the caller's frame.
+	return outcome{Cost: float64(total), Valid: true}
+}
+
+// grow is the audited cold branch: it runs once, then Eval reuses.
+func (e *evaluator) grow(n int) {
+	e.scratch = make([]int, len(e.scratch), 2*n+8) //sunmap:alloc one-time scratch growth, proven cold by the alloc gate
+	e.grown = true
+}
+
+// describe passes a pointer into an interface parameter — one word, no
+// boxing allocation.
+func (e *evaluator) describe() int {
+	return sink(e)
+}
+
+func sink(v any) int {
+	if v == nil {
+		return 0
+	}
+	return 1
+}
+
+// Cold is outside the hot closure entirely.
+func Cold(n int) []int {
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	return out
+}

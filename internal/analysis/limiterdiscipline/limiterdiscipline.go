@@ -1,0 +1,83 @@
+// Package limiterdiscipline enforces the two-level limiter discipline
+// of PR 6: the session-wide pool.Limiter admits whole candidates with a
+// blocking Acquire exactly once, at the admission layer, and everything
+// nested underneath may only take slots opportunistically (TryAcquire or
+// the pool.PollAcquire helper). A blocking Acquire from nested code can
+// deadlock a fully subscribed limiter — the holder waits on work that is
+// itself waiting for the holder's slot.
+package limiterdiscipline
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"sunmap/internal/analysis"
+)
+
+// acquireFullName is the one blocking primitive the discipline governs.
+const acquireFullName = "(*sunmap/internal/pool.Limiter).Acquire"
+
+// Allowed is the admission-layer allowlist: the only packages in which a
+// blocking pool.Limiter.Acquire is legal. internal/engine is the
+// admission layer — Evaluate and Fan take one slot per whole candidate
+// before any nested work fans out.
+var Allowed = map[string]bool{
+	"sunmap/internal/engine": true,
+}
+
+// Analyzer flags blocking pool.Limiter.Acquire calls outside the
+// admission layer.
+var Analyzer = &analysis.Analyzer{
+	Name: "limiterdiscipline",
+	Doc: "flag blocking pool.Limiter.Acquire outside the admission layer\n\n" +
+		"Only internal/engine (candidate admission) may block on the session\n" +
+		"limiter; nested layers must use TryAcquire or pool.PollAcquire so a\n" +
+		"fully subscribed limiter can never deadlock on nested acquisition.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if Allowed[pass.Pkg.Path()] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || obj.FullName() != acquireFullName {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"blocking pool.Limiter.Acquire outside the admission layer (%s): nested code must use TryAcquire or pool.PollAcquire",
+				allowedList())
+			return true
+		})
+	}
+	return nil
+}
+
+// allowedList renders the allowlist for the diagnostic message.
+func allowedList() string {
+	names := make([]string, 0, len(Allowed))
+	for p := range Allowed {
+		names = append(names, p)
+	}
+	if len(names) == 1 {
+		return names[0]
+	}
+	// Deterministic order for multi-entry lists.
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	return strings.Join(names, ", ")
+}

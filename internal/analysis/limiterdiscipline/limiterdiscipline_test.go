@@ -1,0 +1,26 @@
+package limiterdiscipline_test
+
+import (
+	"testing"
+
+	"sunmap/internal/analysis/analysistest"
+	"sunmap/internal/analysis/limiterdiscipline"
+)
+
+func TestBad(t *testing.T) {
+	analysistest.Run(t, "testdata/bad", limiterdiscipline.Analyzer)
+}
+
+func TestClean(t *testing.T) {
+	analysistest.Run(t, "testdata/clean", limiterdiscipline.Analyzer)
+}
+
+// TestAllowlisted proves the admission layer itself is exempt: the same
+// blocking call that testdata/bad flags is silent when the package is on
+// the allowlist.
+func TestAllowlisted(t *testing.T) {
+	path := "sunmap/internal/analysis/limiterdiscipline/testdata/allowed"
+	limiterdiscipline.Allowed[path] = true
+	defer delete(limiterdiscipline.Allowed, path)
+	analysistest.Run(t, "testdata/allowed", limiterdiscipline.Analyzer)
+}

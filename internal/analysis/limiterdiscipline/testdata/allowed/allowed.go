@@ -1,0 +1,18 @@
+// Package allowed mimics the admission layer: the test allowlists this
+// package, making its blocking Acquire legal.
+package allowed
+
+import (
+	"context"
+
+	"sunmap/internal/pool"
+)
+
+// Admit takes one whole-candidate slot — the admission-layer pattern.
+func Admit(ctx context.Context, limit *pool.Limiter) error {
+	if err := limit.Acquire(ctx); err != nil {
+		return err
+	}
+	defer limit.Release()
+	return nil
+}

@@ -1,0 +1,24 @@
+// Package bad violates the limiter discipline: it blocks on Acquire
+// from outside the admission layer.
+package bad
+
+import (
+	"context"
+
+	"sunmap/internal/pool"
+)
+
+// Nested blocks on the session limiter from nested code — the exact
+// shape of the pre-PR-8 internal/sim/routes.go deadlock.
+func Nested(ctx context.Context, limit *pool.Limiter) error {
+	if err := limit.Acquire(ctx); err != nil { // want "blocking pool.Limiter.Acquire outside the admission layer"
+		return err
+	}
+	defer limit.Release()
+	return nil
+}
+
+// Indirect is still a violation inside a statement expression.
+func Indirect(ctx context.Context, limit *pool.Limiter) {
+	_ = limit.Acquire(ctx) // want "blocking pool.Limiter.Acquire"
+}

@@ -1,0 +1,39 @@
+// Package clean exercises every legal acquisition shape: opportunistic
+// TryAcquire, the PollAcquire helper, Release, and an unrelated type
+// that happens to have an Acquire method of its own.
+package clean
+
+import (
+	"context"
+
+	"sunmap/internal/pool"
+)
+
+// Opportunistic takes a slot only if one is free — always legal.
+func Opportunistic(limit *pool.Limiter) bool {
+	if limit.TryAcquire() {
+		limit.Release()
+		return true
+	}
+	return false
+}
+
+// Polled uses the shared poll helper — the sanctioned nested pattern.
+func Polled(ctx context.Context, limit *pool.Limiter) bool {
+	if !pool.PollAcquire(ctx, limit, nil) {
+		return false
+	}
+	limit.Release()
+	return true
+}
+
+// lock is an unrelated type with its own Acquire; calling it is fine.
+type lock struct{}
+
+func (lock) Acquire(context.Context) error { return nil }
+
+// Unrelated calls a same-named method on a different type.
+func Unrelated(ctx context.Context) error {
+	var l lock
+	return l.Acquire(ctx)
+}

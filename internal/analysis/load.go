@@ -1,0 +1,205 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	Path      string
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output the loader
+// consumes.
+type listedPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+	Error      *struct {
+		Err string
+	}
+}
+
+// Load resolves the package patterns with the go command and returns the
+// matched packages parsed and type-checked. Dependencies are imported
+// from the gc export data `go list -export` produces, so nothing beyond
+// the Go toolchain is required and no package is type-checked twice.
+// Test files are not loaded: the invariants the analyzers enforce are
+// production-code contracts, and tests legitimately violate several of
+// them (saturating limiters, wall-clock timeouts).
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	args := append([]string{
+		"list", "-e", "-deps", "-export",
+		"-json=ImportPath,Name,Dir,Export,GoFiles,Standard,DepOnly,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("analysis: go list %v: %w\n%s", patterns, err, stderr.Bytes())
+	}
+
+	exports := make(map[string]string)
+	var targets []*listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decoding go list output: %w", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if p.Standard || p.DepOnly {
+			continue
+		}
+		q := p
+		targets = append(targets, &q)
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("analysis: no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+
+	var pkgs []*Package
+	for _, t := range targets {
+		if t.Error != nil {
+			return nil, fmt.Errorf("analysis: %s: %s", t.ImportPath, t.Error.Err)
+		}
+		if len(t.GoFiles) == 0 {
+			continue
+		}
+		var files []*ast.File
+		for _, name := range t.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("analysis: %w", err)
+			}
+			files = append(files, f)
+		}
+		pkg, info, err := Check(t.ImportPath, fset, files, imp)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, &Package{
+			Path:      t.ImportPath,
+			Fset:      fset,
+			Files:     files,
+			Types:     pkg,
+			TypesInfo: info,
+		})
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return pkgs, nil
+}
+
+// Check type-checks one package's parsed files with the given importer,
+// returning the package and a fully populated types.Info. It is shared
+// by Load and by cmd/sunmap-lint's `go vet -vettool` mode (which gets
+// its file list and export map from the vet config instead of go list).
+func Check(path string, fset *token.FileSet, files []*ast.File, imp types.Importer) (*types.Package, *types.Info, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, nil, fmt.Errorf("analysis: type-checking %s: %w", path, err)
+	}
+	return pkg, info, nil
+}
+
+// Diag is one positioned finding of a driver run.
+type Diag struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diag) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Run loads the patterns and applies every analyzer to every matched
+// package (honoring each analyzer's Match filter), returning the
+// diagnostics sorted by position. It is the engine behind both
+// cmd/sunmap-lint and the repository self-lint test.
+func Run(dir string, analyzers []*Analyzer, patterns ...string) ([]Diag, error) {
+	pkgs, err := Load(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var diags []Diag
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			if a.Match != nil && !a.Match(pkg.Path) {
+				continue
+			}
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+			}
+			pass.Report = func(d Diagnostic) {
+				diags = append(diags, Diag{
+					Pos:      pkg.Fset.Position(d.Pos),
+					Analyzer: a.Name,
+					Message:  d.Message,
+				})
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}

@@ -1,0 +1,142 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Config mirrors the vet configuration JSON cmd/go writes for each
+// package when a vet tool is invoked via `go vet -vettool` — the same
+// contract golang.org/x/tools' unitchecker consumes. Only the fields
+// the sunmap-lint driver needs are declared; the rest are ignored by
+// encoding/json.
+type Config struct {
+	ID         string
+	Compiler   string
+	Dir        string
+	ImportPath string
+	GoFiles    []string
+	ImportMap  map[string]string
+	// PackageFile maps package paths to export-data files built by the
+	// go command for this vet run — the importer reads these instead of
+	// running go list.
+	PackageFile map[string]string
+	Standard    map[string]bool
+	VetxOnly    bool
+	VetxOutput  string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// RunUnit executes one `go vet -vettool` package unit: it loads the vet
+// config, type-checks the package against the export data the go
+// command already built, and applies the analyzers (honoring Match).
+// The VetxOutput file is always written — cmd/go treats its absence as
+// tool failure — but sunmap-lint exchanges no facts, so it is empty.
+func RunUnit(cfgPath string, analyzers []*Analyzer) ([]Diag, error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: reading vet config: %w", err)
+	}
+	var cfg Config
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, fmt.Errorf("analysis: parsing vet config %s: %w", cfgPath, err)
+	}
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			return nil, fmt.Errorf("analysis: writing vetx output: %w", err)
+		}
+	}
+	if cfg.VetxOnly {
+		return nil, nil
+	}
+	// Tests are exempt from the invariants (they mint contexts, stub
+	// clocks, and exercise removed APIs on purpose), and the standalone
+	// loader analyzes only non-test GoFiles. Under `go vet` in-package
+	// test files arrive merged into the package's own unit and external
+	// test packages arrive as their own `p_test` unit, so both forms
+	// are filtered here to keep the two drivers in agreement.
+	if strings.HasSuffix(cfg.ImportPath, "_test") {
+		return nil, nil
+	}
+	goFiles := cfg.GoFiles[:0:0]
+	for _, name := range cfg.GoFiles {
+		if !strings.HasSuffix(name, "_test.go") {
+			goFiles = append(goFiles, name)
+		}
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range goFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return nil, nil
+			}
+			return nil, fmt.Errorf("analysis: %w", err)
+		}
+		files = append(files, f)
+	}
+
+	imp := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("analysis: vet config has no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	pkg, info, err := Check(cfg.ImportPath, fset, files, imp)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return nil, nil
+		}
+		return nil, err
+	}
+
+	var diags []Diag
+	for _, a := range analyzers {
+		if a.Match != nil && !a.Match(cfg.ImportPath) {
+			continue
+		}
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+		}
+		pass.Report = func(d Diagnostic) {
+			diags = append(diags, Diag{
+				Pos:      fset.Position(d.Pos),
+				Analyzer: a.Name,
+				Message:  d.Message,
+			})
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, cfg.ImportPath, err)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Pos.Column < b.Pos.Column
+	})
+	return diags, nil
+}

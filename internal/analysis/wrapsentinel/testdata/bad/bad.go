@@ -1,0 +1,36 @@
+// Package bad breaks the error chain every way wrapsentinel knows.
+package bad
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrNotFound is a sentinel: package-level errors.New is the one legal
+// minting site.
+var ErrNotFound = errors.New("not found")
+
+// Flatten formats the cause with %v: errors.Is loses the sentinel.
+func Flatten(err error) error {
+	return fmt.Errorf("lookup failed: %v", err) // want `%v flattens the error chain`
+}
+
+// Stringify is the same bug with %s.
+func Stringify(err error) error {
+	return fmt.Errorf("lookup failed: %s", err) // want `%s flattens the error chain`
+}
+
+// Mint creates an unclassifiable boundary error with errors.New.
+func Mint() error {
+	return errors.New("mystery failure") // want `errors\.New inside a Session-boundary function is unclassifiable`
+}
+
+// MintErrorf creates an unclassifiable boundary error with fmt.Errorf.
+func MintErrorf(n int) error {
+	return fmt.Errorf("bad count %d", n) // want `error minted at the Session boundary wraps nothing`
+}
+
+// Mixed wraps the sentinel but still flattens the cause.
+func Mixed(err error) error {
+	return fmt.Errorf("%w: because %v", ErrNotFound, err) // want `%v flattens the error chain`
+}

@@ -1,0 +1,30 @@
+// Package clean keeps every error chain intact.
+package clean
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrNotFound is the package's sentinel.
+var ErrNotFound = errors.New("not found")
+
+// Wrap chains the cause with %w.
+func Wrap(err error) error {
+	return fmt.Errorf("lookup failed: %w", err)
+}
+
+// Classify chains a sentinel and the cause — both survive errors.Is.
+func Classify(err error) error {
+	return fmt.Errorf("%w: %w", ErrNotFound, err)
+}
+
+// Detail mixes non-error operands freely: %d and %q never carry chains.
+func Detail(name string, n int, err error) error {
+	return fmt.Errorf("scanning %q (attempt %d): %w", name, n, err)
+}
+
+// Message formats the rendered text, not the error value.
+func Message(err error) string {
+	return fmt.Sprintf("lookup failed: %v", err)
+}

@@ -1,0 +1,186 @@
+// Package wrapsentinel keeps the error chain intact from the engine's
+// guts to the Session wire format. The serve layer classifies errors
+// with errors.Is against the sentinel set (ErrBadRequest, ErrInfeasible,
+// ErrUnknownApp, ErrUnknownTopology) to pick the wire error_kind; both
+// halves of that contract are easy to break silently:
+//
+//  1. module-wide, a fmt.Errorf that formats an error-typed argument
+//     with any verb but %w (typically %v or %s) flattens the chain —
+//     errors.Is stops seeing the sentinel and the wire kind degrades to
+//     "internal". Flagged everywhere.
+//  2. in the Session boundary package (the root sunmap package — see
+//     BoundaryPackages), every error minted inside a function must be
+//     classifiable: fmt.Errorf must wrap something with %w (a sentinel
+//     or the underlying cause), and bare errors.New is reserved for the
+//     package-level sentinel declarations themselves.
+package wrapsentinel
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"sunmap/internal/analysis"
+)
+
+// BoundaryPackages are the packages whose errors cross the Session
+// boundary and therefore must be classifiable to a sentinel. Exported so
+// the fixture tests can scope their testdata packages in.
+var BoundaryPackages = map[string]bool{
+	"sunmap": true,
+}
+
+// Analyzer enforces %w wrapping and sentinel classification.
+var Analyzer = &analysis.Analyzer{
+	Name: "wrapsentinel",
+	Doc: "enforce %w error wrapping and sentinel classification at the Session boundary\n\n" +
+		"fmt.Errorf must not flatten an error with %v/%s, and errors minted in\n" +
+		"the root package must wrap a sentinel or a cause with %w so the wire\n" +
+		"error_kind survives.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	boundary := BoundaryPackages[pass.Pkg.Path()]
+	for _, f := range pass.Files {
+		// Package-level var blocks may errors.New: that is where the
+		// sentinels themselves are declared.
+		funcBodies := make(map[*ast.FuncDecl]bool)
+		for _, d := range f.Decls {
+			if fn, ok := d.(*ast.FuncDecl); ok && fn.Body != nil {
+				funcBodies[fn] = true
+			}
+		}
+		for fn := range funcBodies {
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				checkCall(pass, call, boundary)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// checkCall applies both rules to one call expression.
+func checkCall(pass *analysis.Pass, call *ast.CallExpr, boundary bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	obj, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || obj.Pkg() == nil {
+		return
+	}
+	switch {
+	case obj.Pkg().Path() == "fmt" && obj.Name() == "Errorf":
+		checkErrorf(pass, call, boundary)
+	case boundary && obj.Pkg().Path() == "errors" && obj.Name() == "New":
+		pass.Reportf(call.Pos(),
+			"errors.New inside a Session-boundary function is unclassifiable; wrap a sentinel (ErrBadRequest, ErrInfeasible, ...) with fmt.Errorf and %%w")
+	}
+}
+
+// checkErrorf parses the constant format string and checks every verb
+// against its argument's type.
+func checkErrorf(pass *analysis.Pass, call *ast.CallExpr, boundary bool) {
+	if len(call.Args) == 0 {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return // dynamic format: nothing to check statically
+	}
+	format := constant.StringVal(tv.Value)
+	wraps, flattened := false, false
+	for _, v := range parseVerbs(format) {
+		if v.letter == 'w' {
+			wraps = true
+			continue
+		}
+		argIdx := v.arg + 1 // args[0] is the format
+		if argIdx >= len(call.Args) {
+			continue // vet's argument-count domain, not ours
+		}
+		arg := call.Args[argIdx]
+		at, ok := pass.TypesInfo.Types[arg]
+		if !ok || at.Type == nil || !implementsError(at.Type) {
+			continue
+		}
+		flattened = true
+		pass.Reportf(arg.Pos(),
+			"%%%c flattens the error chain (errors.Is loses the sentinel); wrap with %%w", v.letter)
+	}
+	// A flatten diagnostic already says "use %w"; don't double-report
+	// the same call for wrapping nothing.
+	if boundary && !wraps && !flattened {
+		pass.Reportf(call.Pos(),
+			"error minted at the Session boundary wraps nothing; chain a sentinel (ErrBadRequest, ErrInfeasible, ...) or the cause with %%w")
+	}
+}
+
+// verb is one formatting directive: its verb letter and the flat index
+// of the operand it consumes (0-based over the operands after the
+// format string).
+type verb struct {
+	letter byte
+	arg    int
+}
+
+// parseVerbs walks a fmt format string, tracking operand consumption
+// including * width/precision and [n] explicit indexes.
+func parseVerbs(format string) []verb {
+	var verbs []verb
+	arg := 0
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		if i < len(format) && format[i] == '%' {
+			continue
+		}
+		// Flags, width, precision, and explicit argument indexes.
+		for i < len(format) {
+			c := format[i]
+			if c == '*' {
+				arg++
+				i++
+				continue
+			}
+			if c == '[' {
+				j := strings.IndexByte(format[i:], ']')
+				if j < 0 {
+					return verbs
+				}
+				if n, err := strconv.Atoi(format[i+1 : i+j]); err == nil && n > 0 {
+					arg = n - 1
+				}
+				i += j + 1
+				continue
+			}
+			if strings.IndexByte("+-# .0123456789", c) >= 0 {
+				i++
+				continue
+			}
+			break
+		}
+		if i >= len(format) {
+			break
+		}
+		verbs = append(verbs, verb{letter: format[i], arg: arg})
+		arg++
+	}
+	return verbs
+}
+
+// implementsError reports whether t satisfies the error interface.
+func implementsError(t types.Type) bool {
+	errIface := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	return types.Implements(t, errIface)
+}

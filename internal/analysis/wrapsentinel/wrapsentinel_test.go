@@ -1,0 +1,49 @@
+package wrapsentinel_test
+
+import (
+	"strings"
+	"testing"
+
+	"sunmap/internal/analysis"
+	"sunmap/internal/analysis/analysistest"
+	"sunmap/internal/analysis/wrapsentinel"
+)
+
+// boundary scopes a fixture package into the Session-boundary set for
+// the duration of one test, so the minting rules fire on it.
+func boundary(t *testing.T, path string) {
+	t.Helper()
+	wrapsentinel.BoundaryPackages[path] = true
+	t.Cleanup(func() { delete(wrapsentinel.BoundaryPackages, path) })
+}
+
+func TestBad(t *testing.T) {
+	boundary(t, "sunmap/internal/analysis/wrapsentinel/testdata/bad")
+	analysistest.Run(t, "testdata/bad", wrapsentinel.Analyzer)
+}
+
+func TestClean(t *testing.T) {
+	boundary(t, "sunmap/internal/analysis/wrapsentinel/testdata/clean")
+	analysistest.Run(t, "testdata/clean", wrapsentinel.Analyzer)
+}
+
+// TestFlattenOutsideBoundary pins that the %v/%s rule is module-wide
+// even where the minting rules are not: the bad fixture's flatten sites
+// still report without boundary scoping, and its minting sites do not.
+func TestFlattenOutsideBoundary(t *testing.T) {
+	diags, err := analysis.Run(".", []*analysis.Analyzer{wrapsentinel.Analyzer}, "./testdata/bad")
+	if err != nil {
+		t.Fatal(err)
+	}
+	flatten := 0
+	for _, d := range diags {
+		if strings.Contains(d.Message, "flattens the error chain") {
+			flatten++
+		} else {
+			t.Errorf("unexpected non-flatten diagnostic outside boundary: %s", d.Message)
+		}
+	}
+	if flatten != 3 {
+		t.Errorf("got %d flatten diagnostics outside boundary, want 3", flatten)
+	}
+}

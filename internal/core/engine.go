@@ -212,13 +212,9 @@ func ReliabilityScore(cost, bestCost, survivability, w float64) float64 {
 // escalation orders the routing functions by increasing flexibility.
 var escalation = []route.Function{route.DimensionOrdered, route.MinPath, route.SplitMin, route.SplitAll}
 
-// Select runs Phase 1 (map onto every library topology) and Phase 2
-// (choose the best feasible candidate under the objective).
-func Select(cfg Config) (*Selection, error) {
-	return SelectContext(context.Background(), cfg)
-}
-
-// SelectContext is Select with cancellation: ctx aborts the Phase-1 sweep
+// SelectContext is the selection entry point with cancellation: it runs
+// Phase 1 (map onto every library topology) and Phase 2 (choose the best
+// feasible candidate under the objective). ctx aborts the Phase-1 sweep
 // (including evaluations already in flight on the worker pool) and the
 // routing-escalation retries, returning the context's error.
 func SelectContext(ctx context.Context, cfg Config) (*Selection, error) {

@@ -28,16 +28,11 @@ type RoutingSweepRow struct {
 	FeasibleAt500 bool
 }
 
-// RoutingSweep maps the application onto topo once per routing function
-// (DO, MP, SM, SA) and reports the resulting minimum required link
-// bandwidth (the maximum link load of the optimized mapping). The mapping
-// itself is re-optimized per function, as the tool does when the designer
-// flips the routing input.
-func RoutingSweep(app *graph.CoreGraph, topo topology.Topology, opts mapping.Options) ([]RoutingSweepRow, error) {
-	return RoutingSweepContext(context.Background(), app, topo, opts, ExploreOptions{})
-}
-
-// RoutingSweepContext is RoutingSweep on the engine pool: the four routing
+// RoutingSweepContext maps the application onto topo once per routing
+// function (DO, MP, SM, SA) and reports the resulting minimum required
+// link bandwidth (the maximum link load of the optimized mapping). The
+// mapping itself is re-optimized per function, as the tool does when the
+// designer flips the routing input. It runs on the engine pool: the four routing
 // functions evaluate concurrently (bounded by xo.Parallelism), reusing any
 // design points already memoized in xo.Cache — e.g. by an escalated Select
 // on the same application.
@@ -88,18 +83,13 @@ type ParetoPoint struct {
 	Dominant bool
 }
 
-// ParetoExplore sweeps weighted delay/area/power objectives and switch
-// buffer depths over one topology and returns the evaluated design points
-// with the area-power Pareto front marked — the exploration of Fig. 9(b).
-// Steps controls the weight-grid resolution (default 5 per axis); buffer
-// depths 2, 4 and 8 flits span the switch-configuration axis (deeper
-// buffers cost area, shallower ones concentrate traffic onto fewer
-// alternatives).
-func ParetoExplore(app *graph.CoreGraph, topo topology.Topology, opts mapping.Options, steps int) ([]ParetoPoint, error) {
-	return ParetoExploreContext(context.Background(), app, topo, opts, steps, ExploreOptions{})
-}
-
-// ParetoExploreContext is ParetoExplore on the engine pool: every
+// ParetoExploreContext sweeps weighted delay/area/power objectives and
+// switch buffer depths over one topology and returns the evaluated design
+// points with the area-power Pareto front marked — the exploration of
+// Fig. 9(b). Steps controls the weight-grid resolution (default 5 per
+// axis); buffer depths 2, 4 and 8 flits span the switch-configuration
+// axis (deeper buffers cost area, shallower ones concentrate traffic onto
+// fewer alternatives). It runs on the engine pool: every
 // (weight vector, buffer depth) grid point is an independent evaluation,
 // fanned out across xo.Parallelism workers and memoized in xo.Cache, so
 // repeated explorations and overlapping grids stop re-mapping identical

@@ -156,6 +156,10 @@ func Sweep(ctx context.Context, app *graph.CoreGraph, lib []topology.Topology, o
 // Outcomes are returned in job order regardless of Parallelism. The first
 // context cancellation aborts the run and returns the context's error;
 // per-job mapping failures do not abort and are recorded in the outcome.
+// Elapsed on progress events is advisory wall time, deliberately outside
+// the deterministic report surface.
+//
+//sunmap:wallclock
 func Evaluate(ctx context.Context, app *graph.CoreGraph, jobs []Job, eo Options) ([]Outcome, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err

@@ -1,0 +1,21 @@
+package exp
+
+// Test-only ctx-less Fig* entry points: the shipped package exposes the
+// experiments as Runner methods taking a context (ctxdiscipline forbids
+// library code from minting one); the in-package tests keep the short
+// spellings via these wrappers, which exist only in the test binary.
+
+import "context"
+
+func Fig3d() (*Fig3dResult, error)   { return Runner{}.Fig3d(context.Background()) }
+func Fig6() (*Fig6Result, error)     { return Runner{}.Fig6(context.Background()) }
+func Fig7b() (*Fig7bResult, error)   { return Runner{}.Fig7b(context.Background()) }
+func Fig9a() (*Fig9aResult, error)   { return Runner{}.Fig9a(context.Background()) }
+func Fig9b() (*Fig9bResult, error)   { return Runner{}.Fig9b(context.Background()) }
+func Fig8cd() (*Fig8cdResult, error) { return Runner{}.Fig8cd(context.Background()) }
+func Fig10() (*Fig10Result, error)   { return Runner{}.Fig10(context.Background()) }
+func Fig11() (*Fig11Result, error)   { return Runner{}.Fig11(context.Background()) }
+
+func Fig8b(rates []float64) (*Fig8bResult, error) {
+	return Runner{}.Fig8b(context.Background(), rates)
+}

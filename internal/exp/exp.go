@@ -52,9 +52,6 @@ type Fig3dResult struct {
 	PaperHopsRatio, PaperAreaRatio, PaperPowerRatio float64
 }
 
-// Fig3d reproduces the motivating mesh-vs-torus table for VOPD.
-func Fig3d() (*Fig3dResult, error) { return Runner{}.Fig3d(context.Background()) }
-
 // Fig3d reproduces the motivating mesh-vs-torus table on the runner's
 // engine: both mappings go through the pool and the shared cache, so
 // fig6's later library sweep reuses the identical design points.
@@ -107,10 +104,6 @@ type Fig6Result struct {
 	Rows []Row
 	Best string
 }
-
-// Fig6 reproduces the VOPD topology comparison: minimum-path routing,
-// min-delay mapping objective, best configuration per family.
-func Fig6() (*Fig6Result, error) { return Runner{}.Fig6(context.Background()) }
 
 // Fig6 reproduces the VOPD topology comparison on the runner's engine.
 func (r Runner) Fig6(ctx context.Context) (*Fig6Result, error) {
@@ -170,10 +163,6 @@ type Fig7bResult struct {
 	// ButterflyInfeasible records the paper's "No Feasible Mapping" cell.
 	ButterflyInfeasible bool
 }
-
-// Fig7b reproduces the MPEG4 mapping table: min-path fails everywhere, the
-// tool escalates to split-traffic routing, the butterfly stays infeasible.
-func Fig7b() (*Fig7bResult, error) { return Runner{}.Fig7b(context.Background()) }
 
 // Fig7b reproduces the MPEG4 mapping table on the runner's engine.
 func (r Runner) Fig7b(ctx context.Context) (*Fig7bResult, error) {
@@ -239,9 +228,6 @@ type Fig9aResult struct {
 	Rows []core.RoutingSweepRow
 }
 
-// Fig9a reproduces the minimum-bandwidth bars for MPEG4 on a mesh.
-func Fig9a() (*Fig9aResult, error) { return Runner{}.Fig9a(context.Background()) }
-
 // Fig9a reproduces the minimum-bandwidth bars on the runner's engine.
 func (r Runner) Fig9a(ctx context.Context) (*Fig9aResult, error) {
 	mesh, err := topology.NewMesh(3, 4)
@@ -274,9 +260,6 @@ func (r *Fig9aResult) String() string {
 type Fig9bResult struct {
 	Points []core.ParetoPoint
 }
-
-// Fig9b reproduces the MPEG4 mesh area-power Pareto exploration.
-func Fig9b() (*Fig9bResult, error) { return Runner{}.Fig9b(context.Background()) }
 
 // Fig9b reproduces the Pareto exploration on the runner's engine.
 func (r Runner) Fig9b(ctx context.Context) (*Fig9bResult, error) {

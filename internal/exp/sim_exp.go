@@ -48,13 +48,6 @@ type Fig8bResult struct {
 	Order  []string
 }
 
-// Fig8b reproduces the NetProc latency study: each topology simulated
-// under its adversarial traffic pattern across injection rates; the Clos's
-// path diversity keeps it lowest at high load.
-func Fig8b(rates []float64) (*Fig8bResult, error) {
-	return Runner{}.Fig8b(context.Background(), rates)
-}
-
 // Fig8b reproduces the NetProc latency study on the runner's engine: the
 // per-rate simulations of each topology fan out across the worker pool.
 func (r Runner) Fig8b(ctx context.Context, rates []float64) (*Fig8bResult, error) {
@@ -119,10 +112,6 @@ type Fig8cdResult struct {
 	Rows []Row
 }
 
-// Fig8cd reproduces the NetProc area and power bars: mappings with relaxed
-// bandwidth constraints (Section 6.2), best configuration per family.
-func Fig8cd() (*Fig8cdResult, error) { return Runner{}.Fig8cd(context.Background()) }
-
 // Fig8cd reproduces the NetProc area/power bars on the runner's engine.
 func (r Runner) Fig8cd(ctx context.Context) (*Fig8cdResult, error) {
 	sel, err := core.SelectContext(ctx, r.selectConfig(core.Config{
@@ -168,11 +157,6 @@ type Fig10Result struct {
 	Latency map[string]float64
 	Order   []string
 }
-
-// Fig10 reproduces the DSP filter flow: SUNMAP selection (butterfly wins),
-// its floorplan (Fig. 10b) and trace-driven cycle-accurate latency for the
-// best mapping of each family (Fig. 10c).
-func Fig10() (*Fig10Result, error) { return Runner{}.Fig10(context.Background()) }
 
 // Fig10 reproduces the DSP filter flow on the runner's engine.
 func (r Runner) Fig10(ctx context.Context) (*Fig10Result, error) {
@@ -260,10 +244,6 @@ type Fig11Result struct {
 	Files     []string
 	Sizes     map[string]int
 }
-
-// Fig11 generates the SystemC design for the DSP filter's selected
-// butterfly — the artifact whose simulation Fig. 11 snapshots.
-func Fig11() (*Fig11Result, error) { return Runner{}.Fig11(context.Background()) }
 
 // Fig11 generates the DSP SystemC artifact on the runner's engine; with a
 // shared cache the selection is a pure cache hit after Fig10.

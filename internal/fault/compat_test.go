@@ -1,0 +1,18 @@
+package fault
+
+// Test-only ctx-less entry point: the shipped package exposes only
+// SweepContext (ctxdiscipline forbids library code from minting a
+// context); the in-package tests keep the shorter sequential spelling.
+
+import (
+	"context"
+
+	"sunmap/internal/graph"
+	"sunmap/internal/route"
+	"sunmap/internal/topology"
+)
+
+// Sweep evaluates every scenario sequentially under a background context.
+func Sweep(topo topology.Topology, assign []int, comms []graph.Commodity, opts route.Options, scenarios []Scenario, exhaustive bool) (*Report, error) {
+	return SweepContext(context.Background(), topo, assign, comms, opts, scenarios, exhaustive, 1, nil)
+}

@@ -7,7 +7,6 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
-	"time"
 
 	"sunmap/internal/graph"
 	"sunmap/internal/pool"
@@ -116,6 +115,8 @@ func (e *Evaluator) Baseline() Outcome { return e.baseline }
 // Eval reroutes every commodity around the scenario's failure mask and
 // returns the degraded outcome; scenarios that cut a commodity off come
 // back with Connected unset.
+//
+//sunmap:hotpath
 func (e *Evaluator) Eval(s Scenario) Outcome {
 	out, _ := e.eval(s)
 	return out
@@ -211,11 +212,6 @@ func (r *Report) ConnectedFrac() float64 {
 	return float64(r.Connected) / float64(r.Scenarios)
 }
 
-// Sweep evaluates every scenario sequentially; see SweepContext.
-func Sweep(topo topology.Topology, assign []int, comms []graph.Commodity, opts route.Options, scenarios []Scenario, exhaustive bool) (*Report, error) {
-	return SweepContext(context.Background(), topo, assign, comms, opts, scenarios, exhaustive, 1, nil)
-}
-
 // SweepContext evaluates every failure scenario of one design point and
 // folds the outcomes into a Report; see (*Sweeper).SweepContext for the
 // admission and determinism contract. Callers sweeping many design
@@ -294,7 +290,7 @@ func (sw *Sweeper) SweepContext(ctx context.Context, topo topology.Topology, ass
 			wg.Add(1)
 			go func(w int) {
 				defer wg.Done()
-				if !pollAcquire(ctx, limit, &next, int64(len(scenarios))) {
+				if !pool.PollAcquire(ctx, limit, func() bool { return next.Load() >= int64(len(scenarios)) }) {
 					return
 				}
 				defer limit.Release()
@@ -326,27 +322,6 @@ func (sw *Sweeper) SweepContext(ctx context.Context, topo topology.Topology, ass
 		return nil, err
 	}
 	return fold(sw.ev.Baseline(), scenarios, outcomes, exhaustive), nil
-}
-
-// pollAcquire opportunistically takes a limiter slot for an intra-sweep
-// helper. It never joins the limiter's blocking queue — a Release wakes
-// a blocked Acquire before a later TryAcquire can win the slot, so
-// whole-candidate admissions keep strict priority — and gives up once
-// the sweep's work runs out or ctx is done.
-func pollAcquire(ctx context.Context, limit *pool.Limiter, next *atomic.Int64, n int64) bool {
-	for {
-		if next.Load() >= n {
-			return false
-		}
-		if limit.TryAcquire() {
-			return true
-		}
-		select {
-		case <-ctx.Done():
-			return false
-		case <-time.After(500 * time.Microsecond):
-		}
-	}
 }
 
 // fold aggregates per-scenario outcomes in scenario order, so the

@@ -373,7 +373,7 @@ func (pl *Planner) Floorplan(topo topology.Topology, assign []int, cores []graph
 
 	sol, err := pl.lp.Solve(p)
 	if err != nil {
-		return nil, fmt.Errorf("floorplan: %v", err)
+		return nil, fmt.Errorf("floorplan: %w", err)
 	}
 	if sol.Status != lp.Optimal {
 		return nil, fmt.Errorf("floorplan: LP %v", sol.Status)

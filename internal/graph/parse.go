@@ -70,7 +70,7 @@ func Parse(r io.Reader) (*CoreGraph, error) {
 				}
 			}
 			if _, err := g.AddCore(c); err != nil {
-				return nil, fmt.Errorf("graph: line %d: %v", lineNo, err)
+				return nil, fmt.Errorf("graph: line %d: %w", lineNo, err)
 			}
 		case "flow":
 			// "flow SRC -> DST BW"
@@ -82,14 +82,14 @@ func Parse(r io.Reader) (*CoreGraph, error) {
 				return nil, fmt.Errorf("graph: line %d: bad bandwidth %q", lineNo, fields[4])
 			}
 			if err := g.Connect(fields[1], fields[3], bw); err != nil {
-				return nil, fmt.Errorf("graph: line %d: %v", lineNo, err)
+				return nil, fmt.Errorf("graph: line %d: %w", lineNo, err)
 			}
 		default:
 			return nil, fmt.Errorf("graph: line %d: unknown directive %q", lineNo, fields[0])
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("graph: read: %v", err)
+		return nil, fmt.Errorf("graph: read: %w", err)
 	}
 	if err := g.Validate(); err != nil {
 		return nil, err

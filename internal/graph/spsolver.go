@@ -20,7 +20,7 @@ type pqItem struct {
 // only removes the interface{} boxing (and virtual Less/Swap calls) that
 // container/heap forced on every push and pop.
 func heapPush(q *[]pqItem, it pqItem) {
-	h := append(*q, it)
+	h := append(*q, it) //sunmap:alloc amortized heap growth; steady-state pushes reuse capacity
 	j := len(h) - 1
 	for j > 0 {
 		i := (j - 1) / 2
@@ -83,11 +83,11 @@ func NewSPSolver() *SPSolver { return &SPSolver{} }
 // reset prepares the solver for a run over n vertices.
 func (s *SPSolver) reset(n int) {
 	if cap(s.dist) < n {
-		s.dist = make([]float64, n)
-		s.prevV = make([]int, n)
-		s.prevArc = make([]int, n)
-		s.stamp = make([]uint32, n)
-		s.settled = make([]uint32, n)
+		s.dist = make([]float64, n)   //sunmap:alloc first-use growth, recycled across runs
+		s.prevV = make([]int, n)      //sunmap:alloc first-use growth, recycled across runs
+		s.prevArc = make([]int, n)    //sunmap:alloc first-use growth, recycled across runs
+		s.stamp = make([]uint32, n)   //sunmap:alloc first-use growth, recycled across runs
+		s.settled = make([]uint32, n) //sunmap:alloc first-use growth, recycled across runs
 	}
 	s.dist = s.dist[:n]
 	s.prevV = s.prevV[:n]
@@ -137,11 +137,13 @@ func (s *SPSolver) Prev(v int) (prevV, prevArc int) {
 // heap discipline are identical to Digraph.Dijkstra — the two must agree
 // bit-for-bit on every path so scratch-based and allocating callers see the
 // same routing decisions.
+//
+//sunmap:hotpath
 func (s *SPSolver) Dijkstra(d *Digraph, src int, w WeightFunc, allowed []bool) {
 	n := len(d.adj)
 	s.reset(n)
 	if src < 0 || src >= n {
-		panic(fmt.Sprintf("graph: Dijkstra source %d out of range", src))
+		panic(fmt.Sprintf("graph: Dijkstra source %d out of range", src)) //sunmap:alloc panic path
 	}
 	if allowed != nil && !allowed[src] {
 		return
@@ -168,7 +170,7 @@ func (s *SPSolver) Dijkstra(d *Digraph, src int, w WeightFunc, allowed []bool) {
 				continue
 			}
 			if wt < 0 {
-				panic(fmt.Sprintf("graph: negative arc weight %g on %d->%d", wt, u, a.To))
+				panic(fmt.Sprintf("graph: negative arc weight %g on %d->%d", wt, u, a.To)) //sunmap:alloc panic path
 			}
 			if nd := du + wt; nd < s.Dist(a.To) {
 				s.dist[a.To] = nd
@@ -188,11 +190,13 @@ func (s *SPSolver) Dijkstra(d *Digraph, src int, w WeightFunc, allowed []bool) {
 // single-destination callers get bit-identical paths at a fraction of the
 // work (the router graph's search frontier stops growing at dst instead
 // of sweeping the whole topology).
+//
+//sunmap:hotpath
 func (s *SPSolver) DijkstraTo(d *Digraph, src, dst int, w WeightFunc, allowed []bool) {
 	n := len(d.adj)
 	s.reset(n)
 	if src < 0 || src >= n {
-		panic(fmt.Sprintf("graph: Dijkstra source %d out of range", src))
+		panic(fmt.Sprintf("graph: Dijkstra source %d out of range", src)) //sunmap:alloc panic path
 	}
 	if allowed != nil && !allowed[src] {
 		return
@@ -222,7 +226,7 @@ func (s *SPSolver) DijkstraTo(d *Digraph, src, dst int, w WeightFunc, allowed []
 				continue
 			}
 			if wt < 0 {
-				panic(fmt.Sprintf("graph: negative arc weight %g on %d->%d", wt, u, a.To))
+				panic(fmt.Sprintf("graph: negative arc weight %g on %d->%d", wt, u, a.To)) //sunmap:alloc panic path
 			}
 			if nd := du + wt; nd < s.Dist(a.To) {
 				s.dist[a.To] = nd
@@ -243,11 +247,13 @@ func (s *SPSolver) DijkstraTo(d *Digraph, src, dst int, w WeightFunc, allowed []
 // with the same arithmetic, so paths stay bit-identical to the generic
 // solver's. This removes the indirect call per arc from the innermost
 // loop of the mapper's swap sweep.
+//
+//sunmap:hotpath
 func (s *SPSolver) DijkstraLoads(d *Digraph, src, dst int, loads []float64, bias float64, dag, down, allowed []bool) {
 	n := len(d.adj)
 	s.reset(n)
 	if src < 0 || src >= n {
-		panic(fmt.Sprintf("graph: Dijkstra source %d out of range", src))
+		panic(fmt.Sprintf("graph: Dijkstra source %d out of range", src)) //sunmap:alloc panic path
 	}
 	if allowed != nil && !allowed[src] {
 		return
@@ -280,7 +286,7 @@ func (s *SPSolver) DijkstraLoads(d *Digraph, src, dst int, loads []float64, bias
 			}
 			wt := loads[a.ID] + bias
 			if wt < 0 {
-				panic(fmt.Sprintf("graph: negative arc weight %g on %d->%d", wt, u, a.To))
+				panic(fmt.Sprintf("graph: negative arc weight %g on %d->%d", wt, u, a.To)) //sunmap:alloc panic path
 			}
 			if nd := du + wt; nd < s.Dist(a.To) {
 				s.dist[a.To] = nd
@@ -298,16 +304,18 @@ func (s *SPSolver) DijkstraLoads(d *Digraph, src, dst int, loads []float64, bias
 // truncated first and may be nil). It returns the filled slices and whether
 // dst was reached. The returned slices alias the buffers: callers that keep
 // a path across runs must copy it out.
+//
+//sunmap:hotpath
 func (s *SPSolver) PathTo(src, dst int, verts, arcs []int) (v, a []int, ok bool) {
 	verts, arcs = verts[:0], arcs[:0]
 	if math.IsInf(s.Dist(dst), 1) {
 		return verts, arcs, false
 	}
 	for u := dst; u != src; u = s.prevV[u] {
-		verts = append(verts, u)
-		arcs = append(arcs, s.prevArc[u])
+		verts = append(verts, u)          //sunmap:alloc amortized growth into caller-owned buffer
+		arcs = append(arcs, s.prevArc[u]) //sunmap:alloc amortized growth into caller-owned buffer
 	}
-	verts = append(verts, src)
+	verts = append(verts, src) //sunmap:alloc amortized growth into caller-owned buffer
 	reverseInts(verts)
 	reverseInts(arcs)
 	return verts, arcs, true

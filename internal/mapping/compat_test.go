@@ -1,0 +1,17 @@
+package mapping
+
+// Test-only ctx-less entry point: the shipped package exposes only
+// MapContext (ctxdiscipline forbids library code from minting a
+// context); the in-package tests keep the shorter spelling.
+
+import (
+	"context"
+
+	"sunmap/internal/graph"
+	"sunmap/internal/topology"
+)
+
+// Map runs MapContext under a background context.
+func Map(g *graph.CoreGraph, topo topology.Topology, opts Options) (*Result, error) {
+	return MapContext(context.Background(), g, topo, opts)
+}

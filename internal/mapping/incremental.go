@@ -282,6 +282,8 @@ func (st *incState) hopBound(res *route.Result, k int) float64 {
 // nil result — as soon as the certified lower bound shows the candidate
 // cannot beat bound. A pruned candidate is exactly one the reference
 // sweep would have evaluated and rejected.
+//
+//sunmap:hotpath
 func (st *incState) eval(assign []int, ca, cb int, all bool, bound float64) (e *evalResult, pruned bool, err error) {
 	opts := st.ev.opts
 	prune := !math.IsInf(bound, 1)
@@ -357,7 +359,7 @@ func (st *incState) eval(assign []int, ca, cb int, all bool, bound float64) (e *
 		if err != nil {
 			return nil, false, err
 		}
-		st.reroutedIDs = append(st.reroutedIDs, k)
+		st.reroutedIDs = append(st.reroutedIDs, k) //sunmap:alloc amortized rerouted-ID scratch growth, reset per eval
 		if !all && !st.oblivious && !recEqual(rec, &st.base[k]) {
 			// The candidate's load history now differs from the
 			// baseline's on the symmetric difference of the two records'
@@ -387,7 +389,7 @@ func (st *incState) rerouteSplit(res *route.Result, srcT, dstT int, c graph.Comm
 	rec.verts = resizePathBufs(rec.verts, n)
 	rec.arcs = resizePathBufs(rec.arcs, n)
 	if cap(rec.fracs) < n {
-		rec.fracs = make([]float64, n)
+		rec.fracs = make([]float64, n) //sunmap:alloc first-use growth of split-fraction buffer, kept on the record for reuse
 	}
 	rec.fracs = rec.fracs[:n]
 	for i := 0; i < n; i++ {
@@ -489,7 +491,7 @@ func (st *incState) markRecDirty(rec *flowRec) {
 		for _, id := range rec.arcs[i] {
 			if st.dirtyMark[id] != st.dirtyEpoch {
 				st.dirtyMark[id] = st.dirtyEpoch
-				st.dirtyIDs = append(st.dirtyIDs, id)
+				st.dirtyIDs = append(st.dirtyIDs, id) //sunmap:alloc amortized dirty-ID scratch growth, reset per eval epoch
 			}
 		}
 	}
@@ -606,7 +608,7 @@ func resizeRecs(recs []flowRec, n int) []flowRec {
 // keeping existing buffers for reuse.
 func resizePathBufs(bufs [][]int, n int) [][]int {
 	if cap(bufs) < n {
-		grown := make([][]int, n)
+		grown := make([][]int, n) //sunmap:alloc first-use growth, existing buffers recycled
 		copy(grown, bufs)
 		return grown
 	}
@@ -628,7 +630,7 @@ func resizeInts(s []int, n int) []int {
 // every element).
 func resizeFloats(s []float64, n int) []float64 {
 	if cap(s) < n {
-		return make([]float64, n)
+		return make([]float64, n) //sunmap:alloc first-use growth, recycled
 	}
 	return s[:n]
 }

@@ -152,14 +152,9 @@ type Result struct {
 // Feasible reports whether all constraints hold.
 func (r *Result) Feasible() bool { return r.BandwidthOK && r.AreaOK && r.AspectOK }
 
-// Map runs the Fig. 5 algorithm: greedy initial mapping, commodity routing
-// in decreasing order, cost evaluation, pairwise-swap improvement, and a
-// final exact floorplan + feasibility check.
-func Map(g *graph.CoreGraph, topo topology.Topology, opts Options) (*Result, error) {
-	return MapContext(context.Background(), g, topo, opts)
-}
-
-// MapContext is Map with cancellation: the swap-improvement search checks
+// MapContext runs the Fig. 5 algorithm: greedy initial mapping, commodity
+// routing in decreasing order, cost evaluation, pairwise-swap improvement,
+// and a final exact floorplan + feasibility check. The swap-improvement search checks
 // ctx between sweep rows and aborts with the context's error, so a long
 // library sweep can be cut short by a deadline or a user interrupt.
 func MapContext(ctx context.Context, g *graph.CoreGraph, topo topology.Topology, opts Options) (*Result, error) {
@@ -186,7 +181,7 @@ func mapContext(ctx context.Context, g *graph.CoreGraph, topo topology.Topology,
 		return nil, err
 	}
 	if err := g.Validate(); err != nil {
-		return nil, fmt.Errorf("mapping: %v", err)
+		return nil, fmt.Errorf("mapping: %w", err)
 	}
 	if g.NumCores() > topo.NumTerminals() {
 		return nil, fmt.Errorf("mapping: %d cores exceed %d terminals of %s",
@@ -194,7 +189,7 @@ func mapContext(ctx context.Context, g *graph.CoreGraph, topo topology.Topology,
 	}
 	opts = opts.withDefaults()
 	if err := opts.Tech.Validate(); err != nil {
-		return nil, fmt.Errorf("mapping: %v", err)
+		return nil, fmt.Errorf("mapping: %w", err)
 	}
 	comms := g.Commodities()
 

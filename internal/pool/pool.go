@@ -11,6 +11,7 @@ import (
 	"context"
 	"runtime"
 	"sync"
+	"time"
 )
 
 // Limiter is a counting semaphore bounding how many evaluations run at
@@ -61,6 +62,35 @@ func (l *Limiter) TryAcquire() bool {
 		return true
 	default:
 		return false
+	}
+}
+
+// PollAcquire opportunistically takes a limiter slot for a nested
+// worker: it polls TryAcquire (every 500µs) instead of joining the
+// limiter's blocking queue, so whole-candidate Acquire callers keep
+// strict priority — a Release wakes a blocked sender before a later
+// TryAcquire can win the slot — and a fully subscribed limiter can
+// never deadlock on nested acquisition. It returns true once a slot is
+// held (the caller must Release it), and false when ctx is done or
+// giveUp reports the work has run out. A nil giveUp polls until
+// acquisition or cancellation; a nil Limiter admits immediately.
+//
+// This is the one sanctioned way for code below the admission layer to
+// take a limiter slot; the limiterdiscipline analyzer rejects blocking
+// Acquire everywhere outside internal/engine.
+func PollAcquire(ctx context.Context, l *Limiter, giveUp func() bool) bool {
+	for {
+		if giveUp != nil && giveUp() {
+			return false
+		}
+		if l.TryAcquire() {
+			return true
+		}
+		select {
+		case <-ctx.Done():
+			return false
+		case <-time.After(500 * time.Microsecond):
+		}
 	}
 }
 

@@ -20,7 +20,7 @@ func (rt *Router) routeDO(srcT, dstT int, c graph.Commodity, res *Result, collec
 	if rt.down != nil {
 		for _, id := range arcs {
 			if rt.down[id] {
-				return fmt.Errorf("route: DO path of commodity %d crosses down link %d on %s",
+				return fmt.Errorf("route: DO path of commodity %d crosses down link %d on %s", //sunmap:alloc error path
 					c.ID, id, rt.topo.Name())
 			}
 		}
@@ -57,13 +57,13 @@ func (rt *Router) PathDO(srcT, dstT int, c graph.Commodity) (verts, arcs []int, 
 		// oblivious minimum-hop routing, deterministic by construction.
 		v, a, ok := rt.shortest(src, dst, graph.UnitWeight, rt.Quadrant(srcT, dstT))
 		if !ok {
-			return nil, nil, fmt.Errorf("route: DO found no path for commodity %d on %s", c.ID, topo.Name())
+			return nil, nil, fmt.Errorf("route: DO found no path for commodity %d on %s", c.ID, topo.Name()) //sunmap:alloc error path
 		}
 		return v, a, nil
 	}
 	arcs, err = rt.arcsAlong(verts)
 	if err != nil {
-		return nil, nil, fmt.Errorf("route: DO commodity %d on %s: %v", c.ID, topo.Name(), err)
+		return nil, nil, fmt.Errorf("route: DO commodity %d on %s: %w", c.ID, topo.Name(), err) //sunmap:alloc error path
 	}
 	return verts, arcs, nil
 }
@@ -75,7 +75,7 @@ func (rt *Router) gridDOPath(src, dst, rows, cols int, wrap bool) []int {
 	sr, sc := src/cols, src%cols
 	dr, dc := dst/cols, dst%cols
 	verts := append(rt.verts[:0], src)
-	stepToward := func(cur, want, n int) int {
+	stepToward := func(cur, want, n int) int { //sunmap:alloc non-escaping closure, stack-allocated
 		if !wrap {
 			if cur < want {
 				return cur + 1
@@ -92,11 +92,11 @@ func (rt *Router) gridDOPath(src, dst, rows, cols int, wrap bool) []int {
 	r, col := sr, sc
 	for col != dc {
 		col = stepToward(col, dc, cols)
-		verts = append(verts, r*cols+col)
+		verts = append(verts, r*cols+col) //sunmap:alloc amortized growth of router vertex scratch
 	}
 	for r != dr {
 		r = stepToward(r, dr, rows)
-		verts = append(verts, r*cols+col)
+		verts = append(verts, r*cols+col) //sunmap:alloc amortized growth of router vertex scratch
 	}
 	rt.verts = verts
 	return verts
@@ -109,7 +109,7 @@ func (rt *Router) cubeDOPath(src, dst, dim int) []int {
 	for b := 0; b < dim; b++ {
 		if (cur^dst)&(1<<b) != 0 {
 			cur ^= 1 << b
-			verts = append(verts, cur)
+			verts = append(verts, cur) //sunmap:alloc amortized growth of router vertex scratch
 		}
 	}
 	rt.verts = verts
@@ -130,9 +130,9 @@ func (rt *Router) arcsAlong(verts []int) ([]int, error) {
 		}
 		if found < 0 {
 			rt.arcs = arcs
-			return nil, fmt.Errorf("no link %d->%d", verts[i], verts[i+1])
+			return nil, fmt.Errorf("no link %d->%d", verts[i], verts[i+1]) //sunmap:alloc error path
 		}
-		arcs = append(arcs, found)
+		arcs = append(arcs, found) //sunmap:alloc amortized growth of router arc scratch
 	}
 	rt.arcs = arcs
 	return arcs, nil

@@ -238,7 +238,7 @@ func commit(res *Result, c graph.Commodity, f float64, verts, arcs []int, collec
 			res.Paths = res.Paths[:n+1]
 			p = &res.Paths[n]
 		} else {
-			res.Paths = append(res.Paths, FlowPath{})
+			res.Paths = append(res.Paths, FlowPath{}) //sunmap:alloc arena growth; steady-state reuses capacity (cap-check branch above)
 			p = &res.Paths[len(res.Paths)-1]
 		}
 		p.Commodity = c
@@ -300,7 +300,7 @@ func (rt *Router) routeSplit(srcT, dstT int, c graph.Commodity, res *Result, chu
 		verts, arcs, ok := rt.shortestLoads(src, dst, rt.dag, mask)
 		if !ok {
 			rt.accs = acc
-			return fmt.Errorf("route: no path for commodity %d chunk %d on %s", c.ID, i, topo.Name())
+			return fmt.Errorf("route: no path for commodity %d chunk %d on %s", c.ID, i, topo.Name()) //sunmap:alloc error path
 		}
 		bw := c.ValueMBps * frac
 		for _, id := range arcs {
@@ -320,7 +320,7 @@ func (rt *Router) routeSplit(srcT, dstT int, c graph.Commodity, res *Result, chu
 			if len(acc) < cap(acc) {
 				acc = acc[:len(acc)+1]
 			} else {
-				acc = append(acc, accum{})
+				acc = append(acc, accum{}) //sunmap:alloc arena growth; steady-state reuses capacity (cap-check branch above)
 			}
 			a := &acc[len(acc)-1]
 			a.verts = append(a.verts[:0], verts...)
@@ -328,7 +328,7 @@ func (rt *Router) routeSplit(srcT, dstT int, c graph.Commodity, res *Result, chu
 			a.fraction = frac
 			merged = len(acc) - 1
 		}
-		rt.chunkAcc = append(rt.chunkAcc, merged)
+		rt.chunkAcc = append(rt.chunkAcc, merged) //sunmap:alloc amortized growth of chunk-merge scratch, reset per commodity
 	}
 	// Loads for links were applied per chunk above; undo and let commit
 	// re-apply once per merged path so bookkeeping has a single source of

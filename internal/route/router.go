@@ -77,8 +77,8 @@ func (rt *Router) Bind(topo topology.Topology) {
 	rt.topo = topo
 	n := topo.NumTerminals() * topo.NumTerminals()
 	if cap(rt.quads) < n {
-		rt.quads = make([][]bool, n)
-		rt.dags = make([][]bool, n)
+		rt.quads = make([][]bool, n) //sunmap:alloc first-bind growth, recycled across topologies
+		rt.dags = make([][]bool, n)  //sunmap:alloc first-bind growth, recycled across topologies
 	}
 	rt.quads = rt.quads[:n]
 	rt.dags = rt.dags[:n]
@@ -107,7 +107,7 @@ func (rt *Router) MinHopDAG(srcT, dstT int) []bool {
 		mask := rt.Quadrant(srcT, dstT)
 		src, dst := rt.topo.InjectRouter(srcT), rt.topo.EjectRouter(dstT)
 		arcSet := rt.topo.Graph().AllMinHopArcs(src, dst, mask)
-		dense := make([]bool, len(rt.topo.Links()))
+		dense := make([]bool, len(rt.topo.Links())) //sunmap:alloc once-per-terminal-pair cache fill, cold after warmup
 		for id := range arcSet {
 			dense[id] = true
 		}
@@ -131,7 +131,7 @@ func (rt *Router) PathMP(srcT, dstT int, c graph.Commodity, linkLoads []float64,
 	verts, arcs, ok := rt.shortestLoads(src, dst, nil, mask)
 	rt.loads = nil
 	if !ok {
-		return nil, nil, fmt.Errorf("route: no path for commodity %d (terminals %d->%d) on %s",
+		return nil, nil, fmt.Errorf("route: no path for commodity %d (terminals %d->%d) on %s", //sunmap:alloc error path
 			c.ID, srcT, dstT, rt.topo.Name())
 	}
 	return verts, arcs, nil
@@ -172,7 +172,7 @@ func (rt *Router) shortestLoads(src, dst int, dag, mask []bool) (verts, arcs []i
 // resizeFloats returns buf resized to n with every element zeroed.
 func resizeFloats(buf []float64, n int) []float64 {
 	if cap(buf) < n {
-		return make([]float64, n)
+		return make([]float64, n) //sunmap:alloc first-use growth, recycled
 	}
 	buf = buf[:n]
 	for i := range buf {
@@ -211,28 +211,30 @@ func FinalizeLoads(res *Result, capacityMBps float64) {
 // the Router's scratch so steady-state calls allocate nothing (Paths
 // excepted — see Options.LoadsOnly). res is reset first; on error it holds
 // partially accumulated state and must not be read.
+//
+//sunmap:hotpath
 func (rt *Router) RouteInto(res *Result, topo topology.Topology, assign []int, comms []graph.Commodity, opts Options) error {
 	opts = opts.withDefaults()
 	rt.Bind(topo)
 	if opts.DownLinks != nil && len(opts.DownLinks) != len(topo.Links()) {
-		return fmt.Errorf("route: DownLinks mask has %d entries for %d links of %s",
+		return fmt.Errorf("route: DownLinks mask has %d entries for %d links of %s", //sunmap:alloc error path
 			len(opts.DownLinks), len(topo.Links()), topo.Name())
 	}
 	rt.down = opts.DownLinks
-	defer func() { rt.down = nil }()
+	defer func() { rt.down = nil }() //sunmap:alloc non-escaping deferred closure, stack-allocated
 	res.Reset(len(topo.Links()), topo.NumRouters())
 	collect := !opts.LoadsOnly
 	for _, c := range comms {
 		if c.Src < 0 || c.Src >= len(assign) || c.Dst < 0 || c.Dst >= len(assign) {
-			return fmt.Errorf("route: commodity %d endpoints (%d,%d) outside assignment of %d cores",
+			return fmt.Errorf("route: commodity %d endpoints (%d,%d) outside assignment of %d cores", //sunmap:alloc error path
 				c.ID, c.Src, c.Dst, len(assign))
 		}
 		srcT, dstT := assign[c.Src], assign[c.Dst]
 		if srcT < 0 || srcT >= topo.NumTerminals() || dstT < 0 || dstT >= topo.NumTerminals() {
-			return fmt.Errorf("route: commodity %d mapped to invalid terminals (%d,%d)", c.ID, srcT, dstT)
+			return fmt.Errorf("route: commodity %d mapped to invalid terminals (%d,%d)", c.ID, srcT, dstT) //sunmap:alloc error path
 		}
 		if srcT == dstT {
-			return fmt.Errorf("route: commodity %d has source and destination on terminal %d", c.ID, srcT)
+			return fmt.Errorf("route: commodity %d has source and destination on terminal %d", c.ID, srcT) //sunmap:alloc error path
 		}
 		var err error
 		switch opts.Function {
@@ -248,7 +250,7 @@ func (rt *Router) RouteInto(res *Result, topo topology.Topology, assign []int, c
 		case SplitAll:
 			err = rt.routeSplit(srcT, dstT, c, res, opts.Chunks, false, collect)
 		default:
-			err = fmt.Errorf("route: unknown routing function %v", opts.Function)
+			err = fmt.Errorf("route: unknown routing function %v", opts.Function) //sunmap:alloc error path
 		}
 		if err != nil {
 			return err

@@ -58,7 +58,7 @@ func (c *cand) addEdge(u, v int) {
 		u, v = v, u
 	}
 	i := int32(len(c.edges))
-	c.edges = append(c.edges, [2]int{u, v})
+	c.edges = append(c.edges, [2]int{u, v}) //sunmap:alloc amortized edge-list growth; capacity bounded by maxR*(maxR-1)/2
 	c.eidx[u*c.maxR+v] = i
 	c.eidx[v*c.maxR+u] = i
 	c.deg[u]++
@@ -87,7 +87,7 @@ func (c *cand) neighbors(r int, dst []int) []int {
 	row := r * c.maxR
 	for v := 0; v < c.nR; v++ {
 		if c.eidx[row+v] >= 0 {
-			dst = append(dst, v)
+			dst = append(dst, v) //sunmap:alloc amortized growth into caller-owned neighbor scratch
 		}
 	}
 	return dst
@@ -128,7 +128,7 @@ func (st *searchTopo) rebuild(c *cand) {
 				continue
 			}
 			id := len(st.links)
-			st.links = append(st.links,
+			st.links = append(st.links, //sunmap:alloc amortized link-arena growth, reused across materializations
 				topology.Link{ID: id, From: u, To: v},
 				topology.Link{ID: id + 1, From: v, To: u})
 			st.g.AddArc(u, v, id)

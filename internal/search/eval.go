@@ -140,7 +140,7 @@ func (ev *evaluator) connected(c *cand) bool {
 			if c.eidx[row+v] >= 0 && ev.seen[v] != ev.epoch {
 				ev.seen[v] = ev.epoch
 				visited++
-				ev.queue = append(ev.queue, int32(v))
+				ev.queue = append(ev.queue, int32(v)) //sunmap:alloc amortized BFS queue growth, reused across evals
 			}
 		}
 	}
@@ -154,7 +154,7 @@ func (ev *evaluator) connected(c *cand) bool {
 // routes the network would install.
 func (ev *evaluator) acyclicCDG(paths []route.FlowPath, numLinks int) bool {
 	if cap(ev.succ) < numLinks {
-		grown := make([][]int32, numLinks)
+		grown := make([][]int32, numLinks) //sunmap:alloc first-use growth of CDG successor arena, recycled
 		copy(grown, ev.succ[:cap(ev.succ)])
 		ev.succ = grown
 	}
@@ -163,7 +163,7 @@ func (ev *evaluator) acyclicCDG(paths []route.FlowPath, numLinks int) bool {
 		ev.succ[i] = ev.succ[i][:0]
 	}
 	if cap(ev.indeg) < numLinks {
-		ev.indeg = make([]int32, numLinks)
+		ev.indeg = make([]int32, numLinks) //sunmap:alloc first-use growth of CDG indegree scratch, recycled
 	}
 	ev.indeg = ev.indeg[:numLinks]
 	for i := range ev.indeg {
@@ -172,14 +172,14 @@ func (ev *evaluator) acyclicCDG(paths []route.FlowPath, numLinks int) bool {
 	for _, p := range paths {
 		for i := 0; i+1 < len(p.LinkIDs); i++ {
 			a, b := p.LinkIDs[i], p.LinkIDs[i+1]
-			ev.succ[a] = append(ev.succ[a], int32(b))
+			ev.succ[a] = append(ev.succ[a], int32(b)) //sunmap:alloc amortized per-link successor growth, reused across evals
 			ev.indeg[b]++
 		}
 	}
 	ev.cq = ev.cq[:0]
 	for i := 0; i < numLinks; i++ {
 		if ev.indeg[i] == 0 {
-			ev.cq = append(ev.cq, int32(i))
+			ev.cq = append(ev.cq, int32(i)) //sunmap:alloc amortized Kahn queue growth, reused across evals
 		}
 	}
 	processed := 0
@@ -190,7 +190,7 @@ func (ev *evaluator) acyclicCDG(paths []route.FlowPath, numLinks int) bool {
 		for _, v := range ev.succ[u] {
 			ev.indeg[v]--
 			if ev.indeg[v] == 0 {
-				ev.cq = append(ev.cq, v)
+				ev.cq = append(ev.cq, v) //sunmap:alloc amortized Kahn queue growth, reused across evals
 			}
 		}
 	}

@@ -182,7 +182,7 @@ func Run(ctx context.Context, app *graph.CoreGraph, opts Options) (*Result, erro
 		return nil, fmt.Errorf("search: %w: nil application", ErrBadOptions)
 	}
 	if err := app.Validate(); err != nil {
-		return nil, fmt.Errorf("search: %w: %v", ErrBadOptions, err)
+		return nil, fmt.Errorf("search: %w: %w", ErrBadOptions, err)
 	}
 	terms := app.NumCores()
 	if terms < 2 {
@@ -254,6 +254,8 @@ type chain struct {
 // evaluation (a no-op mutation or a constraint rejection still consumed
 // its slice of the budget); this is what makes iteration counts — and
 // therefore results — a pure function of (seed, budget).
+//
+//sunmap:hotpath
 func (ch *chain) step() {
 	ch.evals++
 	ch.temp *= ch.cool

@@ -1,0 +1,99 @@
+package sim
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"sunmap/internal/pool"
+	"sunmap/internal/topology"
+	"sunmap/internal/traffic"
+)
+
+// sweepConfig builds a small real simulation config for limiter tests.
+func sweepConfig(t *testing.T) Config {
+	t.Helper()
+	topo, err := topology.ByName("mesh-2x2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	routes, err := BuildRoutes(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Config{
+		Topo:          topo,
+		Routes:        routes,
+		Pattern:       traffic.Uniform{},
+		Seed:          1,
+		WarmupCycles:  10,
+		MeasureCycles: 50,
+		DrainCycles:   100,
+	}
+}
+
+// TestSweepSaturatedLimiterNoDeadlock is the regression test for the
+// pre-PR-8 nested blocking Acquire in SweepLimited: with every limiter
+// slot already held by the caller's chain (here: taken by the test and
+// never released), the old code blocked forever queueing for a session
+// slot per rate. The poll-style rework must complete the sweep inline
+// on the calling goroutine regardless.
+func TestSweepSaturatedLimiterNoDeadlock(t *testing.T) {
+	limit := pool.NewLimiter(1)
+	if !limit.TryAcquire() {
+		t.Fatal("setup: could not saturate the limiter")
+	}
+	defer limit.Release()
+
+	rates := []float64{0.05, 0.1, 0.15, 0.2}
+	type result struct {
+		stats []*Stats
+		err   error
+	}
+	done := make(chan result, 1)
+	go func() {
+		stats, err := SweepLimited(context.Background(), sweepConfig(t), rates, 4, limit)
+		done <- result{stats, err}
+	}()
+	select {
+	case res := <-done:
+		if res.err != nil {
+			t.Fatal(res.err)
+		}
+		for i, st := range res.stats {
+			if st == nil || st.MeasuredPackets == 0 {
+				t.Errorf("rate %g: degenerate stats %+v", rates[i], st)
+			}
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("SweepLimited deadlocked on a saturated limiter (nested blocking Acquire regression)")
+	}
+}
+
+// TestSweepSaturatedMatchesUnlimited pins that the saturated-limiter
+// path (helpers never admitted, everything inline) produces the same
+// stats as an unconstrained parallel sweep — the byte-identical-at-
+// every-parallelism contract extends to limiter pressure.
+func TestSweepSaturatedMatchesUnlimited(t *testing.T) {
+	cfg := sweepConfig(t)
+	rates := []float64{0.05, 0.1, 0.15, 0.2}
+
+	limit := pool.NewLimiter(1)
+	if !limit.TryAcquire() {
+		t.Fatal("setup: could not saturate the limiter")
+	}
+	saturated, err := SweepLimited(context.Background(), cfg, rates, 4, limit)
+	limit.Release()
+	if err != nil {
+		t.Fatal(err)
+	}
+	free, err := SweepLimited(context.Background(), cfg, rates, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rates {
+		if *saturated[i] != *free[i] {
+			t.Errorf("rate %g: saturated %+v != unlimited %+v", rates[i], *saturated[i], *free[i])
+		}
+	}
+}

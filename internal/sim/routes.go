@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"sunmap/internal/graph"
 	"sunmap/internal/pool"
@@ -48,7 +50,7 @@ func BuildRoutes(topo topology.Topology) (*RouteTable, error) {
 				[]graph.Commodity{{ID: 0, Src: 0, Dst: 1, ValueMBps: 1}},
 				route.Options{Function: route.DimensionOrdered})
 			if err != nil {
-				return nil, fmt.Errorf("sim: building route %d->%d on %s: %v", s, d, topo.Name(), err)
+				return nil, fmt.Errorf("sim: building route %d->%d on %s: %w", s, d, topo.Name(), err)
 			}
 			for _, p := range res.Paths {
 				rt.paths[s*n+d] = append(rt.paths[s*n+d], Path{
@@ -91,13 +93,8 @@ func findLink(topo topology.Topology, u, v int) (int, error) {
 	return 0, fmt.Errorf("sim: no link %d->%d in %s", u, v, topo.Name())
 }
 
-// Sweep runs the simulator across injection rates and returns the stats
-// per rate — one curve of Fig. 8(b).
-func Sweep(cfg Config, rates []float64) ([]*Stats, error) {
-	return SweepContext(context.Background(), cfg, rates, 1)
-}
-
-// SweepContext is Sweep with cancellation and a bounded worker pool: up to
+// SweepContext runs the simulator across injection rates and returns the
+// stats per rate — one curve of Fig. 8(b) — with cancellation and a bounded worker pool: up to
 // parallelism rates simulate concurrently (each run is an independent,
 // seeded simulation, so results are identical to the sequential sweep and
 // stay in rate order). parallelism <= 0 selects GOMAXPROCS. The first
@@ -107,12 +104,21 @@ func SweepContext(parent context.Context, cfg Config, rates []float64, paralleli
 	return SweepLimited(parent, cfg, rates, parallelism, nil)
 }
 
-// SweepLimited is SweepContext gated by a shared admission semaphore:
-// each per-rate run holds one limit slot while simulating, so concurrent
-// sweeps (e.g. the simulate requests of one Session.Batch) share a single
-// session-wide parallelism budget instead of multiplying their pools. A
-// nil limit admits freely. Panics in a simulation become that rate's
-// error instead of crashing the worker goroutine's process.
+// SweepLimited is SweepContext sharing a session-wide admission
+// semaphore with the rest of the engine. Work distribution follows the
+// two-level limiter discipline (the shape fault.Sweeper established):
+// the calling goroutine simulates rates inline under whatever limiter
+// slot its caller already holds, and up to parallelism-1 extra workers
+// are opportunistic — each polls limit with pool.PollAcquire, borrowing
+// idle budget when available and giving up once the rates run out, so a
+// fully subscribed limiter can never deadlock on nested acquisition.
+// (The old shape blocked on limit.Acquire per rate from nested code,
+// which deadlocked when the caller's chain already held every slot.)
+// Rates are claimed off an atomic counter; each run is an independent
+// seeded simulation, so results are identical at every worker count and
+// stay in rate order. A nil limit admits helpers freely. Panics in a
+// simulation become that rate's error instead of crashing the worker
+// goroutine's process.
 func SweepLimited(parent context.Context, cfg Config, rates []float64, parallelism int, limit *pool.Limiter) ([]*Stats, error) {
 	if parallelism <= 0 {
 		parallelism = runtime.GOMAXPROCS(0)
@@ -120,37 +126,57 @@ func SweepLimited(parent context.Context, cfg Config, rates []float64, paralleli
 	if parallelism > len(rates) {
 		parallelism = len(rates)
 	}
+	if parallelism < 1 {
+		parallelism = 1
+	}
 	ctx, cancel := context.WithCancel(parent)
 	defer cancel()
 	out := make([]*Stats, len(rates))
 	errs := make([]error, len(rates))
-	pool.ForEach(ctx, len(rates), parallelism, func(i int) {
-		if err := limit.Acquire(ctx); err != nil {
-			return // canceled while queued for a session slot
-		}
-		c := cfg
-		c.InjectionRate = rates[i]
-		st, err := func() (st *Stats, err error) {
-			defer limit.Release()
-			defer func() {
-				if r := recover(); r != nil {
-					st, err = nil, fmt.Errorf("panic at rate %g: %v", rates[i], r)
-				}
-			}()
-			return RunContext(ctx, c)
-		}()
-		if err != nil {
-			// A cancellation-induced abort isn't this rate's fault; the
-			// genuine failure (or the parent's error) is reported by
-			// whoever triggered it.
-			if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
-				errs[i] = fmt.Errorf("sim: sweep at rate %g: %v", rates[i], err)
+	var next atomic.Int64
+	run := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= len(rates) || ctx.Err() != nil {
+				return
 			}
-			cancel()
-			return
+			c := cfg
+			c.InjectionRate = rates[i]
+			st, err := func() (st *Stats, err error) {
+				defer func() {
+					if r := recover(); r != nil {
+						st, err = nil, fmt.Errorf("panic at rate %g: %v", rates[i], r)
+					}
+				}()
+				return RunContext(ctx, c)
+			}()
+			if err != nil {
+				// A cancellation-induced abort isn't this rate's fault; the
+				// genuine failure (or the parent's error) is reported by
+				// whoever triggered it.
+				if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+					errs[i] = fmt.Errorf("sim: sweep at rate %g: %w", rates[i], err)
+				}
+				cancel()
+				return
+			}
+			out[i] = st
 		}
-		out[i] = st
-	})
+	}
+	var wg sync.WaitGroup
+	for w := 1; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if !pool.PollAcquire(ctx, limit, func() bool { return next.Load() >= int64(len(rates)) }) {
+				return
+			}
+			defer limit.Release()
+			run()
+		}()
+	}
+	run()
+	wg.Wait()
 	if err := parent.Err(); err != nil {
 		return nil, err
 	}

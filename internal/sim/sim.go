@@ -206,18 +206,14 @@ type inTransit struct {
 	destBuf int
 }
 
-// Run simulates the configured network and returns its statistics.
-func Run(cfg Config) (*Stats, error) {
-	return RunContext(context.Background(), cfg)
-}
-
 // ctxCheckCycles is how often (in simulated cycles) RunContext polls the
 // context; coarse enough to be free, fine enough to abort within
 // microseconds of wall time.
 const ctxCheckCycles = 1024
 
-// RunContext is Run with cancellation: the cycle loop polls ctx every
-// ctxCheckCycles cycles and aborts with the context's error.
+// RunContext simulates the configured network and returns its
+// statistics. The cycle loop polls ctx every ctxCheckCycles cycles and
+// aborts with the context's error.
 func RunContext(ctx context.Context, cfg Config) (*Stats, error) {
 	cfg = cfg.withDefaults()
 	if cfg.Topo == nil {

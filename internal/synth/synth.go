@@ -80,7 +80,7 @@ func Candidates(g *graph.CoreGraph, opts Options) ([]topology.Topology, error) {
 		return nil, fmt.Errorf("synth: nil application")
 	}
 	if err := g.Validate(); err != nil {
-		return nil, fmt.Errorf("synth: %v", err)
+		return nil, fmt.Errorf("synth: %w", err)
 	}
 	opts, err := opts.withDefaults()
 	if err != nil {

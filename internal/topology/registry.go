@@ -180,7 +180,7 @@ func Library(numCores int, opts LibraryOptions) ([]Topology, error) {
 	for _, k := range kinds {
 		ts, err := Enumerate(k, numCores, opts)
 		if err != nil {
-			return nil, fmt.Errorf("topology: enumerating %v: %v", k, err)
+			return nil, fmt.Errorf("topology: enumerating %v: %w", k, err)
 		}
 		out = append(out, ts...)
 	}

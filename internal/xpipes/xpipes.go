@@ -43,11 +43,11 @@ func (o *Output) FileNames() []string {
 // needed.
 func (o *Output) WriteTo(dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return fmt.Errorf("xpipes: %v", err)
+		return fmt.Errorf("xpipes: %w", err)
 	}
 	for name, content := range o.Files {
 		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
-			return fmt.Errorf("xpipes: %v", err)
+			return fmt.Errorf("xpipes: %w", err)
 		}
 	}
 	return nil

@@ -1,6 +1,7 @@
 package xpipes
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -21,7 +22,7 @@ func generateVOPDMesh(t *testing.T) (*Output, *mapping.Result) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := mapping.Map(g, topo, mapping.Options{
+	res, err := mapping.MapContext(context.Background(), g, topo, mapping.Options{
 		Routing:      route.MinPath,
 		Objective:    mapping.MinDelay,
 		CapacityMBps: apps.DefaultCapacityMBps,
@@ -136,7 +137,7 @@ func TestGenerateIndirectTopology(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := mapping.Map(g, topo, mapping.Options{
+	res, err := mapping.MapContext(context.Background(), g, topo, mapping.Options{
 		Routing:      route.MinPath,
 		CapacityMBps: apps.DefaultCapacityMBps,
 	})

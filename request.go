@@ -552,7 +552,7 @@ func (r *Report) Err() error {
 	case ErrorKindCanceled:
 		return fmt.Errorf("%w: %s", context.Canceled, r.Error)
 	default:
-		return fmt.Errorf("sunmap: %s", r.Error)
+		return fmt.Errorf("%w: %s", ErrInternal, r.Error)
 	}
 }
 
@@ -810,7 +810,7 @@ type GenerateReport struct {
 func (g *GenerateReport) WriteTo(dir string) error {
 	for _, f := range g.Files {
 		if f.Name == "" || strings.ContainsAny(f.Name, `/\`) || !filepath.IsLocal(f.Name) {
-			return fmt.Errorf("sunmap: refusing to write generated file with unsafe name %q", f.Name)
+			return fmt.Errorf("%w: refusing to write generated file with unsafe name %q", ErrBadRequest, f.Name)
 		}
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {

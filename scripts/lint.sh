@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# lint.sh — run the sunmap invariant analyzer suite over the repository.
+#
+# Usage:
+#   scripts/lint.sh                 # whole repo, all analyzers
+#   scripts/lint.sh ./internal/...  # restrict the package patterns
+#   scripts/lint.sh -only hotpath   # restrict the analyzers (see -list)
+#
+# Exit status follows go vet's convention: 0 clean, 1 driver error,
+# 2 diagnostics reported. The tool is built to a temp dir and exec'd
+# (not `go run`, which collapses every nonzero exit to 1). Extra
+# arguments are passed to sunmap-lint verbatim; with none, the tool
+# defaults to ./... .
+set -euo pipefail
+cd "$(dirname "$0")/.."
+tool="$(mktemp -d)/sunmap-lint"
+trap 'rm -rf "$(dirname "$tool")"' EXIT
+go build -o "$tool" ./cmd/sunmap-lint
+"$tool" "$@"

@@ -1,0 +1,33 @@
+package sunmap_test
+
+import (
+	"testing"
+
+	"sunmap/internal/analysis"
+	"sunmap/internal/analysis/suite"
+)
+
+// TestRepoLintClean is the self-lint gate: the repository must carry
+// zero diagnostics from its own invariant analyzers. This is the same
+// check CI runs via `go run ./cmd/sunmap-lint ./...`, kept inside the
+// test suite so a plain `go test ./...` also refuses to pass a tree
+// that violates the concurrency, determinism, or hot-path contracts.
+//
+// Every intentional exception in the tree is visible as a //sunmap:*
+// annotation at the violation site, so "zero diagnostics" means
+// "every exception is audited", not "no exceptions exist".
+func TestRepoLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("self-lint type-checks the whole repository; skipped in -short")
+	}
+	diags, err := analysis.Run(".", suite.All(), "./...")
+	if err != nil {
+		t.Fatalf("running analyzer suite: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		t.Errorf("%d diagnostic(s); fix the violation or audit it with the matching //sunmap: annotation", len(diags))
+	}
+}

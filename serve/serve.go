@@ -146,7 +146,7 @@ func requestContext(parent context.Context, req sunmap.Request, def time.Duratio
 func readBody(r *http.Request, maxBytes int64) ([]byte, error) {
 	body, err := io.ReadAll(io.LimitReader(r.Body, maxBytes+1))
 	if err != nil {
-		return nil, fmt.Errorf("invalid request: %v", err)
+		return nil, fmt.Errorf("invalid request: %w", err)
 	}
 	if int64(len(body)) > maxBytes {
 		return nil, fmt.Errorf("invalid request: body exceeds %d bytes", maxBytes)
@@ -180,6 +180,7 @@ func ListenAndServe(ctx context.Context, addr string, s *sunmap.Session, opts Op
 	case err := <-errc:
 		return err
 	case <-ctx.Done():
+		//sunmap:detached graceful drain: the trigger is the canceled ctx itself, so the drain deadline cannot descend from it
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 		defer cancel()
 		if err := srv.Shutdown(shutdownCtx); err != nil {

@@ -65,7 +65,7 @@ type sessionConfig struct {
 func WithParallelism(n int) SessionOption {
 	return func(c *sessionConfig) error {
 		if n < 0 {
-			return fmt.Errorf("sunmap: negative parallelism %d", n)
+			return fmt.Errorf("%w: negative parallelism %d", ErrBadRequest, n)
 		}
 		c.parallelism = n
 		return nil
@@ -780,7 +780,7 @@ func (s *Session) Search(ctx context.Context, req SearchRequest) (*SearchReport,
 	if err != nil {
 		switch {
 		case errors.Is(err, search.ErrBadOptions):
-			return nil, fmt.Errorf("sunmap: %w: %v", ErrBadRequest, err)
+			return nil, fmt.Errorf("sunmap: %w: %w", ErrBadRequest, err)
 		case errors.Is(err, search.ErrNoFeasible):
 			return nil, fmt.Errorf("sunmap: search %s: %w within budget (try a larger budget or capacity)",
 				app.Name(), ErrInfeasible)

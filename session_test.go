@@ -157,7 +157,13 @@ func TestRequestTimeout(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep := sess.Do(context.Background(), sunmap.Request{
+	// The deadline is already expired when Do dispatches, so the timeout
+	// fires deterministically — a warm netproc selection finishes in
+	// under a millisecond, which a small TimeoutMS would race (and
+	// sometimes lose to).
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Millisecond))
+	defer cancel()
+	rep := sess.Do(ctx, sunmap.Request{
 		Op:        sunmap.OpSelect,
 		TimeoutMS: 1,
 		Select: &sunmap.SelectRequest{

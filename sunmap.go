@@ -71,12 +71,11 @@
 //	})
 //
 // See the examples directory for complete programs. The pre-Session
-// top-level functions (Select/SelectContext and friends) remain as thin
-// deprecated wrappers.
+// top-level wrappers (Select/SelectContext and friends) have been
+// removed; the Session methods are the only entry points.
 package sunmap
 
 import (
-	"context"
 	"fmt"
 	"io"
 	"os"
@@ -200,20 +199,6 @@ const (
 	Weighted = mapping.Weighted
 )
 
-// App returns a built-in benchmark application ("vopd", "mpeg4",
-// "netproc" or "dsp"); it panics on unknown names.
-//
-// Deprecated: use AppByName, which returns an error instead of panicking
-// (service front-ends must never panic on bad input), or reference the
-// app by name in a Request.
-func App(name string) *CoreGraph {
-	g, err := AppByName(name)
-	if err != nil {
-		panic(err)
-	}
-	return g
-}
-
 // AppNames lists the built-in applications.
 func AppNames() []string { return apps.Names() }
 
@@ -244,98 +229,11 @@ func Library(n int, opts LibraryOptions) ([]Topology, error) {
 // (each modeled internally as two directed links).
 func PhysicalLinks(t Topology) int { return topology.PhysicalLinks(t) }
 
-// Select runs SUNMAP Phases 1 and 2: map onto every library topology,
-// evaluate, and pick the best feasible network.
-//
-// Deprecated: use Session.Select, which carries cancellation, owns the
-// engine pool and cache, and reports in the serializable Report schema.
-func Select(cfg SelectConfig) (*Selection, error) { return core.Select(cfg) }
-
-// SelectContext is Select with cancellation.
-//
-// Deprecated: use Session.Select — the Session method subsumes both
-// halves of the Select/SelectContext pair.
-func SelectContext(ctx context.Context, cfg SelectConfig) (*Selection, error) {
-	return core.SelectContext(ctx, cfg)
-}
-
-// Map runs the Fig. 5 mapping algorithm on one topology.
-//
-// Deprecated: use Session.Map, which carries cancellation and reports in
-// the serializable Report schema.
-func Map(app *CoreGraph, topo Topology, opts MapOptions) (*MapResult, error) {
-	return mapping.Map(app, topo, opts)
-}
-
-// MapContext is Map with cancellation threaded into the swap search.
-//
-// Deprecated: use Session.Map — the Session method subsumes both halves
-// of the Map/MapContext pair.
-func MapContext(ctx context.Context, app *CoreGraph, topo Topology, opts MapOptions) (*MapResult, error) {
-	return mapping.MapContext(ctx, app, topo, opts)
-}
-
-// RoutingSweep reports the minimum required link bandwidth per routing
-// function (Fig. 9a).
-//
-// Deprecated: use Session.RoutingSweep.
-func RoutingSweep(app *CoreGraph, topo Topology, opts MapOptions) ([]RoutingSweepRow, error) {
-	return core.RoutingSweep(app, topo, opts)
-}
-
-// RoutingSweepContext is RoutingSweep on the engine pool.
-//
-// Deprecated: use Session.RoutingSweep — the Session method subsumes both
-// halves of the RoutingSweep/RoutingSweepContext pair.
-func RoutingSweepContext(ctx context.Context, app *CoreGraph, topo Topology, opts MapOptions, xo ExploreOptions) ([]RoutingSweepRow, error) {
-	return core.RoutingSweepContext(ctx, app, topo, opts, xo)
-}
-
-// ParetoExplore sweeps weighted objectives and returns area-power design
-// points with the Pareto front marked (Fig. 9b).
-//
-// Deprecated: use Session.ParetoExplore.
-func ParetoExplore(app *CoreGraph, topo Topology, opts MapOptions, steps int) ([]ParetoPoint, error) {
-	return core.ParetoExplore(app, topo, opts, steps)
-}
-
-// ParetoExploreContext is ParetoExplore on the engine pool.
-//
-// Deprecated: use Session.ParetoExplore — the Session method subsumes
-// both halves of the ParetoExplore/ParetoExploreContext pair.
-func ParetoExploreContext(ctx context.Context, app *CoreGraph, topo Topology, opts MapOptions, steps int, xo ExploreOptions) ([]ParetoPoint, error) {
-	return core.ParetoExploreContext(ctx, app, topo, opts, steps, xo)
-}
-
-// Generate emits the SystemC description of a mapped design (Phase 3).
-//
-// Deprecated: use Session.Generate, which maps and generates in one
-// request and returns the files in the serializable Report schema.
-func Generate(app *CoreGraph, res *MapResult, t Tech) (*SystemC, error) {
-	return xpipes.Generate(app, res, t)
-}
-
 // Tech100nm returns the paper's 0.1 µm technology point.
 func Tech100nm() Tech { return tech.Tech100nm() }
 
 // BuildRoutes precomputes simulator routes for synthetic traffic.
 func BuildRoutes(topo Topology) (*RouteTable, error) { return sim.BuildRoutes(topo) }
-
-// Simulate runs the cycle-accurate simulator.
-//
-// Deprecated: use Session.Simulate, which sweeps injection rates, resolves
-// traffic patterns (including trace-driven) by name, and reports in the
-// serializable Report schema. Simulate remains for callers that need the
-// full SimConfig surface (custom SourceShare, pre-built route tables).
-func Simulate(cfg SimConfig) (*SimStats, error) { return sim.Run(cfg) }
-
-// SimulateContext is Simulate with cancellation.
-//
-// Deprecated: use Session.Simulate — the Session method subsumes both
-// halves of the Simulate/SimulateContext pair.
-func SimulateContext(ctx context.Context, cfg SimConfig) (*SimStats, error) {
-	return sim.RunContext(ctx, cfg)
-}
 
 // AdversarialPattern returns the stress pattern Section 6.2 would use for
 // a topology.
