@@ -14,15 +14,20 @@
 //	sunmap -app mpeg4 -search -search-budget 100000 -seed 1  # anneal a custom topology
 //	sunmap -app dsp -synth -synth-radix 6  # looser switch-radix bound
 //	sunmap serve -addr :8080 -j 8          # HTTP/JSON batch service
+//	sunmap serve -data /var/lib/sunmap -cache-file /var/lib/sunmap/cache.jsonl  # durable jobs + warm cache
+//	sunmap submit -server http://host:8080 -req search.json -wait  # durable async job
+//	sunmap jobs -server http://host:8080   # list; -id j-1 [-result|-cancel|-wait]
 //	sunmap -app vopd -cpuprofile cpu.out -memprofile mem.out  # field profiling
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"os"
 	"os/signal"
 	"runtime"
@@ -32,16 +37,29 @@ import (
 
 	"sunmap"
 	"sunmap/serve"
+	"sunmap/serve/client"
 )
 
 func main() {
 	args := os.Args[1:]
-	if len(args) > 0 && args[0] == "serve" {
-		if err := runServe(args[1:], os.Stdout); err != nil {
-			fmt.Fprintln(os.Stderr, "sunmap serve:", err)
+	sub := func(f func() error) {
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "sunmap %s: %v\n", args[0], err)
 			os.Exit(1)
 		}
-		return
+	}
+	if len(args) > 0 {
+		switch args[0] {
+		case "serve":
+			sub(func() error { return runServe(args[1:], os.Stdout) })
+			return
+		case "submit":
+			sub(func() error { return runSubmit(args[1:], os.Stdin, os.Stdout) })
+			return
+		case "jobs":
+			sub(func() error { return runJobs(args[1:], os.Stdout) })
+			return
+		}
 	}
 	if err := run(args, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "sunmap:", err)
@@ -59,6 +77,12 @@ func runServe(args []string, out io.Writer) error {
 	maxBatch := fs.Int("max-batch", 256, "maximum requests per /v1/batch call")
 	drain := fs.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
 	synthesize := fs.Bool("synth", false, "synthesize application-specific candidates on selections")
+	dataDir := fs.String("data", "", "job journal directory: async jobs survive restarts (empty = memory-only)")
+	jobWorkers := fs.Int("job-workers", 2, "concurrent async job executions")
+	retention := fs.Duration("retention", time.Hour, "how long finished jobs stay fetchable")
+	cacheFile := fs.String("cache-file", "", "persist the evaluation cache here across restarts")
+	queueDepth := fs.Int("max-queue-depth", 0, "shed synchronous requests past this many queued evaluations (0 = 4x parallelism, negative = never)")
+	ckptEvery := fs.Int("checkpoint-every", 500, "annealing evaluations between durable search checkpoints")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -72,11 +96,136 @@ func runServe(args []string, out io.Writer) error {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	fmt.Fprintf(out, "sunmap service listening on %s (POST /v1/do, POST /v1/batch, GET /healthz)\n", *addr)
 	return serve.ListenAndServe(ctx, *addr, sess, serve.Options{
-		RequestTimeout: *reqTimeout,
-		MaxBatch:       *maxBatch,
+		RequestTimeout:  *reqTimeout,
+		MaxBatch:        *maxBatch,
+		MaxQueueDepth:   *queueDepth,
+		JobsDir:         *dataDir,
+		JobWorkers:      *jobWorkers,
+		JobRetention:    *retention,
+		CheckpointEvery: *ckptEvery,
+		CacheFile:       *cacheFile,
+		OnListen: func(a net.Addr) {
+			fmt.Fprintf(out, "sunmap service listening on %s (POST /v1/do, /v1/batch, /v1/jobs; GET /healthz)\n", a)
+		},
 	}, *drain)
+}
+
+// runSubmit enqueues one durable async job from a Request JSON file
+// ("-" = stdin) and prints the job snapshot; with -wait it polls to a
+// terminal state and prints the full Report JSON.
+func runSubmit(args []string, in io.Reader, out io.Writer) error {
+	fs := flag.NewFlagSet("sunmap submit", flag.ContinueOnError)
+	server := fs.String("server", "http://127.0.0.1:8080", "sunmap serve base URL")
+	reqPath := fs.String("req", "-", `request JSON file ("-" = stdin)`)
+	wait := fs.Bool("wait", false, "poll until the job finishes and print its report")
+	poll := fs.Duration("poll", 500*time.Millisecond, "poll interval for -wait")
+	timeout := fs.Duration("timeout", 0, "abort -wait after this long (0 = no limit)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var (
+		data []byte
+		err  error
+	)
+	if *reqPath == "-" {
+		data, err = io.ReadAll(in)
+	} else {
+		data, err = os.ReadFile(*reqPath)
+	}
+	if err != nil {
+		return err
+	}
+	req, err := sunmap.ParseRequest(data)
+	if err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	cl := client.New(*server, client.Options{})
+	jb, err := cl.Submit(ctx, *req)
+	if err != nil {
+		return err
+	}
+	if !*wait {
+		return printJSON(out, jb)
+	}
+	fmt.Fprintf(out, "job %s submitted; waiting\n", jb.ID)
+	if jb, err = cl.Wait(ctx, jb.ID, *poll); err != nil {
+		return err
+	}
+	if jb.State != "done" {
+		return fmt.Errorf("job %s ended %s: %s", jb.ID, jb.State, jb.Error)
+	}
+	rep, err := cl.Result(ctx, jb.ID)
+	if err != nil {
+		return err
+	}
+	return printJSON(out, rep)
+}
+
+// runJobs inspects a serve instance's job store: list by default, or
+// one job's snapshot / result / cancellation with -id.
+func runJobs(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("sunmap jobs", flag.ContinueOnError)
+	server := fs.String("server", "http://127.0.0.1:8080", "sunmap serve base URL")
+	id := fs.String("id", "", "operate on this job instead of listing")
+	result := fs.Bool("result", false, "fetch the job's report (needs -id)")
+	cancel := fs.Bool("cancel", false, "cancel the job (needs -id)")
+	wait := fs.Bool("wait", false, "poll until the job finishes (needs -id)")
+	poll := fs.Duration("poll", 500*time.Millisecond, "poll interval for -wait")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *id == "" && (*result || *cancel || *wait) {
+		return fmt.Errorf("-result, -cancel and -wait need -id")
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	cl := client.New(*server, client.Options{})
+	switch {
+	case *id == "":
+		list, err := cl.Jobs(ctx)
+		if err != nil {
+			return err
+		}
+		return printJSON(out, map[string]any{"jobs": list})
+	case *cancel:
+		jb, err := cl.Cancel(ctx, *id)
+		if err != nil {
+			return err
+		}
+		return printJSON(out, jb)
+	case *result:
+		rep, err := cl.Result(ctx, *id)
+		if err != nil {
+			return err
+		}
+		return printJSON(out, rep)
+	case *wait:
+		jb, err := cl.Wait(ctx, *id, *poll)
+		if err != nil {
+			return err
+		}
+		return printJSON(out, jb)
+	default:
+		jb, err := cl.Job(ctx, *id)
+		if err != nil {
+			return err
+		}
+		return printJSON(out, jb)
+	}
+}
+
+func printJSON(out io.Writer, v any) error {
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
 }
 
 func run(args []string, out io.Writer) error {

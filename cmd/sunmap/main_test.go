@@ -1,10 +1,16 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"sunmap"
+	"sunmap/serve"
 )
 
 func TestRunSelectVOPD(t *testing.T) {
@@ -114,5 +120,69 @@ func TestRunFaultSweep(t *testing.T) {
 	}
 	if !strings.Contains(out, "survivability ") || !strings.Contains(out, "max link load MB/s: baseline") {
 		t.Errorf("fault metrics missing:\n%s", out)
+	}
+}
+
+// TestSubmitAndJobsSubcommands drives the async CLI against a live
+// server: submit -wait round-trips a map request, and the jobs
+// subcommand lists, polls and cancels.
+func TestSubmitAndJobsSubcommands(t *testing.T) {
+	sess, err := sunmap.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv, err := serve.NewServer(context.Background(), sess, serve.Options{JobsDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(sv.Handler())
+	defer srv.Close()
+	defer sv.Close()
+
+	reqPath := filepath.Join(t.TempDir(), "req.json")
+	req := `{"id":"cli","op":"map","map":{"app":{"name":"dsp"},"topology":"mesh-2x3","mapping":{"capacity_mbps":1000}}}`
+	if err := os.WriteFile(reqPath, []byte(req), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := runSubmit([]string{"-server", srv.URL, "-req", reqPath, "-wait", "-poll", "20ms"}, nil, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `"id": "cli"`) || !strings.Contains(out, `"map"`) {
+		t.Errorf("submit -wait output missing report:\n%s", out)
+	}
+
+	// Submission from stdin, no wait: prints the job snapshot.
+	sb.Reset()
+	if err := runSubmit([]string{"-server", srv.URL}, strings.NewReader(req), &sb); err != nil {
+		t.Fatal(err)
+	}
+	var jb struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &jb); err != nil || jb.ID == "" {
+		t.Fatalf("submit output %q (%v)", sb.String(), err)
+	}
+
+	sb.Reset()
+	if err := runJobs([]string{"-server", srv.URL}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), jb.ID) {
+		t.Errorf("jobs listing missing %s:\n%s", jb.ID, sb.String())
+	}
+	sb.Reset()
+	if err := runJobs([]string{"-server", srv.URL, "-id", jb.ID, "-wait", "-poll", "20ms"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `"done"`) {
+		t.Errorf("waited job not done:\n%s", sb.String())
+	}
+	if err := runJobs([]string{"-server", srv.URL, "-result"}, &sb); err == nil {
+		t.Error("jobs -result without -id succeeded")
+	}
+	if err := runJobs([]string{"-server", srv.URL, "-id", "j-999"}, &sb); err == nil {
+		t.Error("unknown job id succeeded")
 	}
 }

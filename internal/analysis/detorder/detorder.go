@@ -35,8 +35,10 @@ var DetPackages = map[string]bool{
 	"sunmap/internal/core":   true,
 	"sunmap/internal/engine": true,
 	"sunmap/internal/fault":  true,
+	"sunmap/internal/jobs":   true,
 	"sunmap/internal/search": true,
 	"sunmap/serve":           true,
+	"sunmap/serve/client":    true,
 }
 
 // randConstructors are the math/rand package-level functions that build

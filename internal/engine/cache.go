@@ -3,6 +3,7 @@ package engine
 import (
 	"crypto/sha256"
 	"encoding/hex"
+	"encoding/json"
 	"fmt"
 	"sync"
 
@@ -57,6 +58,11 @@ type Cache struct {
 	mu           sync.RWMutex
 	m            map[string]entry
 	hits, misses uint64
+	// spill is the lazy disk-loaded tier (see spill.go): raw spill-file
+	// records decoded and promoted into m only when a lookup hits their
+	// key. spillHits counts promotions.
+	spill     map[string][]byte
+	spillHits uint64
 }
 
 // NewCache returns an empty evaluation cache.
@@ -65,13 +71,28 @@ func NewCache() *Cache {
 }
 
 // get returns the memoized evaluation and bumps the hit/miss counters.
-func (c *Cache) get(key string) (entry, bool) {
+// topo is the live topology the caller is about to evaluate: a miss in
+// memory falls through to the spill tier, whose stored result is
+// rehydrated with topo (sound because the key content-addresses the
+// topology's structure — see spill.go) and promoted into memory.
+func (c *Cache) get(key string, topo topology.Topology) (entry, bool) {
 	if c == nil {
 		return entry{}, false
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	e, ok := c.m[key]
+	if !ok {
+		if raw, spilled := c.spill[key]; spilled {
+			delete(c.spill, key)
+			var s spillResult
+			if err := json.Unmarshal(raw, &s); err == nil {
+				e, ok = entry{res: s.toResult(topo)}, true
+				c.m[key] = e
+				c.spillHits++
+			}
+		}
+	}
 	if ok {
 		c.hits++
 	} else {
@@ -98,6 +119,10 @@ type CacheStats struct {
 	Misses uint64 `json:"misses"`
 	// Entries is the number of memoized evaluations.
 	Entries int `json:"entries"`
+	// SpillEntries is the number of disk-loaded records not yet promoted
+	// into memory; SpillHits counts lookups served by promoting one.
+	SpillEntries int    `json:"spill_entries,omitempty"`
+	SpillHits    uint64 `json:"spill_hits,omitempty"`
 }
 
 // Stats returns a snapshot of the cache counters.
@@ -107,7 +132,10 @@ func (c *Cache) Stats() CacheStats {
 	}
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	return CacheStats{Hits: c.hits, Misses: c.misses, Entries: len(c.m)}
+	return CacheStats{
+		Hits: c.hits, Misses: c.misses, Entries: len(c.m),
+		SpillEntries: len(c.spill), SpillHits: c.spillHits,
+	}
 }
 
 // Len returns the number of memoized evaluations.

@@ -1,0 +1,135 @@
+package engine
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sunmap/internal/apps"
+)
+
+// TestCacheSpillRoundTrip proves the warm-restart contract: a sweep
+// populates a cache, the cache is spilled to disk, and a fresh cache
+// loading the spill serves the whole sweep from promoted spill entries
+// with outcomes identical to the original evaluation.
+func TestCacheSpillRoundTrip(t *testing.T) {
+	app := apps.VOPD()
+	lib := vopdLib(t)
+	opts := vopdOpts()
+	warm := NewCache()
+	first, err := Sweep(context.Background(), app, lib, opts, Options{Cache: warm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "cache.spill")
+	saved, err := warm.SaveFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if saved == 0 {
+		t.Fatal("nothing spilled")
+	}
+
+	cold := NewCache()
+	loaded, err := cold.LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded != saved {
+		t.Fatalf("loaded %d entries, saved %d", loaded, saved)
+	}
+	var hits int
+	second, err := Sweep(context.Background(), app, lib, opts, Options{
+		Cache: cold,
+		Progress: func(ev Event) {
+			if ev.CacheHit {
+				hits++
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits != len(lib) {
+		t.Errorf("warm-started sweep: %d cache hits, want %d", hits, len(lib))
+	}
+	sameOutcomes(t, second, first)
+	st := cold.Stats()
+	if st.SpillHits == 0 {
+		t.Errorf("stats report no spill promotions: %+v", st)
+	}
+	for _, o := range second {
+		if o.Err == nil && !o.Result.Feasible() == !first[0].Result.Feasible() && o.Result.Topology == nil {
+			t.Fatal("rehydrated result lost its topology")
+		}
+	}
+}
+
+// TestCacheSpillMissingAndCorrupt pins the tolerance contract: a missing
+// spill file is a clean cold start, and a corrupt tail keeps every entry
+// read before it.
+func TestCacheSpillMissingAndCorrupt(t *testing.T) {
+	c := NewCache()
+	if n, err := c.LoadFile(filepath.Join(t.TempDir(), "absent")); n != 0 || err != nil {
+		t.Fatalf("missing file: loaded %d, err %v; want 0, nil", n, err)
+	}
+
+	app := apps.VOPD()
+	lib := vopdLib(t)
+	warm := NewCache()
+	if _, err := Sweep(context.Background(), app, lib, vopdOpts(), Options{Cache: warm}); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "cache.spill")
+	saved, err := warm.SaveFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chop the last record in half: the loader must keep the clean prefix.
+	cut := len(raw) * 9 / 10
+	if err := os.WriteFile(path, raw[:cut], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cold := NewCache()
+	n, err := cold.LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 || n >= saved {
+		t.Errorf("truncated load recovered %d entries, want in (0, %d)", n, saved)
+	}
+}
+
+// TestCacheSpillSurvivesResave verifies unpromoted spill entries are not
+// lost by a save: load → evaluate nothing → save must carry them over.
+func TestCacheSpillSurvivesResave(t *testing.T) {
+	app := apps.VOPD()
+	lib := vopdLib(t)
+	warm := NewCache()
+	if _, err := Sweep(context.Background(), app, lib, vopdOpts(), Options{Cache: warm}); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	p1 := filepath.Join(dir, "a.spill")
+	saved, err := warm.SaveFile(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid := NewCache()
+	if _, err := mid.LoadFile(p1); err != nil {
+		t.Fatal(err)
+	}
+	p2 := filepath.Join(dir, "b.spill")
+	resaved, err := mid.SaveFile(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resaved != saved {
+		t.Errorf("resave wrote %d entries, want %d", resaved, saved)
+	}
+}

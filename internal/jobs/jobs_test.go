@@ -1,0 +1,353 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeClock is a mutex-guarded manual clock for retention and breaker
+// tests.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Unix(1_700_000_000, 0)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+// echoRunner returns its payload reversed — enough to verify result
+// plumbing end to end.
+func echoRunner(ctx context.Context, kind string, payload []byte, ck *Checkpoint) ([]byte, error) {
+	out := make([]byte, len(payload))
+	for i, b := range payload {
+		out[len(payload)-1-i] = b
+	}
+	return out, nil
+}
+
+func waitTerminal(t *testing.T, s *Store, id string) Job {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	jb, err := s.Wait(ctx, id)
+	if err != nil {
+		t.Fatalf("waiting for %s: %v", id, err)
+	}
+	return jb
+}
+
+func TestSubmitRunFetch(t *testing.T) {
+	s, err := Open(context.Background(), Options{Dir: t.TempDir()}, echoRunner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	jb, err := s.Submit(context.Background(), "echo", []byte("abc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jb.ID == "" || jb.State != StateQueued {
+		t.Fatalf("submit snapshot: %+v", jb)
+	}
+	fin := waitTerminal(t, s, jb.ID)
+	if fin.State != StateDone || fin.Attempts != 1 {
+		t.Fatalf("terminal snapshot: %+v", fin)
+	}
+	res, _, err := s.Result(jb.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(res) != "cba" {
+		t.Fatalf("result %q, want %q", res, "cba")
+	}
+	if _, _, err := s.Result("j-999"); !errors.Is(err, ErrUnknownJob) {
+		t.Fatalf("unknown id: %v", err)
+	}
+}
+
+func TestResultBeforeTerminal(t *testing.T) {
+	release := make(chan struct{})
+	s, err := Open(context.Background(), Options{}, func(ctx context.Context, kind string, payload []byte, ck *Checkpoint) ([]byte, error) {
+		<-release
+		return payload, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	jb, err := s.Submit(context.Background(), "slow", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Result(jb.ID); !errors.Is(err, ErrNotTerminal) {
+		t.Fatalf("in-flight result fetch: %v, want ErrNotTerminal", err)
+	}
+	close(release)
+	waitTerminal(t, s, jb.ID)
+}
+
+func TestCancelQueuedAndRunning(t *testing.T) {
+	started := make(chan string, 8)
+	s, err := Open(context.Background(), Options{Workers: 1}, func(ctx context.Context, kind string, payload []byte, ck *Checkpoint) ([]byte, error) {
+		started <- kind
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	running, err := s.Submit(context.Background(), "running", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	queued, err := s.Submit(context.Background(), "queued", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The queued job cancels instantly, with the single worker still busy.
+	if jb, err := s.Cancel(queued.ID); err != nil || jb.State != StateCancelled {
+		t.Fatalf("cancel queued: %+v, %v", jb, err)
+	}
+	if _, err := s.Cancel(running.ID); err != nil {
+		t.Fatal(err)
+	}
+	if jb := waitTerminal(t, s, running.ID); jb.State != StateCancelled {
+		t.Fatalf("cancel running: %+v", jb)
+	}
+}
+
+func TestPanicQuarantineAndBreaker(t *testing.T) {
+	clock := newFakeClock()
+	var boom atomic.Bool
+	boom.Store(true)
+	s, err := Open(context.Background(), Options{
+		Workers:          1,
+		BreakerThreshold: 3,
+		BreakerCooldown:  time.Minute,
+		Clock:            clock.Now,
+	}, func(ctx context.Context, kind string, payload []byte, ck *Checkpoint) ([]byte, error) {
+		if boom.Load() {
+			panic("kaboom")
+		}
+		return []byte("ok"), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	for i := 0; i < 3; i++ {
+		jb, err := s.Submit(context.Background(), "boom", nil)
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		fin := waitTerminal(t, s, jb.ID)
+		if fin.State != StateFailed || !strings.Contains(fin.Error, "panicked") {
+			t.Fatalf("panic job %d: %+v", i, fin)
+		}
+	}
+	// Threshold reached: the breaker sheds with a retry hint.
+	_, err = s.Submit(context.Background(), "boom", nil)
+	var open *BreakerOpenError
+	if !errors.As(err, &open) {
+		t.Fatalf("submit under open breaker: %v", err)
+	}
+	if open.RetryAfter <= 0 || open.RetryAfter > time.Minute {
+		t.Fatalf("retry hint %v", open.RetryAfter)
+	}
+	if !s.Stats().BreakerOpen {
+		t.Fatal("stats do not report the open breaker")
+	}
+	// Cooldown passes: half-open admits one; success resets the count.
+	clock.Advance(2 * time.Minute)
+	boom.Store(false)
+	jb, err := s.Submit(context.Background(), "ok", nil)
+	if err != nil {
+		t.Fatalf("submit after cooldown: %v", err)
+	}
+	if fin := waitTerminal(t, s, jb.ID); fin.State != StateDone {
+		t.Fatalf("half-open probe: %+v", fin)
+	}
+	if s.Stats().BreakerOpen {
+		t.Fatal("breaker still open after a success")
+	}
+}
+
+func TestRetentionGC(t *testing.T) {
+	clock := newFakeClock()
+	s, err := Open(context.Background(), Options{
+		Dir:       t.TempDir(),
+		Retention: time.Hour,
+		Clock:     clock.Now,
+	}, echoRunner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	jb, err := s.Submit(context.Background(), "echo", []byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, s, jb.ID)
+	s.gcOnce()
+	if _, err := s.Get(jb.ID); err != nil {
+		t.Fatalf("job GC'd before retention: %v", err)
+	}
+	clock.Advance(2 * time.Hour)
+	s.gcOnce()
+	if _, err := s.Get(jb.ID); !errors.Is(err, ErrUnknownJob) {
+		t.Fatalf("job survived retention: %v", err)
+	}
+	if got := len(s.List()); got != 0 {
+		t.Fatalf("%d jobs listed after GC", got)
+	}
+}
+
+func TestSubmitFailsWhenJournalFails(t *testing.T) {
+	var failing atomic.Bool
+	s, err := Open(context.Background(), Options{
+		Dir: t.TempDir(),
+		WriteFault: func(recType, id string) error {
+			if failing.Load() && recType == recSubmit {
+				return errors.New("disk on fire")
+			}
+			return nil
+		},
+	}, echoRunner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	failing.Store(true)
+	if _, err := s.Submit(context.Background(), "echo", nil); err == nil {
+		t.Fatal("submit acknowledged without a durable record")
+	}
+	failing.Store(false)
+	jb, err := s.Submit(context.Background(), "echo", []byte("y"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The failed admission must not burn an ID: recovery renumbers
+	// cleanly from the last durable sequence.
+	if jb.ID != "j-1" {
+		t.Fatalf("first durable job got ID %s", jb.ID)
+	}
+	waitTerminal(t, s, jb.ID)
+}
+
+func TestListOrderAndStats(t *testing.T) {
+	release := make(chan struct{})
+	s, err := Open(context.Background(), Options{Workers: 1}, func(ctx context.Context, kind string, payload []byte, ck *Checkpoint) ([]byte, error) {
+		<-release
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	var ids []string
+	for i := 0; i < 5; i++ {
+		jb, err := s.Submit(context.Background(), "k"+strconv.Itoa(i), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, jb.ID)
+	}
+	ls := s.List()
+	if len(ls) != 5 {
+		t.Fatalf("listed %d jobs", len(ls))
+	}
+	for i, jb := range ls {
+		if jb.ID != ids[i] {
+			t.Fatalf("list out of submission order: %v", ls)
+		}
+	}
+	st := s.Stats()
+	if st.Jobs != 5 || st.Queued+st.Running != 5 {
+		t.Fatalf("stats %+v", st)
+	}
+	close(release)
+	for _, id := range ids {
+		waitTerminal(t, s, id)
+	}
+}
+
+func TestWaitRespectsContext(t *testing.T) {
+	s, err := Open(context.Background(), Options{Workers: 1}, func(ctx context.Context, kind string, payload []byte, ck *Checkpoint) ([]byte, error) {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	jb, err := s.Submit(context.Background(), "stuck", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := s.Wait(ctx, jb.ID); err != context.DeadlineExceeded {
+		t.Fatalf("wait on stuck job: %v", err)
+	}
+}
+
+// BenchmarkSubmitReplay measures the journal round trip: N durable
+// submissions, then a full replay-and-compact reopen — the two paths a
+// restart exercises.
+func BenchmarkSubmitReplay(b *testing.B) {
+	dir := b.TempDir()
+	hold := make(chan struct{})
+	defer close(hold)
+	blocked := func(ctx context.Context, kind string, payload []byte, ck *Checkpoint) ([]byte, error) {
+		select {
+		case <-hold:
+		case <-ctx.Done():
+		}
+		return nil, ctx.Err()
+	}
+	s, err := Open(context.Background(), Options{Dir: dir, Workers: 1}, blocked)
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := []byte(`{"op":"select","app":"vopd"}`)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Submit(context.Background(), "request", payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	s.Close()
+	start := time.Now()
+	s2, err := Open(context.Background(), Options{Dir: dir, Workers: 1}, blocked)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "replays/s")
+	if got := len(s2.List()); got != b.N {
+		b.Fatalf("replayed %d jobs, want %d", got, b.N)
+	}
+	s2.Close()
+}

@@ -1,0 +1,9 @@
+//go:build !unix
+
+package jobs
+
+import "os"
+
+// lockFile is a no-op where flock is unavailable; single-process use
+// is unaffected, concurrent stores over one directory are unprotected.
+func lockFile(*os.File) error { return nil }

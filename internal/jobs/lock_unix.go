@@ -1,0 +1,20 @@
+//go:build unix
+
+package jobs
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// lockFile takes an exclusive, non-blocking advisory lock on the open
+// journal. Two stores over one directory would silently destroy each
+// other's appends (compaction renames the file out from under the
+// other's handle), so the second opener must fail fast instead.
+func lockFile(f *os.File) error {
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		return fmt.Errorf("jobs: journal %s is locked by another process: %w", f.Name(), err)
+	}
+	return nil
+}

@@ -1,0 +1,39 @@
+//go:build unix
+
+package jobs
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// Two stores over one directory is the one corruption the journal's
+// frame CRCs cannot catch: the second opener's compaction renames the
+// file out from under the first's handle, orphaning every append the
+// live store makes afterward. The flock taken at open must turn that
+// into a fast, explicit failure.
+func TestSecondOpenSameDirFails(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := Open(context.Background(), Options{Dir: dir}, echoRunner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s1.Close()
+
+	if _, err := Open(context.Background(), Options{Dir: dir}, echoRunner); err == nil {
+		t.Fatal("second Open on a live store's dir succeeded; want lock error")
+	} else if !strings.Contains(err.Error(), "locked") {
+		t.Fatalf("second Open error = %v, want a journal-lock error", err)
+	}
+
+	// Releasing the store releases the lock: the dir is reusable.
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(context.Background(), Options{Dir: dir}, echoRunner)
+	if err != nil {
+		t.Fatalf("reopen after close: %v", err)
+	}
+	s2.Close()
+}

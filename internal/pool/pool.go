@@ -11,6 +11,7 @@ import (
 	"context"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -21,6 +22,10 @@ import (
 // session's parallelism budget.
 type Limiter struct {
 	ch chan struct{}
+	// waiting counts callers blocked in Acquire — the queue depth an
+	// admission controller sheds on. TryAcquire/PollAcquire pollers never
+	// count: they are opportunistic by contract and back off on their own.
+	waiting atomic.Int64
 }
 
 // NewLimiter returns a limiter admitting n concurrent holders; n <= 0
@@ -38,6 +43,13 @@ func (l *Limiter) Acquire(ctx context.Context) error {
 	if l == nil {
 		return nil
 	}
+	select {
+	case l.ch <- struct{}{}:
+		return nil
+	default:
+	}
+	l.waiting.Add(1)
+	defer l.waiting.Add(-1)
 	select {
 	case l.ch <- struct{}{}:
 		return nil
@@ -108,6 +120,25 @@ func (l *Limiter) Cap() int {
 		return 0
 	}
 	return cap(l.ch)
+}
+
+// InFlight returns the number of currently held slots (0 for nil).
+func (l *Limiter) InFlight() int {
+	if l == nil {
+		return 0
+	}
+	return len(l.ch)
+}
+
+// Waiting returns the number of callers blocked in Acquire (0 for nil).
+// Together with InFlight and Cap it is the load signal the serve layer's
+// admission controller sheds on: a saturated pool with a deep Acquire
+// queue means new synchronous work would only time out in line.
+func (l *Limiter) Waiting() int {
+	if l == nil {
+		return 0
+	}
+	return int(l.waiting.Load())
 }
 
 // Free is a tiny typed free list for per-worker scratch objects (e.g. the

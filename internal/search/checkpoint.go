@@ -1,0 +1,178 @@
+package search
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// This file is the durable half of the annealing engine: a chain's full
+// mutable state — candidate edge sets, Metropolis temperature, budget
+// accounting and the exact RNG position — captured as a serializable
+// ChainCheckpoint and restored bit-identically. The contract the jobs
+// layer builds on: a chain resumed from a checkpoint at step N walks
+// exactly the candidate sequence the uninterrupted chain would have
+// walked, so resume(seed, N) and an uninterrupted run fold to the same
+// Result at every parallelism.
+
+// CandidateState is the serializable structure of one annealing
+// candidate. Edges are recorded in the candidate's internal (insertion)
+// order, not canonically sorted: the mutation operators index the edge
+// list by RNG draw, so the order is part of the deterministic state.
+type CandidateState struct {
+	Routers   int      `json:"routers"`
+	Edges     [][2]int `json:"edges"`
+	Terminals []int    `json:"terminals"`
+}
+
+// ChainCheckpoint is one chain's complete resume point. Floating-point
+// fields travel as IEEE-754 bit patterns, not decimal floats, so a
+// checkpoint round-tripped through JSON restores the exact temperature
+// and fitness the chain had — decimal formatting is round-trip safe in
+// Go, but bits make the bit-identity contract self-evident and
+// decoder-independent.
+type ChainCheckpoint struct {
+	// Chain is the restart index; Evals/Accepted the budget accounting at
+	// the capture point; Draws the number of RNG source advances consumed
+	// (the rng fast-forwards by exactly this many draws on resume).
+	Chain    int    `json:"chain"`
+	Evals    int    `json:"evals"`
+	Accepted int    `json:"accepted"`
+	Draws    uint64 `json:"draws"`
+	// Metropolis state, as float64 bit patterns.
+	TempBits    uint64 `json:"temp_bits"`
+	CoolBits    uint64 `json:"cool_bits"`
+	CurFitBits  uint64 `json:"cur_fit_bits"`
+	BestFitBits uint64 `json:"best_fit_bits"`
+	InitFitBits uint64 `json:"init_fit_bits"`
+	// Init is the chain's evaluated starting point (finishChain
+	// re-evaluates it as the match-or-beat floor); Cur/Best the current
+	// and incumbent candidates.
+	Init CandidateState `json:"init"`
+	Cur  CandidateState `json:"cur"`
+	Best CandidateState `json:"best"`
+}
+
+// countingSource wraps a rand.Source64 and counts state advances. Both
+// Int63 and Uint64 advance math/rand's generator by exactly one step, so
+// the count alone pins the generator position: fast-forwarding a fresh
+// source by n draws reproduces the wrapped state exactly, regardless of
+// which mix of Rand methods consumed the originals.
+type countingSource struct {
+	src rand.Source64
+	n   uint64
+}
+
+func newCountingSource(seed int64) *countingSource {
+	return &countingSource{src: rand.NewSource(seed).(rand.Source64)}
+}
+
+func (c *countingSource) Int63() int64 {
+	c.n++
+	return c.src.Int63()
+}
+
+func (c *countingSource) Uint64() uint64 {
+	c.n++
+	return c.src.Uint64()
+}
+
+func (c *countingSource) Seed(seed int64) {
+	c.src.Seed(seed)
+	c.n = 0
+}
+
+// fastForward advances the source to draw position n.
+func (c *countingSource) fastForward(n uint64) {
+	for c.n < n {
+		c.n++
+		c.src.Uint64()
+	}
+}
+
+// state captures a candidate in serializable form, preserving internal
+// edge order.
+func (c *cand) state() CandidateState {
+	return CandidateState{
+		Routers:   c.nR,
+		Edges:     append([][2]int(nil), c.edges...),
+		Terminals: append([]int(nil), c.att...),
+	}
+}
+
+// restoreCand rebuilds a cand from its serialized state under bounds b.
+// Edges are re-added in recorded order, reproducing the exact edge-list
+// layout (and therefore the exact response to future mutation draws) of
+// the checkpointed candidate.
+func restoreCand(cs CandidateState, terms int, b bounds) (*cand, error) {
+	if cs.Routers < 2 || cs.Routers > b.maxR {
+		return nil, fmt.Errorf("checkpoint candidate has %d routers outside [2, %d]", cs.Routers, b.maxR)
+	}
+	if len(cs.Terminals) != terms {
+		return nil, fmt.Errorf("checkpoint candidate attaches %d terminals, app has %d", len(cs.Terminals), terms)
+	}
+	c := newCand(b.maxR, terms)
+	c.nR = cs.Routers
+	for t, r := range cs.Terminals {
+		if r < 0 || r >= cs.Routers {
+			return nil, fmt.Errorf("checkpoint terminal %d attached to router %d outside [0, %d)", t, r, cs.Routers)
+		}
+		c.att[t] = r
+		c.tcnt[r]++
+	}
+	for _, e := range cs.Edges {
+		u, v := e[0], e[1]
+		if u < 0 || v < 0 || u >= cs.Routers || v >= cs.Routers || u == v || c.hasEdge(u, v) {
+			return nil, fmt.Errorf("checkpoint edge (%d,%d) invalid for %d routers", u, v, cs.Routers)
+		}
+		c.addEdge(u, v)
+	}
+	return c, nil
+}
+
+// restore rebuilds the chain's mutable state from a checkpoint: the
+// candidate edge lists in their exact recorded order, the Metropolis
+// temperature and fitnesses from their bit patterns, and the RNG
+// fast-forwarded to the recorded draw position. After restore the
+// chain's next step is indistinguishable from the uninterrupted
+// original's.
+func (ch *chain) restore(cs ChainCheckpoint, terms int, b bounds) error {
+	cur, err := restoreCand(cs.Cur, terms, b)
+	if err != nil {
+		return fmt.Errorf("current candidate: %w", err)
+	}
+	best, err := restoreCand(cs.Best, terms, b)
+	if err != nil {
+		return fmt.Errorf("best candidate: %w", err)
+	}
+	ch.cur, ch.best = cur, best
+	ch.evals, ch.accepted = cs.Evals, cs.Accepted
+	ch.temp = math.Float64frombits(cs.TempBits)
+	ch.cool = math.Float64frombits(cs.CoolBits)
+	ch.curFit = math.Float64frombits(cs.CurFitBits)
+	ch.bestFit = math.Float64frombits(cs.BestFitBits)
+	ch.src.fastForward(cs.Draws)
+	return nil
+}
+
+// checkpoint snapshots the chain's complete state at a step boundary.
+func (ch *chain) checkpoint(idx int, init Candidate) ChainCheckpoint {
+	return ChainCheckpoint{
+		Chain:       idx,
+		Evals:       ch.evals,
+		Accepted:    ch.accepted,
+		Draws:       ch.src.n,
+		TempBits:    math.Float64bits(ch.temp),
+		CoolBits:    math.Float64bits(ch.cool),
+		CurFitBits:  math.Float64bits(ch.curFit),
+		BestFitBits: math.Float64bits(ch.bestFit),
+		InitFitBits: math.Float64bits(init.Fitness),
+		Init: CandidateState{
+			Routers:   init.Routers,
+			Edges:     append([][2]int(nil), init.BiLinks...),
+			Terminals: append([]int(nil), init.Terminals...),
+		},
+		Cur:  ch.cur.state(),
+		Best: ch.best.state(),
+	}
+}

@@ -1,0 +1,170 @@
+package search
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"sunmap/internal/apps"
+)
+
+// TestCountingSourcePinsPosition verifies the premise the checkpoint
+// contract stands on: the draw count alone pins the generator position,
+// so fast-forwarding a fresh source by n draws reproduces the state of a
+// source that consumed n draws through any mix of Rand methods.
+func TestCountingSourcePinsPosition(t *testing.T) {
+	a := newCountingSource(99)
+	ra := rand.New(a)
+	for i := 0; i < 1000; i++ {
+		switch i % 3 {
+		case 0:
+			ra.Intn(17)
+		case 1:
+			ra.Float64()
+		case 2:
+			ra.Intn(1 << 30)
+		}
+	}
+	b := newCountingSource(99)
+	b.fastForward(a.n)
+	rb := rand.New(b)
+	for i := 0; i < 1000; i++ {
+		if x, y := ra.Intn(1<<20), rb.Intn(1<<20); x != y {
+			t.Fatalf("draw %d diverged after fast-forward: %d vs %d", i, x, y)
+		}
+	}
+	if a.n != b.n {
+		t.Fatalf("draw counts diverged: %d vs %d", a.n, b.n)
+	}
+}
+
+// TestSearchResumeBitIdentical is the tentpole determinism gate at the
+// search layer: a run resumed from mid-anneal checkpoints must walk
+// exactly the tail of the uninterrupted run — every later checkpoint
+// bit-identical, and the folded Result deeply equal.
+func TestSearchResumeBitIdentical(t *testing.T) {
+	app, err := apps.ByName("mpeg4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const resumeAt = 500
+	type ckKey struct{ chain, evals int }
+
+	var mu sync.Mutex
+	full := map[ckKey]ChainCheckpoint{}
+	opts := Options{
+		Budget:          4000,
+		Seed:            42,
+		Mapping:         mpeg4Opts(),
+		CheckpointEvery: 250,
+		Checkpoint: func(cs ChainCheckpoint) {
+			mu.Lock()
+			full[ckKey{cs.Chain, cs.Evals}] = cs
+			mu.Unlock()
+		},
+	}
+	ref, err := Run(context.Background(), app, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var resume []ChainCheckpoint
+	for k, cs := range full {
+		if k.evals == resumeAt {
+			resume = append(resume, cs)
+		}
+	}
+	if len(resume) != 4 {
+		t.Fatalf("captured %d checkpoints at %d evaluations, want one per chain (4)", len(resume), resumeAt)
+	}
+
+	tail := map[ckKey]ChainCheckpoint{}
+	minEvals := 1 << 30
+	opts.Resume = resume
+	opts.Checkpoint = func(cs ChainCheckpoint) {
+		mu.Lock()
+		tail[ckKey{cs.Chain, cs.Evals}] = cs
+		if cs.Evals < minEvals {
+			minEvals = cs.Evals
+		}
+		mu.Unlock()
+	}
+	res, err := Run(context.Background(), app, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The resumed run must not redo pre-checkpoint work: its first
+	// emitted checkpoint sits past the resume point.
+	if minEvals <= resumeAt {
+		t.Errorf("resumed run emitted a checkpoint at %d evaluations — it restarted instead of resuming", minEvals)
+	}
+	// Every post-resume checkpoint must be bit-identical to the
+	// uninterrupted run's at the same (chain, evals) boundary.
+	for k, cs := range tail {
+		want, ok := full[k]
+		if !ok {
+			t.Errorf("resumed run emitted checkpoint at chain %d evals %d the full run never reached", k.chain, k.evals)
+			continue
+		}
+		if !reflect.DeepEqual(want, cs) {
+			t.Errorf("chain %d checkpoint at %d evaluations diverged:\nwant %+v\ngot  %+v", k.chain, k.evals, want, cs)
+		}
+	}
+	ref.Best.Evaluated = nil // pointer-laden; structure+fitness is the contract
+	res.Best.Evaluated = nil
+	if !reflect.DeepEqual(ref, res) {
+		t.Errorf("resumed result diverged:\nwant %+v\ngot  %+v", ref, res)
+	}
+}
+
+// TestSearchResumeRejectsCorrupt pins the validation surface: damaged
+// checkpoints must fail the run with a descriptive error, never resume
+// into an inconsistent chain.
+func TestSearchResumeRejectsCorrupt(t *testing.T) {
+	app, err := apps.ByName("mpeg4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ck ChainCheckpoint
+	var mu sync.Mutex
+	base := Options{
+		Budget:          2000,
+		Seed:            7,
+		Mapping:         mpeg4Opts(),
+		CheckpointEvery: 200,
+		Checkpoint: func(cs ChainCheckpoint) {
+			mu.Lock()
+			if cs.Chain == 0 && ck.Evals == 0 {
+				ck = cs
+			}
+			mu.Unlock()
+		},
+	}
+	if _, err := Run(context.Background(), app, base); err != nil {
+		t.Fatal(err)
+	}
+	if ck.Evals == 0 {
+		t.Fatal("no checkpoint captured for chain 0")
+	}
+	base.Checkpoint, base.CheckpointEvery = nil, 0
+
+	corrupt := func(name string, mut func(*ChainCheckpoint)) {
+		cs := ck
+		cs.Cur.Edges = append([][2]int(nil), ck.Cur.Edges...)
+		cs.Cur.Terminals = append([]int(nil), ck.Cur.Terminals...)
+		mut(&cs)
+		o := base
+		o.Resume = []ChainCheckpoint{cs}
+		if _, err := Run(context.Background(), app, o); err == nil {
+			t.Errorf("%s: corrupt checkpoint accepted", name)
+		}
+	}
+	corrupt("evals-over-budget", func(cs *ChainCheckpoint) { cs.Evals = 1 << 20 })
+	corrupt("routers-out-of-bounds", func(cs *ChainCheckpoint) { cs.Cur.Routers = 999 })
+	corrupt("terminal-miscount", func(cs *ChainCheckpoint) { cs.Cur.Terminals = cs.Cur.Terminals[:1] })
+	corrupt("terminal-out-of-range", func(cs *ChainCheckpoint) { cs.Cur.Terminals[0] = -1 })
+	corrupt("duplicate-edge", func(cs *ChainCheckpoint) { cs.Cur.Edges = append(cs.Cur.Edges, cs.Cur.Edges[0]) })
+}

@@ -94,6 +94,21 @@ type Options struct {
 	// each chain holds one slot; nested fault-sweep workers only borrow
 	// idle slots by TryAcquire.
 	Limit *pool.Limiter
+	// CheckpointEvery, when > 0 together with Checkpoint, emits a durable
+	// ChainCheckpoint every CheckpointEvery evaluations of each chain (at
+	// step boundaries). The callback runs on chain goroutines and may be
+	// invoked concurrently; implementations must be safe for concurrent
+	// use and should return quickly (journal the bytes, don't fsync per
+	// chain step).
+	CheckpointEvery int
+	Checkpoint      func(ChainCheckpoint)
+	// Resume seeds chains from previously captured checkpoints, matched
+	// by chain index; chains without a matching entry start fresh. A
+	// resumed run must use the same Seed, Budget, Restarts, bounds and
+	// application as the run that captured the checkpoints — the
+	// determinism contract (resume(seed, step N) == uninterrupted run)
+	// only holds when the remaining schedule is identical.
+	Resume []ChainCheckpoint
 }
 
 func (o Options) withDefaults(terms int) (Options, bounds, error) {
@@ -242,7 +257,10 @@ func chainSeed(seed int64, chain int) int64 {
 
 // chain is one annealing restart's mutable state.
 type chain struct {
-	rng             *rand.Rand
+	rng *rand.Rand
+	// src is the counting source underneath rng: its draw count is the
+	// serializable RNG position checkpoints capture.
+	src             *countingSource
 	ev              *evaluator
 	cur, next, best *cand
 	curFit, bestFit float64
@@ -281,51 +299,83 @@ func (ch *chain) step() {
 
 func runChain(ctx context.Context, comms []graph.Commodity, terms int, o Options, b bounds, idx, budget int, init *cand) *chainResult {
 	cr := &chainResult{chain: idx}
+	src := newCountingSource(chainSeed(o.Seed, idx))
 	ch := &chain{
-		rng:  rand.New(rand.NewSource(chainSeed(o.Seed, idx))),
+		rng:  rand.New(src),
+		src:  src,
 		ev:   newEvaluator(comms, terms, b, o.Mapping),
 		cur:  newCand(b.maxR, terms),
 		next: newCand(b.maxR, terms),
 		best: newCand(b.maxR, terms),
 	}
-	ch.cur.copyFrom(init)
-	fit, ok := ch.ev.eval(ch.cur)
-	ch.evals++
-	if !ok {
-		// The synthesized seed violates a constraint under these bounds
-		// (e.g. its routed CDG is cyclic); fall back to the path seed,
-		// whose tree routes are deadlock-free by construction.
-		ch.cur.copyFrom(pathInit(terms, b))
-		fit, ok = ch.ev.eval(ch.cur)
-		ch.evals++
-		if !ok {
-			cr.err = fmt.Errorf("search: chain %d: no valid starting candidate", idx)
+	if cs := resumeFor(o.Resume, idx); cs != nil {
+		if cs.Evals > budget {
+			cr.err = fmt.Errorf("search: chain %d: checkpoint at %d evaluations exceeds the chain budget %d", idx, cs.Evals, budget)
 			return cr
 		}
-	}
-	ch.curFit, ch.bestFit = fit, fit
-	ch.best.copyFrom(ch.cur)
-	cr.init = snapshot(ch.cur, fit)
-	// Geometric cooling from a quarter of the initial fitness down three
-	// decades across the chain's budget.
-	ch.temp = 0.25 * fit
-	if ch.temp < 1e-6 {
-		ch.temp = 1e-6
-	}
-	steps := budget - ch.evals
-	ch.cool = 1.0
-	if steps > 0 {
-		ch.cool = math.Pow(1e-3, 1/float64(steps))
+		if err := ch.restore(*cs, terms, b); err != nil {
+			cr.err = fmt.Errorf("search: chain %d: resuming: %w", idx, err)
+			return cr
+		}
+		cr.init = Candidate{
+			Routers:   cs.Init.Routers,
+			BiLinks:   append([][2]int(nil), cs.Init.Edges...),
+			Terminals: append([]int(nil), cs.Init.Terminals...),
+			Fitness:   math.Float64frombits(cs.InitFitBits),
+		}
+	} else {
+		ch.cur.copyFrom(init)
+		fit, ok := ch.ev.eval(ch.cur)
+		ch.evals++
+		if !ok {
+			// The synthesized seed violates a constraint under these bounds
+			// (e.g. its routed CDG is cyclic); fall back to the path seed,
+			// whose tree routes are deadlock-free by construction.
+			ch.cur.copyFrom(pathInit(terms, b))
+			fit, ok = ch.ev.eval(ch.cur)
+			ch.evals++
+			if !ok {
+				cr.err = fmt.Errorf("search: chain %d: no valid starting candidate", idx)
+				return cr
+			}
+		}
+		ch.curFit, ch.bestFit = fit, fit
+		ch.best.copyFrom(ch.cur)
+		cr.init = snapshot(ch.cur, fit)
+		// Geometric cooling from a quarter of the initial fitness down three
+		// decades across the chain's budget.
+		ch.temp = 0.25 * fit
+		if ch.temp < 1e-6 {
+			ch.temp = 1e-6
+		}
+		steps := budget - ch.evals
+		ch.cool = 1.0
+		if steps > 0 {
+			ch.cool = math.Pow(1e-3, 1/float64(steps))
+		}
 	}
 	for ch.evals < budget {
 		if ch.evals%64 == 0 && ctx.Err() != nil {
 			break
 		}
 		ch.step()
+		if o.Checkpoint != nil && o.CheckpointEvery > 0 && ch.evals%o.CheckpointEvery == 0 {
+			o.Checkpoint(ch.checkpoint(idx, cr.init))
+		}
 	}
 	cr.best = snapshot(ch.best, ch.bestFit)
 	cr.evals, cr.accepted = ch.evals, ch.accepted
 	return cr
+}
+
+// resumeFor finds the checkpoint matching a chain index, if any.
+func resumeFor(rs []ChainCheckpoint, idx int) *ChainCheckpoint {
+	for i := range rs {
+		if rs[i].Chain == idx {
+			return &rs[i]
+		}
+	}
+	return nil
 }
 
 // snapshot captures a candidate's structure in canonical form (edges

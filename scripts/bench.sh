@@ -6,13 +6,13 @@
 # Usage:
 #   scripts/bench.sh [output.json] [benchtime]
 #
-# Defaults: output BENCH_7.json in the repo root, -benchtime 50x (fixed
+# Defaults: output BENCH_8.json in the repo root, -benchtime 50x (fixed
 # iteration counts keep runtimes bounded and comparable on CI-class
 # machines; raise it locally for tighter numbers).
 set -eu
 
 cd "$(dirname "$0")/.."
-OUT="${1:-BENCH_7.json}"
+OUT="${1:-BENCH_8.json}"
 BENCHTIME="${2:-50x}"
 
 # The snapshot records GOMAXPROCS so speedup numbers are interpretable:
@@ -36,6 +36,10 @@ go test -run '^$' -bench 'BenchmarkSearch$' \
     -benchmem -benchtime 5x ./internal/search | tee -a "$RAW"
 go test -run '^$' -bench 'BenchmarkSearchEval$' \
     -benchmem -benchtime "$BENCHTIME" ./internal/search | tee -a "$RAW"
+# Job-store durability: submit throughput (fsync'd journal appends) and
+# journal replay rate on reopen.
+go test -run '^$' -bench 'BenchmarkSubmitReplay$' \
+    -benchmem -benchtime "$BENCHTIME" ./internal/jobs | tee -a "$RAW"
 # The selection sweep runs at 1 and 4 procs when the box has the cores,
 # so the snapshot captures the scaling claim, not just one point.
 if [ "$MAXPROCS" -ge 4 ]; then

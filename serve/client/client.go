@@ -1,0 +1,291 @@
+// Package client is the Go client for the serve package's HTTP API,
+// wrapping the synchronous and async-job endpoints with context-aware,
+// jittered exponential backoff. Overload responses (429 from admission
+// shedding, 503 from the job breaker) and transport failures retry
+// automatically, honoring the server's Retry-After hint, so a client
+// pointed at a saturated or restarting server completes its work once
+// capacity returns instead of surfacing every shed.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"sunmap"
+	"sunmap/internal/jobs"
+)
+
+// Options tunes retry behavior. The zero value is production-safe.
+type Options struct {
+	// HTTPClient overrides the transport (default http.DefaultClient).
+	HTTPClient *http.Client
+	// MaxAttempts bounds tries per call, including the first (default 8).
+	MaxAttempts int
+	// BaseBackoff and MaxBackoff bound the jittered exponential sleep
+	// between attempts (defaults 100ms and 5s). The server's Retry-After
+	// raises the floor when present.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// Seed fixes the jitter stream for reproducible tests; 0 seeds from
+	// the wall clock.
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.HTTPClient == nil {
+		o.HTTPClient = http.DefaultClient
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 8
+	}
+	if o.BaseBackoff <= 0 {
+		o.BaseBackoff = 100 * time.Millisecond
+	}
+	if o.MaxBackoff <= 0 {
+		o.MaxBackoff = 5 * time.Second
+	}
+	return o
+}
+
+// HTTPError is a non-retryable (or retry-exhausted) HTTP failure.
+type HTTPError struct {
+	Status int
+	Body   string
+}
+
+func (e *HTTPError) Error() string {
+	return fmt.Sprintf("client: HTTP %d: %s", e.Status, strings.TrimSpace(e.Body))
+}
+
+// Client talks to one serve base URL. Safe for concurrent use.
+type Client struct {
+	base string
+	opts Options
+	mu   sync.Mutex // guards rng
+	rng  *rand.Rand
+}
+
+// New builds a client for a base URL like "http://127.0.0.1:8080".
+//
+//sunmap:wallclock
+func New(baseURL string, opts Options) *Client {
+	opts = opts.withDefaults()
+	seed := opts.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano() // jitter decorrelation, not determinism
+	}
+	return &Client{
+		base: strings.TrimRight(baseURL, "/"),
+		opts: opts,
+		rng:  rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Health probes GET /healthz, retrying with backoff — also the reconnect
+// primitive: it returns nil as soon as a (re)started server answers.
+func (c *Client) Health(ctx context.Context) error {
+	_, err := c.do(ctx, http.MethodGet, "/healthz", nil)
+	return err
+}
+
+// Do executes one synchronous request via POST /v1/do.
+func (c *Client) Do(ctx context.Context, req sunmap.Request) (*sunmap.Report, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: encoding request: %w", err)
+	}
+	raw, err := c.do(ctx, http.MethodPost, "/v1/do", body)
+	if err != nil {
+		return nil, err
+	}
+	return sunmap.ParseReport(raw)
+}
+
+// Submit enqueues a durable job via POST /v1/jobs and returns its
+// snapshot (ID, state).
+func (c *Client) Submit(ctx context.Context, req sunmap.Request) (jobs.Job, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return jobs.Job{}, fmt.Errorf("client: encoding request: %w", err)
+	}
+	return c.jobCall(ctx, http.MethodPost, "/v1/jobs", body)
+}
+
+// Job polls one job's snapshot.
+func (c *Client) Job(ctx context.Context, id string) (jobs.Job, error) {
+	return c.jobCall(ctx, http.MethodGet, "/v1/jobs/"+id, nil)
+}
+
+// Cancel requests job cancellation.
+func (c *Client) Cancel(ctx context.Context, id string) (jobs.Job, error) {
+	return c.jobCall(ctx, http.MethodDelete, "/v1/jobs/"+id, nil)
+}
+
+// Jobs lists live jobs.
+func (c *Client) Jobs(ctx context.Context) ([]jobs.Job, error) {
+	raw, err := c.do(ctx, http.MethodGet, "/v1/jobs", nil)
+	if err != nil {
+		return nil, err
+	}
+	var out struct {
+		Jobs []jobs.Job `json:"jobs"`
+	}
+	if err := json.Unmarshal(raw, &out); err != nil {
+		return nil, fmt.Errorf("client: decoding job list: %w", err)
+	}
+	return out.Jobs, nil
+}
+
+// Result fetches a terminal job's Report.
+func (c *Client) Result(ctx context.Context, id string) (*sunmap.Report, error) {
+	raw, err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/result", nil)
+	if err != nil {
+		return nil, err
+	}
+	return sunmap.ParseReport(raw)
+}
+
+// Wait polls until the job reaches a terminal state or ctx is done.
+// poll <= 0 selects 500ms. Transient transport failures (including a
+// server restart mid-wait) are absorbed by the per-call retries.
+func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (jobs.Job, error) {
+	if poll <= 0 {
+		poll = 500 * time.Millisecond
+	}
+	for {
+		jb, err := c.Job(ctx, id)
+		if err != nil {
+			return jb, err
+		}
+		if jb.State.Terminal() {
+			return jb, nil
+		}
+		if err := sleep(ctx, poll); err != nil {
+			return jb, err
+		}
+	}
+}
+
+func (c *Client) jobCall(ctx context.Context, method, path string, body []byte) (jobs.Job, error) {
+	raw, err := c.do(ctx, method, path, body)
+	if err != nil {
+		return jobs.Job{}, err
+	}
+	var jb jobs.Job
+	if err := json.Unmarshal(raw, &jb); err != nil {
+		return jobs.Job{}, fmt.Errorf("client: decoding job: %w", err)
+	}
+	return jb, nil
+}
+
+// do issues one HTTP call with retries: transport errors, 429 and 503
+// back off (jittered exponential, floored by Retry-After) and try
+// again; other non-2xx statuses return an *HTTPError immediately.
+func (c *Client) do(ctx context.Context, method, path string, body []byte) ([]byte, error) {
+	var lastErr error
+	for attempt := 0; attempt < c.opts.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			if err := sleep(ctx, c.backoff(attempt, lastErr)); err != nil {
+				return nil, err
+			}
+		}
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+		if err != nil {
+			return nil, fmt.Errorf("client: %w", err)
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := c.opts.HTTPClient.Do(req)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			lastErr = fmt.Errorf("client: %w", err)
+			continue
+		}
+		raw, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+		resp.Body.Close()
+		if err != nil {
+			lastErr = fmt.Errorf("client: reading response: %w", err)
+			continue
+		}
+		switch {
+		case resp.StatusCode >= 200 && resp.StatusCode < 300:
+			return raw, nil
+		case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable:
+			lastErr = &retryableError{
+				err:        &HTTPError{Status: resp.StatusCode, Body: string(raw)},
+				retryAfter: parseRetryAfter(resp.Header.Get("Retry-After")),
+			}
+		default:
+			return nil, &HTTPError{Status: resp.StatusCode, Body: string(raw)}
+		}
+	}
+	if re, ok := lastErr.(*retryableError); ok {
+		lastErr = re.err
+	}
+	return nil, fmt.Errorf("client: %d attempts exhausted: %w", c.opts.MaxAttempts, lastErr)
+}
+
+// retryableError carries the server's Retry-After hint between attempts.
+type retryableError struct {
+	err        error
+	retryAfter time.Duration
+}
+
+func (e *retryableError) Error() string { return e.err.Error() }
+
+// backoff computes the pre-attempt sleep: exponential with equal
+// jitter, capped, floored by the server's Retry-After when one came
+// back on the previous response.
+func (c *Client) backoff(attempt int, lastErr error) time.Duration {
+	d := c.opts.BaseBackoff << (attempt - 1)
+	if d > c.opts.MaxBackoff || d <= 0 {
+		d = c.opts.MaxBackoff
+	}
+	c.mu.Lock()
+	jittered := d/2 + time.Duration(c.rng.Int63n(int64(d/2)+1))
+	c.mu.Unlock()
+	if re, ok := lastErr.(*retryableError); ok && re.retryAfter > jittered {
+		// Respect the server's hint, but never sleep past the cap by
+		// more than the hint itself demands.
+		jittered = re.retryAfter
+	}
+	return jittered
+}
+
+func parseRetryAfter(h string) time.Duration {
+	if h == "" {
+		return 0
+	}
+	if s, err := strconv.Atoi(h); err == nil && s >= 0 {
+		return time.Duration(s) * time.Second
+	}
+	return 0
+}
+
+// sleep is a context-aware time.Sleep.
+func sleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

@@ -1,0 +1,144 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestRetryOnOverload: 429 and 503 back off and retry until the server
+// recovers; the successful body comes back untouched.
+func TestRetryOnOverload(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch calls.Add(1) {
+		case 1:
+			w.Header().Set("Retry-After", "0")
+			http.Error(w, "overloaded", http.StatusTooManyRequests)
+		case 2:
+			http.Error(w, "breaker open", http.StatusServiceUnavailable)
+		default:
+			w.Write([]byte(`{"status":"ok"}`))
+		}
+	}))
+	defer srv.Close()
+	cl := New(srv.URL, Options{Seed: 1, BaseBackoff: time.Millisecond, MaxBackoff: 5 * time.Millisecond})
+	if err := cl.Health(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("server saw %d calls, want 3", got)
+	}
+}
+
+// TestNoRetryOnClientError: a 4xx other than 429 is the caller's
+// mistake — it surfaces immediately as *HTTPError without retries.
+func TestNoRetryOnClientError(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "bad request", http.StatusBadRequest)
+	}))
+	defer srv.Close()
+	cl := New(srv.URL, Options{Seed: 1, BaseBackoff: time.Millisecond})
+	err := cl.Health(context.Background())
+	var he *HTTPError
+	if !errors.As(err, &he) || he.Status != http.StatusBadRequest {
+		t.Fatalf("err = %v", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("client retried a 400: %d calls", got)
+	}
+}
+
+// TestExhaustedAttemptsSurfaceLastError: a server that never recovers
+// exhausts MaxAttempts and the final error carries the HTTP status.
+func TestExhaustedAttemptsSurfaceLastError(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "still overloaded", http.StatusTooManyRequests)
+	}))
+	defer srv.Close()
+	cl := New(srv.URL, Options{Seed: 1, MaxAttempts: 3, BaseBackoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond})
+	err := cl.Health(context.Background())
+	var he *HTTPError
+	if !errors.As(err, &he) || he.Status != http.StatusTooManyRequests {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestRetryAfterFloorsBackoff: the server's Retry-After hint raises the
+// sleep between attempts above the jittered exponential schedule.
+func TestRetryAfterFloorsBackoff(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "overloaded", http.StatusTooManyRequests)
+			return
+		}
+		w.Write([]byte(`{}`))
+	}))
+	defer srv.Close()
+	cl := New(srv.URL, Options{Seed: 1, BaseBackoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond})
+	start := time.Now()
+	if err := cl.Health(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 900*time.Millisecond {
+		t.Errorf("retried after %v — Retry-After: 1 not honored", elapsed)
+	}
+}
+
+// TestContextCancelsBackoff: cancellation during the between-attempt
+// sleep returns promptly with the context's error.
+func TestContextCancelsBackoff(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "30")
+		http.Error(w, "overloaded", http.StatusTooManyRequests)
+	}))
+	defer srv.Close()
+	cl := New(srv.URL, Options{Seed: 1, BaseBackoff: time.Millisecond})
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := cl.Health(ctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("cancellation took %v", elapsed)
+	}
+}
+
+// TestTransportErrorsRetry: a connection-refused transport failure is
+// retryable — pointing the client at a dead port exhausts attempts
+// rather than panicking or hanging.
+func TestTransportErrorsRetry(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	srv.Close() // dead listener: every dial fails
+	cl := New(srv.URL, Options{Seed: 1, MaxAttempts: 2, BaseBackoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond})
+	err := cl.Health(context.Background())
+	if err == nil {
+		t.Fatal("expected transport failure")
+	}
+	var he *HTTPError
+	if errors.As(err, &he) {
+		t.Fatalf("transport failure surfaced as HTTP error: %v", err)
+	}
+}
+
+func TestParseRetryAfter(t *testing.T) {
+	cases := []struct {
+		in   string
+		want time.Duration
+	}{{"", 0}, {"2", 2 * time.Second}, {"0", 0}, {"-3", 0}, {"Wed, 21 Oct 2015 07:28:00 GMT", 0}}
+	for _, tc := range cases {
+		if got := parseRetryAfter(tc.in); got != tc.want {
+			t.Errorf("parseRetryAfter(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}

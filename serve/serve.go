@@ -4,11 +4,28 @@
 // root package, so a client can marshal a sunmap.Request, POST it, and
 // decode the body back as a sunmap.Report with no service-specific types.
 //
-// Endpoints:
+// Synchronous endpoints:
 //
 //	POST /v1/do     one Request  -> one Report
-//	POST /v1/batch  {"requests": [...]} -> {"reports": [...], "cache": {...}}
+//	POST /v1/batch  {"requests": [...]} -> {"reports": [...], "cache": {...}, "serve": {...}}
 //	GET  /healthz   liveness probe
+//
+// Asynchronous job endpoints (NewServer with a jobs store):
+//
+//	POST   /v1/jobs             one Request -> 202 + job snapshot
+//	GET    /v1/jobs             list live jobs
+//	GET    /v1/jobs/{id}        poll one job
+//	GET    /v1/jobs/{id}/result fetch a terminal job's Report
+//	DELETE /v1/jobs/{id}        cancel
+//
+// Jobs are journaled by internal/jobs: a crash or restart re-queues
+// interrupted jobs, and search jobs resume from their latest annealing
+// checkpoint with bit-identical results. Overload policy: when the
+// session's evaluation pool has more blocked callers than the queue-depth
+// threshold, synchronous requests are shed with 429 + Retry-After
+// (health probes and job submissions are never shed — the async path is
+// the pressure relief); a job runner panicking repeatedly opens a
+// circuit breaker that sheds submissions with 503 + Retry-After.
 //
 // Error mapping: structurally invalid bodies are HTTP 400; valid requests
 // whose operation fails still return 200 with Report.Error/ErrorKind set
@@ -23,10 +40,17 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log"
+	"net"
 	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"sunmap"
+	"sunmap/internal/jobs"
 )
 
 // Options tunes the HTTP front-end. The zero value is production-safe.
@@ -38,6 +62,33 @@ type Options struct {
 	MaxBatch int
 	// MaxBodyBytes caps the request body size (default 8 MiB).
 	MaxBodyBytes int64
+	// MaxQueueDepth is the admission-control threshold: synchronous
+	// requests are shed with 429 once this many callers are blocked
+	// waiting for an evaluation slot. 0 selects 4x the session's
+	// parallelism; negative disables shedding.
+	MaxQueueDepth int
+	// JobsDir is the job journal directory; empty keeps the job store
+	// memory-only (jobs do not survive a restart).
+	JobsDir string
+	// JobWorkers bounds concurrent job executions (default 2).
+	JobWorkers int
+	// JobRetention is how long terminal jobs stay fetchable (default 1h).
+	JobRetention time.Duration
+	// CheckpointEvery is the annealing-evaluation interval between
+	// journaled search checkpoints (default 500).
+	CheckpointEvery int
+	// CacheFile, when set, persists the session's eval cache: loaded on
+	// NewServer, saved on Close, so a restarted server is warm.
+	CacheFile string
+	// OnListen, when set, receives the bound address before serving
+	// starts — the way a ":0" server's actual port becomes observable.
+	OnListen func(net.Addr)
+	// ErrorLog receives response-write failures and other degraded-path
+	// notices (default: the log package's standard logger).
+	ErrorLog *log.Logger
+	// breaker tuning for tests; zero selects the jobs package defaults.
+	jobBreakerThreshold int
+	jobBreakerCooldown  time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -50,6 +101,12 @@ func (o Options) withDefaults() Options {
 	if o.MaxBodyBytes <= 0 {
 		o.MaxBodyBytes = 8 << 20
 	}
+	if o.JobWorkers <= 0 {
+		o.JobWorkers = 2
+	}
+	if o.CheckpointEvery <= 0 {
+		o.CheckpointEvery = 500
+	}
 	return o
 }
 
@@ -58,12 +115,25 @@ type BatchRequest struct {
 	Requests []sunmap.Request `json:"requests"`
 }
 
+// ServeStats is the service-health envelope returned alongside batch
+// reports: the session pool's pressure, requests shed so far, and the
+// count of responses whose write failed after the header was committed
+// (the failures writeJSON can no longer surface to that client).
+type ServeStats struct {
+	Load          sunmap.LoadStats `json:"load"`
+	Shed          uint64           `json:"shed,omitempty"`
+	WriteFailures uint64           `json:"write_failures,omitempty"`
+	Jobs          *jobs.Stats      `json:"jobs,omitempty"`
+}
+
 // BatchResponse is the body of a /v1/batch reply: one Report per Request
-// at the same index, plus a snapshot of the session cache — the
-// effectiveness telemetry a load balancer or dashboard scrapes.
+// at the same index, plus a snapshot of the session cache and the serve
+// layer's own health counters — the telemetry a load balancer or
+// dashboard scrapes.
 type BatchResponse struct {
 	Reports []sunmap.Report       `json:"reports"`
 	Cache   sunmap.EvalCacheStats `json:"cache"`
+	Serve   *ServeStats           `json:"serve,omitempty"`
 }
 
 // errorBody is the JSON shape of transport-level failures (HTTP 4xx/5xx).
@@ -71,46 +141,135 @@ type errorBody struct {
 	Error string `json:"error"`
 }
 
-// NewHandler builds the HTTP handler serving a session.
-func NewHandler(s *sunmap.Session, opts Options) http.Handler {
+// Server is the serving front-end with a lifecycle: it owns the durable
+// job store and the persisted eval cache. Create with NewServer, serve
+// its Handler, Close on the way out.
+type Server struct {
+	sess       *sunmap.Session
+	opts       Options
+	store      *jobs.Store // nil when jobs are disabled (NewHandler path)
+	mux        *http.ServeMux
+	writeFails atomic.Uint64
+	shedCount  atomic.Uint64
+	closeOnce  sync.Once
+	closeErr   error
+}
+
+// NewServer builds a Server: loads the eval-cache spill (Options.
+// CacheFile), opens the job store (journal replay re-queues interrupted
+// jobs), and registers all endpoints. ctx scopes construction; the job
+// workers run until Close.
+func NewServer(ctx context.Context, s *sunmap.Session, opts Options) (*Server, error) {
 	opts = opts.withDefaults()
+	sv := &Server{sess: s, opts: opts}
+	if opts.CacheFile != "" {
+		if n, err := s.Cache().LoadFile(opts.CacheFile); err != nil {
+			sv.logf("serve: cache spill not loaded: %v", err)
+		} else if n > 0 {
+			sv.logf("serve: warm start: %d cached evaluations from %s", n, opts.CacheFile)
+		}
+	}
+	store, err := jobs.Open(ctx, jobs.Options{
+		Dir:              opts.JobsDir,
+		Workers:          opts.JobWorkers,
+		Retention:        opts.JobRetention,
+		BreakerThreshold: opts.jobBreakerThreshold,
+		BreakerCooldown:  opts.jobBreakerCooldown,
+	}, sv.runJob)
+	if err != nil {
+		return nil, err
+	}
+	sv.store = store
+	sv.buildMux()
+	return sv, nil
+}
+
+// Handler returns the server's HTTP handler.
+func (sv *Server) Handler() http.Handler { return sv.mux }
+
+// Close stops the job store (interrupted jobs stay re-runnable in the
+// journal) and saves the eval-cache spill.
+func (sv *Server) Close() error {
+	sv.closeOnce.Do(func() {
+		var errs []error
+		if sv.store != nil {
+			if err := sv.store.Close(); err != nil {
+				errs = append(errs, err)
+			}
+		}
+		if sv.opts.CacheFile != "" {
+			if _, err := sv.sess.Cache().SaveFile(sv.opts.CacheFile); err != nil {
+				errs = append(errs, err)
+			}
+		}
+		sv.closeErr = errors.Join(errs...)
+	})
+	return sv.closeErr
+}
+
+// NewHandler builds the HTTP handler serving a session synchronously —
+// the lifecycle-free compatibility surface (no durable jobs, no cache
+// persistence). Use NewServer for the full service.
+func NewHandler(s *sunmap.Session, opts Options) http.Handler {
+	sv := &Server{sess: s, opts: opts.withDefaults()}
+	sv.buildMux()
+	return sv.mux
+}
+
+func (sv *Server) logf(format string, args ...any) {
+	if sv.opts.ErrorLog != nil {
+		sv.opts.ErrorLog.Printf(format, args...)
+		return
+	}
+	log.Printf(format, args...)
+}
+
+func (sv *Server) buildMux() {
 	mux := http.NewServeMux()
+	sv.mux = mux
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+		// Health probes are never shed: a saturated server is alive.
+		sv.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 	mux.HandleFunc("POST /v1/do", func(w http.ResponseWriter, r *http.Request) {
-		body, err := readBody(r, opts.MaxBodyBytes)
+		if sv.shed(w) {
+			return
+		}
+		body, err := readBody(r, sv.opts.MaxBodyBytes)
 		if err != nil {
-			writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+			sv.writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
 			return
 		}
 		req, err := sunmap.ParseRequest(body)
 		if err != nil {
-			writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+			sv.writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
 			return
 		}
-		ctx, cancel := requestContext(r.Context(), *req, opts.RequestTimeout)
+		ctx, cancel := requestContext(r.Context(), *req, sv.opts.RequestTimeout)
 		defer cancel()
-		writeJSON(w, http.StatusOK, s.Do(ctx, *req))
+		sv.writeJSON(w, http.StatusOK, sv.sess.Do(ctx, *req))
 	})
 	mux.HandleFunc("POST /v1/batch", func(w http.ResponseWriter, r *http.Request) {
-		body, err := readBody(r, opts.MaxBodyBytes)
+		if sv.shed(w) {
+			return
+		}
+		body, err := readBody(r, sv.opts.MaxBodyBytes)
 		if err != nil {
-			writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+			sv.writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
 			return
 		}
 		var batch BatchRequest
 		if err := json.Unmarshal(body, &batch); err != nil {
-			writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("invalid request: %v", err)})
+			sv.writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("invalid request: %v", err)})
 			return
 		}
 		if len(batch.Requests) == 0 {
-			writeJSON(w, http.StatusBadRequest, errorBody{Error: "invalid request: empty batch"})
+			sv.writeJSON(w, http.StatusBadRequest, errorBody{Error: "invalid request: empty batch"})
 			return
 		}
-		if len(batch.Requests) > opts.MaxBatch {
-			writeJSON(w, http.StatusBadRequest, errorBody{
-				Error: fmt.Sprintf("invalid request: batch of %d exceeds the %d cap", len(batch.Requests), opts.MaxBatch),
+		if len(batch.Requests) > sv.opts.MaxBatch {
+			sv.writeJSON(w, http.StatusBadRequest, errorBody{
+				Error: fmt.Sprintf("invalid request: batch of %d exceeds the %d cap", len(batch.Requests), sv.opts.MaxBatch),
 			})
 			return
 		}
@@ -120,16 +279,212 @@ func NewHandler(s *sunmap.Session, opts Options) http.Handler {
 		// /v1/do, a client may tighten the operator's default but never
 		// widen it.
 		// (negative timeouts are left alone so validation rejects them)
-		defMS := int(opts.RequestTimeout / time.Millisecond)
+		defMS := int(sv.opts.RequestTimeout / time.Millisecond)
 		for i := range batch.Requests {
 			if t := batch.Requests[i].TimeoutMS; t == 0 || t > defMS {
 				batch.Requests[i].TimeoutMS = defMS
 			}
 		}
-		reports, _ := s.Batch(r.Context(), batch.Requests) // per-request failures live in the reports
-		writeJSON(w, http.StatusOK, BatchResponse{Reports: reports, Cache: s.CacheStats()})
+		reports, _ := sv.sess.Batch(r.Context(), batch.Requests) // per-request failures live in the reports
+		sv.writeJSON(w, http.StatusOK, BatchResponse{
+			Reports: reports,
+			Cache:   sv.sess.CacheStats(),
+			Serve:   sv.stats(),
+		})
 	})
-	return mux
+	if sv.store != nil {
+		sv.registerJobRoutes(mux)
+	}
+}
+
+func (sv *Server) registerJobRoutes(mux *http.ServeMux) {
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		// Submissions are never queue-depth shed: enqueueing is cheap and
+		// the async path is exactly where overloaded clients belong. The
+		// panic breaker still applies.
+		body, err := readBody(r, sv.opts.MaxBodyBytes)
+		if err != nil {
+			sv.writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+			return
+		}
+		req, err := sunmap.ParseRequest(body)
+		if err != nil {
+			sv.writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+			return
+		}
+		if err := req.Validate(); err != nil {
+			sv.writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+			return
+		}
+		jb, err := sv.store.Submit(r.Context(), req.Op, body)
+		if err != nil {
+			var open *jobs.BreakerOpenError
+			if errors.As(err, &open) {
+				w.Header().Set("Retry-After", strconv.Itoa(retrySeconds(open.RetryAfter)))
+				sv.writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
+				return
+			}
+			sv.writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+			return
+		}
+		sv.writeJSON(w, http.StatusAccepted, jb)
+	})
+	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		sv.writeJSON(w, http.StatusOK, map[string][]jobs.Job{"jobs": sv.store.List()})
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		jb, err := sv.store.Get(r.PathValue("id"))
+		if err != nil {
+			sv.writeJSON(w, http.StatusNotFound, errorBody{Error: err.Error()})
+			return
+		}
+		sv.writeJSON(w, http.StatusOK, jb)
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}/result", func(w http.ResponseWriter, r *http.Request) {
+		res, jb, err := sv.store.Result(r.PathValue("id"))
+		switch {
+		case errors.Is(err, jobs.ErrUnknownJob):
+			sv.writeJSON(w, http.StatusNotFound, errorBody{Error: err.Error()})
+		case errors.Is(err, jobs.ErrNotTerminal):
+			w.Header().Set("Retry-After", "2")
+			sv.writeJSON(w, http.StatusConflict, errorBody{Error: err.Error()})
+		case err != nil:
+			sv.writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+		case jb.State == jobs.StateDone:
+			// The result bytes are a marshaled sunmap.Report; pass through.
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusOK)
+			if _, werr := w.Write(res); werr != nil {
+				sv.writeFails.Add(1)
+				sv.logf("serve: writing job result: %v", werr)
+			}
+		case jb.State == jobs.StateCancelled:
+			sv.writeJSON(w, http.StatusGone, errorBody{Error: "job cancelled: " + jb.Error})
+		default: // failed
+			sv.writeJSON(w, http.StatusInternalServerError, errorBody{Error: "job failed: " + jb.Error})
+		}
+	})
+	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		jb, err := sv.store.Cancel(r.PathValue("id"))
+		if err != nil {
+			sv.writeJSON(w, http.StatusNotFound, errorBody{Error: err.Error()})
+			return
+		}
+		sv.writeJSON(w, http.StatusOK, jb)
+	})
+}
+
+// stats snapshots the serve-layer health envelope.
+func (sv *Server) stats() *ServeStats {
+	st := &ServeStats{
+		Load:          sv.sess.Load(),
+		Shed:          sv.shedCount.Load(),
+		WriteFailures: sv.writeFails.Load(),
+	}
+	if sv.store != nil {
+		js := sv.store.Stats()
+		st.Jobs = &js
+	}
+	return st
+}
+
+// shed applies admission control to a synchronous request: when more
+// callers are blocked on the session's evaluation pool than the
+// threshold allows, reply 429 with a Retry-After estimate instead of
+// joining a queue the request's own deadline would likely outlive.
+func (sv *Server) shed(w http.ResponseWriter) bool {
+	if sv.opts.MaxQueueDepth < 0 {
+		return false
+	}
+	ld := sv.sess.Load()
+	depth := sv.opts.MaxQueueDepth
+	if depth == 0 {
+		depth = 4 * ld.Capacity
+		if depth <= 0 {
+			depth = 64
+		}
+	}
+	if ld.Waiting < depth {
+		return false
+	}
+	sv.shedCount.Add(1)
+	cap := ld.Capacity
+	if cap < 1 {
+		cap = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(1+ld.Waiting/cap))
+	sv.writeJSON(w, http.StatusTooManyRequests, errorBody{
+		Error: fmt.Sprintf("overloaded: %d requests queued on %d evaluation slots; retry later or submit to /v1/jobs", ld.Waiting, ld.Capacity),
+	})
+	return true
+}
+
+// runJob executes one journaled job: the payload is the original POST
+// /v1/jobs body (a sunmap.Request), the result a marshaled
+// sunmap.Report. Search requests run with the checkpoint conduit wired
+// to the job's journal; on shutdown the context error propagates so the
+// store re-queues instead of recording a bogus terminal state.
+func (sv *Server) runJob(ctx context.Context, kind string, payload []byte, ck *jobs.Checkpoint) ([]byte, error) {
+	req, err := sunmap.ParseRequest(payload)
+	if err != nil {
+		return nil, err
+	}
+	var cp *sunmap.SearchCheckpoints
+	if req.Op == sunmap.OpSearch {
+		cp = sv.searchConduit(ck)
+	}
+	rep := sv.sess.DoCheckpointed(ctx, *req, cp)
+	if err := ctx.Err(); err != nil {
+		return nil, err // interrupted: no terminal result
+	}
+	return json.Marshal(rep)
+}
+
+// searchConduit adapts the job checkpoint handle to the search layer's
+// per-chain checkpoint stream: the latest checkpoint of every chain is
+// folded into one blob (sorted by chain index — the journal payload is
+// deterministic) and saved on each emission; on resume the blob is
+// decoded back into per-chain seeds.
+func (sv *Server) searchConduit(ck *jobs.Checkpoint) *sunmap.SearchCheckpoints {
+	cp := &sunmap.SearchCheckpoints{Every: sv.opts.CheckpointEvery}
+	latest := map[int]sunmap.SearchCheckpoint{}
+	if raw := ck.Latest(); raw != nil {
+		var chains []sunmap.SearchCheckpoint
+		if err := json.Unmarshal(raw, &chains); err == nil {
+			cp.Resume = chains
+			for _, c := range chains {
+				latest[c.Chain] = c
+			}
+		}
+	}
+	var mu sync.Mutex
+	cp.Sink = func(c sunmap.SearchCheckpoint) {
+		mu.Lock()
+		latest[c.Chain] = c
+		blob := make([]sunmap.SearchCheckpoint, 0, len(latest))
+		for _, v := range latest {
+			blob = append(blob, v)
+		}
+		sort.Slice(blob, func(i, j int) bool { return blob[i].Chain < blob[j].Chain })
+		raw, err := json.Marshal(blob)
+		mu.Unlock()
+		if err != nil {
+			return
+		}
+		if err := ck.Save(raw); err != nil {
+			sv.logf("serve: checkpoint not durable: %v", err)
+		}
+	}
+	return cp
+}
+
+// retrySeconds rounds a cooldown up to whole seconds, minimum 1.
+func retrySeconds(d time.Duration) int {
+	s := int((d + time.Second - 1) / time.Second)
+	if s < 1 {
+		s = 1
+	}
+	return s
 }
 
 // requestContext derives the processing context for one request: the
@@ -154,28 +509,47 @@ func readBody(r *http.Request, maxBytes int64) ([]byte, error) {
 	return body, nil
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
+// writeJSON writes a JSON response. An Encode failure after WriteHeader
+// cannot reach this client anymore; it is counted (surfaced in the
+// /v1/batch serve envelope) and logged instead of dropped.
+func (sv *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	enc.SetEscapeHTML(false)
-	_ = enc.Encode(v)
+	if err := enc.Encode(v); err != nil {
+		sv.writeFails.Add(1)
+		sv.logf("serve: writing response: %v", err)
+	}
 }
 
 // ListenAndServe runs the service on addr until ctx is cancelled, then
 // shuts down gracefully: listeners close immediately, in-flight requests
-// get drainTimeout to finish.
+// get drainTimeout to finish, then the job store and cache spill are
+// closed. The listener is opened explicitly before serving and reported
+// through Options.OnListen, so ":0" servers can discover their port.
 func ListenAndServe(ctx context.Context, addr string, s *sunmap.Session, opts Options, drainTimeout time.Duration) error {
 	if drainTimeout <= 0 {
 		drainTimeout = 10 * time.Second
 	}
+	sv, err := NewServer(ctx, s, opts)
+	if err != nil {
+		return err
+	}
+	defer sv.Close()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("serve: listen %s: %w", addr, err)
+	}
+	if opts.OnListen != nil {
+		opts.OnListen(ln.Addr())
+	}
 	srv := &http.Server{
-		Addr:              addr,
-		Handler:           NewHandler(s, opts),
+		Handler:           sv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	errc := make(chan error, 1)
-	go func() { errc <- srv.ListenAndServe() }()
+	go func() { errc <- srv.Serve(ln) }()
 	select {
 	case err := <-errc:
 		return err

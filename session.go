@@ -180,6 +180,25 @@ func (s *Session) Cache() *EvalCache { return s.cache }
 // CacheStats snapshots the session cache's effectiveness counters.
 func (s *Session) CacheStats() EvalCacheStats { return s.cache.Stats() }
 
+// LoadStats snapshots the session's admission-pool pressure: Capacity
+// is the limiter bound, InFlight the held slots, Waiting the callers
+// blocked in line for one. The serve layer's admission controller sheds
+// on Waiting.
+type LoadStats struct {
+	Capacity int `json:"capacity"`
+	InFlight int `json:"in_flight"`
+	Waiting  int `json:"waiting"`
+}
+
+// Load snapshots the session's evaluation-pool pressure.
+func (s *Session) Load() LoadStats {
+	return LoadStats{
+		Capacity: s.limit.Cap(),
+		InFlight: s.limit.InFlight(),
+		Waiting:  s.limit.Waiting(),
+	}
+}
+
 // workers resolves the session's parallelism to a concrete worker count
 // for n units of work.
 func (s *Session) workers(n int) int {
@@ -749,6 +768,28 @@ func (s *Session) faultSim(ctx context.Context, app *graph.CoreGraph, res *mappi
 // library topology. The result is deterministic for a fixed seed at
 // every parallelism setting.
 func (s *Session) Search(ctx context.Context, req SearchRequest) (*SearchReport, error) {
+	return s.SearchCheckpointed(ctx, req, nil)
+}
+
+// SearchCheckpoint is one annealing chain's serializable resume point —
+// see the checkpoint/resume determinism contract in internal/search.
+type SearchCheckpoint = search.ChainCheckpoint
+
+// SearchCheckpoints plumbs durable checkpointing into a search run:
+// Sink receives a checkpoint every Every evaluations of each chain
+// (concurrently — it must be safe and fast), and Resume seeds chains
+// from previously captured checkpoints. A resumed run must repeat the
+// original request's seed, budget, restarts, bounds and application.
+type SearchCheckpoints struct {
+	Every  int
+	Sink   func(SearchCheckpoint)
+	Resume []SearchCheckpoint
+}
+
+// SearchCheckpointed is Search with a checkpoint conduit: the jobs
+// layer uses it to journal annealing progress and to resume interrupted
+// searches with bit-identical results.
+func (s *Session) SearchCheckpointed(ctx context.Context, req SearchRequest, cp *SearchCheckpoints) (*SearchReport, error) {
 	app, err := req.App.resolve()
 	if err != nil {
 		return nil, err
@@ -767,6 +808,11 @@ func (s *Session) Search(ctx context.Context, req SearchRequest) (*SearchReport,
 		Mapping:           mopts,
 		Parallelism:       s.parallelism,
 		Limit:             s.limit,
+	}
+	if cp != nil {
+		opts.CheckpointEvery = cp.Every
+		opts.Checkpoint = cp.Sink
+		opts.Resume = cp.Resume
 	}
 	if spec := s.faultSpec(req.Fault); spec != nil {
 		m, err := spec.model()
@@ -819,7 +865,15 @@ func (s *Session) Search(ctx context.Context, req SearchRequest) (*SearchReport,
 // recovered into internal-error reports, and Request.TimeoutMS bounds the
 // call. Do never panics on bad input — the isolation contract Batch and
 // the serve layer rely on.
-func (s *Session) Do(ctx context.Context, req Request) (rep Report) {
+func (s *Session) Do(ctx context.Context, req Request) Report {
+	return s.DoCheckpointed(ctx, req, nil)
+}
+
+// DoCheckpointed is Do with a checkpoint conduit for search operations:
+// cp (optional) plumbs periodic annealing checkpoints and resume state
+// through to SearchCheckpointed, and is ignored by every other op. It
+// is the hook the serve layer's durable job runner executes through.
+func (s *Session) DoCheckpointed(ctx context.Context, req Request, cp *SearchCheckpoints) (rep Report) {
 	rep = Report{ID: req.ID, Op: req.Op}
 	defer func() {
 		if r := recover(); r != nil {
@@ -854,7 +908,7 @@ func (s *Session) Do(ctx context.Context, req Request) (rep Report) {
 	case OpFaultSweep:
 		rep.FaultSweep, err = s.FaultSweep(ctx, *req.FaultSweep)
 	case OpSearch:
-		rep.Search, err = s.Search(ctx, *req.Search)
+		rep.Search, err = s.SearchCheckpointed(ctx, *req.Search, cp)
 	}
 	if err != nil {
 		rep.Error = err.Error()
