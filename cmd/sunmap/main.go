@@ -14,6 +14,8 @@
 //	sunmap -app mpeg4 -search -search-budget 100000 -seed 1  # anneal a custom topology
 //	sunmap -app dsp -synth -synth-radix 6  # looser switch-radix bound
 //	sunmap serve -addr :8080 -j 8          # HTTP/JSON batch service
+//	sunmap serve -metrics -pprof           # + GET /metrics and /debug/pprof/
+//	sunmap -app vopd -trace                # per-stage span table on stderr
 //	sunmap serve -data /var/lib/sunmap -cache-file /var/lib/sunmap/cache.jsonl  # durable jobs + warm cache
 //	sunmap submit -server http://host:8080 -req search.json -wait  # durable async job
 //	sunmap jobs -server http://host:8080   # list; -id j-1 [-result|-cancel|-wait]
@@ -27,6 +29,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"os"
 	"os/signal"
@@ -36,15 +39,20 @@ import (
 	"time"
 
 	"sunmap"
+	"sunmap/internal/obs"
 	"sunmap/serve"
 	"sunmap/serve/client"
 )
+
+// stderrLog carries the CLI's diagnostics (leveled, structured); results
+// themselves go to stdout.
+var stderrLog = obs.NewLogger(os.Stderr, slog.LevelInfo)
 
 func main() {
 	args := os.Args[1:]
 	sub := func(f func() error) {
 		if err := f(); err != nil {
-			fmt.Fprintf(os.Stderr, "sunmap %s: %v\n", args[0], err)
+			stderrLog.Error("sunmap", "cmd", args[0], "err", err)
 			os.Exit(1)
 		}
 	}
@@ -62,7 +70,7 @@ func main() {
 		}
 	}
 	if err := run(args, os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "sunmap:", err)
+		stderrLog.Error("sunmap", "err", err)
 		os.Exit(1)
 	}
 }
@@ -83,8 +91,15 @@ func runServe(args []string, out io.Writer) error {
 	cacheFile := fs.String("cache-file", "", "persist the evaluation cache here across restarts")
 	queueDepth := fs.Int("max-queue-depth", 0, "shed synchronous requests past this many queued evaluations (0 = 4x parallelism, negative = never)")
 	ckptEvery := fs.Int("checkpoint-every", 500, "annealing evaluations between durable search checkpoints")
+	metrics := fs.Bool("metrics", false, "expose Prometheus text metrics at GET /metrics")
+	pprofOn := fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (profiles reveal internals; keep off on untrusted networks)")
+	logLevel := fs.String("log-level", "info", "log verbosity: debug, info, warn or error")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		return fmt.Errorf("log-level: %w", err)
 	}
 	opts := []sunmap.SessionOption{sunmap.WithParallelism(*jobs)}
 	if *synthesize {
@@ -105,6 +120,9 @@ func runServe(args []string, out io.Writer) error {
 		JobRetention:    *retention,
 		CheckpointEvery: *ckptEvery,
 		CacheFile:       *cacheFile,
+		EnableMetrics:   *metrics,
+		EnablePprof:     *pprofOn,
+		Logger:          obs.NewLogger(os.Stderr, level),
 		OnListen: func(a net.Addr) {
 			fmt.Fprintf(out, "sunmap service listening on %s (POST /v1/do, /v1/batch, /v1/jobs; GET /healthz)\n", a)
 		},
@@ -253,6 +271,7 @@ func run(args []string, out io.Writer) error {
 	progress := fs.Bool("progress", false, "stream per-topology progress as candidates finish")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile (post-GC) to this file on exit")
+	traceFlag := fs.Bool("trace", false, "print a per-stage timing table (spans, cache, limiter) to stderr after the run")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -274,13 +293,13 @@ func run(args []string, out io.Writer) error {
 		defer func() {
 			f, err := os.Create(*memprofile)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "sunmap: memprofile:", err)
+				stderrLog.Warn("memprofile", "err", err)
 				return
 			}
 			defer f.Close()
 			runtime.GC()
 			if err := pprof.WriteHeapProfile(f); err != nil {
-				fmt.Fprintln(os.Stderr, "sunmap: memprofile:", err)
+				stderrLog.Warn("memprofile", "err", err)
 			}
 		}()
 	}
@@ -310,6 +329,11 @@ func run(args []string, out io.Writer) error {
 	}
 	if *synthesize || *synthRadix > 0 {
 		sessOpts = append(sessOpts, sunmap.WithSynth(sunmap.SynthOptions{MaxRadix: *synthRadix}))
+	}
+	if *traceFlag {
+		tr := sunmap.NewTrace()
+		sessOpts = append(sessOpts, sunmap.WithTrace(tr))
+		defer tr.WriteText(os.Stderr)
 	}
 	if *progress {
 		sessOpts = append(sessOpts, sunmap.WithProgress(func(ev sunmap.ProgressEvent) {

@@ -4,7 +4,7 @@
 // global math/rand source, or the wall clock leaks into an output.
 //
 // Three construct classes are flagged, in the deterministic packages
-// only (core, engine, fault, search, serve — see DetPackages):
+// only (core, engine, fault, jobs, obs, search, serve — see DetPackages):
 //
 //  1. a `range` over a map whose body appends to a slice or sends on a
 //     channel — iteration order reaches an ordered sink. Sorting the
@@ -16,8 +16,10 @@
 //  2. the bare top-level math/rand functions (Intn, Float64, Shuffle,
 //     ...), which draw from the process-global source; deterministic
 //     code seeds an explicit *rand.Rand;
-//  3. time.Now outside a function annotated //sunmap:wallclock (the
-//     engine's progress-event timing site is the one audited reader).
+//  3. time.Now outside a function annotated //sunmap:wallclock. The
+//     audited readers live in internal/obs (obs.Now/obs.Since); every
+//     other deterministic-package clock read should go through them so
+//     span timing stays attributable to one reviewed site.
 package detorder
 
 import (
@@ -36,6 +38,7 @@ var DetPackages = map[string]bool{
 	"sunmap/internal/engine": true,
 	"sunmap/internal/fault":  true,
 	"sunmap/internal/jobs":   true,
+	"sunmap/internal/obs":    true,
 	"sunmap/internal/search": true,
 	"sunmap/serve":           true,
 	"sunmap/serve/client":    true,
@@ -179,7 +182,7 @@ func checkCall(pass *analysis.Pass, call *ast.CallExpr, wallclock bool) {
 	case "time":
 		if obj.Name() == "Now" && !wallclock {
 			pass.Reportf(call.Pos(),
-				"time.Now in a deterministic package outside a %s site", analysis.AnnotationWallClock)
+				"time.Now in a deterministic package outside a %s site; read the clock through obs.Now", analysis.AnnotationWallClock)
 		}
 	}
 }

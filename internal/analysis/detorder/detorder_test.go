@@ -21,6 +21,7 @@ func TestMatchScope(t *testing.T) {
 		"sunmap/internal/core":   true,
 		"sunmap/internal/engine": true,
 		"sunmap/internal/fault":  true,
+		"sunmap/internal/obs":    true,
 		"sunmap/internal/search": true,
 		"sunmap/serve":           true,
 		"sunmap/internal/sim":    false, // seeded RNG is the sim's workload, not a leak

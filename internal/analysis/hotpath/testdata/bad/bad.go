@@ -14,16 +14,16 @@ type evaluator struct {
 //
 //sunmap:hotpath
 func (e *evaluator) Eval(xs []int) int {
-	buf := make([]int, len(xs))        // want `make in hot path \(reachable from //sunmap:hotpath Eval\)`
-	p := new(evaluator)                // want `new in hot path`
-	q := &evaluator{}                  // want `heap composite literal \(&T\{\.\.\.\}\) in hot path`
-	lit := []int{1, 2, 3}              // want `slice literal in hot path`
-	m := map[string]int{}              // want `map literal in hot path`
-	e.scratch = append(e.scratch, 1)   // want `append without capacity discipline`
-	f := func() int { return 1 }       // want `function literal \(closure capture\) in hot path`
-	s := e.tag + "x"                   // want `string concatenation in hot path`
-	s += "y"                           // want `string concatenation \(\+=\) in hot path`
-	fmt.Println(s)                     // want `fmt\.Println call in hot path`
+	buf := make([]int, len(xs))      // want `make in hot path \(reachable from //sunmap:hotpath Eval\)`
+	p := new(evaluator)              // want `new in hot path`
+	q := &evaluator{}                // want `heap composite literal \(&T\{\.\.\.\}\) in hot path`
+	lit := []int{1, 2, 3}            // want `slice literal in hot path`
+	m := map[string]int{}            // want `map literal in hot path`
+	e.scratch = append(e.scratch, 1) // want `append without capacity discipline`
+	f := func() int { return 1 }     // want `function literal \(closure capture\) in hot path`
+	s := e.tag + "x"                 // want `string concatenation in hot path`
+	s += "y"                         // want `string concatenation \(\+=\) in hot path`
+	fmt.Println(s)                   // want `fmt\.Println call in hot path`
 	return len(buf) + len(lit) + m["a"] + f() + p.helper(42) + q.helper(1)
 }
 

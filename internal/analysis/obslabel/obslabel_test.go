@@ -1,0 +1,16 @@
+package obslabel_test
+
+import (
+	"testing"
+
+	"sunmap/internal/analysis/analysistest"
+	"sunmap/internal/analysis/obslabel"
+)
+
+func TestBad(t *testing.T) {
+	analysistest.Run(t, "testdata/bad", obslabel.Analyzer)
+}
+
+func TestClean(t *testing.T) {
+	analysistest.Run(t, "testdata/clean", obslabel.Analyzer)
+}

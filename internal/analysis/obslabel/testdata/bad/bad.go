@@ -1,0 +1,18 @@
+// Package bad interpolates runtime values into metric names and label
+// values — the unbounded-cardinality leaks obslabel exists to stop.
+package bad
+
+import "sunmap/internal/obs"
+
+var reg = obs.NewRegistry()
+
+var fixed = reg.CounterVec("bad_fixed_total", "ok name, abused below", "op")
+
+// Dynamic builds metric identities from runtime data.
+func Dynamic(op string, labels []string) {
+	vec := reg.CounterVec("bad_"+op+"_total", "interpolated name", "op") // want "metric name must be a compile-time constant"
+	vec.With(op).Inc()                                                   // want "label value must be a compile-time constant"
+	fixed.With(labels...).Inc()                                          // want "label value passed by slice expansion"
+	reg.CounterVec("bad_labels_total", "interpolated label name", op)    // want "label name must be a compile-time constant"
+	reg.Counter(op, "runtime counter name")                              // want "metric name must be a compile-time constant"
+}

@@ -1,0 +1,33 @@
+// Package clean exercises the sanctioned metric idiom: constant names,
+// constant label names, and vec children pre-resolved once with
+// constant label values, selected among at runtime.
+package clean
+
+import "sunmap/internal/obs"
+
+const opSelect = "select"
+
+var (
+	reg = obs.NewRegistry()
+
+	ops  = reg.CounterVec("clean_op_total", "operations by op and outcome", "op", "outcome")
+	okC  = ops.With(opSelect, "ok")
+	errC = ops.With(opSelect, "error")
+
+	lat    = reg.HistogramVec("clean_op_seconds", "latency by op", nil, "op")
+	latSel = lat.With(opSelect)
+
+	total = reg.Counter("clean_total", "a plain counter")
+)
+
+// Touch selects among the pre-resolved children — the runtime side of
+// the idiom obslabel enforces.
+func Touch(failed bool) {
+	if failed {
+		errC.Inc()
+	} else {
+		okC.Inc()
+	}
+	latSel.Observe(0.001)
+	total.Inc()
+}

@@ -11,6 +11,7 @@ import (
 	"sunmap/internal/analysis/detorder"
 	"sunmap/internal/analysis/hotpath"
 	"sunmap/internal/analysis/limiterdiscipline"
+	"sunmap/internal/analysis/obslabel"
 	"sunmap/internal/analysis/wrapsentinel"
 )
 
@@ -21,6 +22,7 @@ func All() []*analysis.Analyzer {
 		detorder.Analyzer,
 		hotpath.Analyzer,
 		limiterdiscipline.Analyzer,
+		obslabel.Analyzer,
 		wrapsentinel.Analyzer,
 	}
 }

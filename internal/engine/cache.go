@@ -8,7 +8,19 @@ import (
 	"sync"
 
 	"sunmap/internal/mapping"
+	"sunmap/internal/obs"
 	"sunmap/internal/topology"
+)
+
+// Process-wide cache-effectiveness counters, mirroring the per-Cache
+// CacheStats snapshot so /metrics can show hit rates without reaching
+// into any particular session's cache. "spill" counts lookups served by
+// promoting a disk-loaded record (a subset of "hit").
+var (
+	cacheLookups   = obs.Default.CounterVec("sunmap_evalcache_lookups_total", "evaluation-cache lookups by outcome", "outcome")
+	cacheHitCount  = cacheLookups.With("hit")
+	cacheMissCount = cacheLookups.With("miss")
+	cacheSpillHits = cacheLookups.With("spill")
 )
 
 // Key content-addresses one evaluation: the application digest, the
@@ -90,13 +102,16 @@ func (c *Cache) get(key string, topo topology.Topology) (entry, bool) {
 				e, ok = entry{res: s.toResult(topo)}, true
 				c.m[key] = e
 				c.spillHits++
+				cacheSpillHits.Inc()
 			}
 		}
 	}
 	if ok {
 		c.hits++
+		cacheHitCount.Inc()
 	} else {
 		c.misses++
+		cacheMissCount.Inc()
 	}
 	return e, ok
 }

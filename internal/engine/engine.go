@@ -22,9 +22,14 @@ import (
 
 	"sunmap/internal/graph"
 	"sunmap/internal/mapping"
+	"sunmap/internal/obs"
 	"sunmap/internal/pool"
 	"sunmap/internal/topology"
 )
+
+// evalSeconds distributes mapping-evaluation wall time process-wide
+// (cache hits excluded — they never reach the timed path).
+var evalSeconds = obs.Default.Histogram("sunmap_evaluate_seconds", "wall time of one mapping evaluation", nil)
 
 // Job is one evaluation request: map the application onto Topo under Opts.
 type Job struct {
@@ -157,9 +162,8 @@ func Sweep(ctx context.Context, app *graph.CoreGraph, lib []topology.Topology, o
 // context cancellation aborts the run and returns the context's error;
 // per-job mapping failures do not abort and are recorded in the outcome.
 // Elapsed on progress events is advisory wall time, deliberately outside
-// the deterministic report surface.
-//
-//sunmap:wallclock
+// the deterministic report surface; it is read through obs.Now, the
+// audited clock source.
 func Evaluate(ctx context.Context, app *graph.CoreGraph, jobs []Job, eo Options) ([]Outcome, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -167,6 +171,7 @@ func Evaluate(ctx context.Context, app *graph.CoreGraph, jobs []Job, eo Options)
 	if len(jobs) == 0 {
 		return nil, nil
 	}
+	rec := obs.FromContext(ctx)
 	var digest string
 	if eo.Cache != nil {
 		digest = app.Digest() // only the cache key consumes it
@@ -205,17 +210,19 @@ func Evaluate(ctx context.Context, app *graph.CoreGraph, jobs []Job, eo Options)
 		if eo.Cache != nil {
 			key = Key(digest, j.Topo, j.Opts)
 			if e, ok := eo.Cache.get(key, j.Topo); ok {
+				rec.CacheHit()
 				out[i] = Outcome{Result: e.res, Err: e.err}
 				ev.CacheHit = true
 				ev.Err = e.err
 				emit(ev)
 				return
 			}
+			rec.CacheMiss()
 		}
 		if err := acquire(ctx, eo.Limit, eo.Spec); err != nil {
 			return // canceled while queued for a session slot
 		}
-		start := time.Now() // after Acquire: Elapsed is evaluation time, not queue wait
+		start := obs.Now() // after Acquire: Elapsed is evaluation time, not queue wait
 		res, err := func() (res *mapping.Result, err error) {
 			defer eo.Limit.Release()
 			// Worker goroutines must not take the process down: a panic in
@@ -237,7 +244,9 @@ func Evaluate(ctx context.Context, app *graph.CoreGraph, jobs []Job, eo Options)
 		eo.Cache.put(key, entry{res: res, err: err})
 		out[i] = Outcome{Result: res, Err: err}
 		ev.Err = err
-		ev.Elapsed = time.Since(start)
+		ev.Elapsed = obs.Since(start)
+		rec.Observe(obs.StageEvaluate, ev.Elapsed)
+		evalSeconds.ObserveSeconds(int64(ev.Elapsed))
 		emit(ev)
 	}
 

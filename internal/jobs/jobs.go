@@ -21,10 +21,27 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sync"
 	"time"
+
+	"sunmap/internal/obs"
+)
+
+// Process-wide job-lifecycle counters. Children are resolved once with
+// constant labels (the obslabel contract), so transitions cost one
+// atomic add under the store mutex.
+var (
+	jobEvents     = obs.Default.CounterVec("sunmap_jobs_total", "job lifecycle transitions by event", "event")
+	jobSubmitted  = jobEvents.With("submitted")
+	jobDone       = jobEvents.With("done")
+	jobFailed     = jobEvents.With("failed")
+	jobCancelled  = jobEvents.With("cancelled")
+	jobPanics     = jobEvents.With("panic")
+	jobShed       = jobEvents.With("breaker-shed")
+	jobRunSeconds = obs.Default.Histogram("sunmap_job_run_seconds", "wall time of one job execution attempt", nil)
 )
 
 // State is a job's lifecycle state.
@@ -87,14 +104,22 @@ type Options struct {
 	// submissions before half-opening (default 30s).
 	BreakerThreshold int
 	BreakerCooldown  time.Duration
-	// Clock overrides the wall clock (tests; default time.Now).
+	// Clock overrides the wall clock (tests; default obs.Now, the
+	// audited source).
 	Clock func() time.Time
 	// WriteFault, when set, runs before every journal append and fails
 	// the append with its error — the chaos harness's fault injector.
 	WriteFault func(recType, id string) error
+	// Recorder, when set, receives job-lifecycle and journal-append
+	// spans (StageJobRun, StageJournalAppend). Nil disables span
+	// recording at the cost of one branch.
+	Recorder *obs.Recorder
+	// Logger receives degraded-path notices (journal write failures,
+	// runner panics, breaker transitions), each line carrying the job
+	// and request correlation ids. Nil discards them.
+	Logger *slog.Logger
 }
 
-//sunmap:wallclock
 func (o Options) withDefaults() Options {
 	if o.Workers <= 0 {
 		o.Workers = 2
@@ -109,7 +134,10 @@ func (o Options) withDefaults() Options {
 		o.BreakerCooldown = 30 * time.Second
 	}
 	if o.Clock == nil {
-		o.Clock = time.Now
+		o.Clock = obs.Now
+	}
+	if o.Logger == nil {
+		o.Logger = obs.Discard()
 	}
 	return o
 }
@@ -128,6 +156,10 @@ type Job struct {
 	Attempts int `json:"attempts"`
 	// HasCheckpoint reports a journaled resume point.
 	HasCheckpoint bool `json:"has_checkpoint,omitempty"`
+	// ReqID is the request-correlation id the submission carried
+	// (SubmitTagged), tying this job's journal records and log lines
+	// back to the HTTP request that created it. Durable across restarts.
+	ReqID string `json:"req,omitempty"`
 }
 
 // Stats snapshots store health.
@@ -146,6 +178,7 @@ type Stats struct {
 type job struct {
 	id          string
 	kind        string
+	reqID       string
 	payload     []byte
 	state       State
 	errMsg      string
@@ -167,6 +200,7 @@ func (jb *job) snapshot() Job {
 		Error:         jb.errMsg,
 		Attempts:      jb.attempts,
 		HasCheckpoint: len(jb.ckpt) > 0,
+		ReqID:         jb.reqID,
 	}
 }
 
@@ -218,6 +252,7 @@ func Open(ctx context.Context, opts Options, run Runner) (*Store, error) {
 		if err != nil {
 			return nil, err
 		}
+		j.rec = s.opts.Recorder
 		if s.opts.WriteFault != nil {
 			fault := s.opts.WriteFault
 			j.fault = func(rec record) error { return fault(rec.Type, rec.ID) }
@@ -270,6 +305,7 @@ func (s *Store) rebuild(recs []record) {
 			jb := &job{
 				id:          rec.ID,
 				kind:        rec.Kind,
+				reqID:       rec.Req,
 				payload:     append([]byte(nil), rec.Payload...),
 				state:       StateQueued,
 				submittedAt: time.Unix(0, rec.At),
@@ -330,7 +366,7 @@ func (s *Store) compactRecords() []record {
 	for _, id := range s.order {
 		jb := s.jobs[id]
 		recs = append(recs, record{
-			Type: recSubmit, ID: id, Kind: jb.kind, Payload: jb.payload,
+			Type: recSubmit, ID: id, Kind: jb.kind, Req: jb.reqID, Payload: jb.payload,
 			At: jb.submittedAt.UnixNano(),
 		})
 		for i := 0; i < jb.attempts; i++ {
@@ -358,6 +394,8 @@ func (s *Store) appendLocked(rec record) bool {
 	}
 	if err := s.j.append(rec); err != nil {
 		s.writeFails++
+		s.opts.Logger.Warn("jobs: journal append failed; continuing with reduced durability",
+			obs.KeyJobID, rec.ID, "record", rec.Type, "error", err)
 		return false
 	}
 	return true
@@ -368,6 +406,14 @@ func (s *Store) appendLocked(rec record) bool {
 // journal's error when the submit record cannot be made durable — an
 // acknowledged submission is always recoverable.
 func (s *Store) Submit(ctx context.Context, kind string, payload []byte) (Job, error) {
+	return s.SubmitTagged(ctx, kind, payload, "")
+}
+
+// SubmitTagged is Submit carrying a request-correlation id: reqID is
+// journaled with the submit record and surfaces on every later snapshot
+// of the job, so the serve layer's per-request id follows the job into
+// the journal and back out across restarts. Empty reqID is Submit.
+func (s *Store) SubmitTagged(ctx context.Context, kind string, payload []byte, reqID string) (Job, error) {
 	if err := ctx.Err(); err != nil {
 		return Job{}, err
 	}
@@ -378,6 +424,7 @@ func (s *Store) Submit(ctx context.Context, kind string, payload []byte) (Job, e
 	}
 	now := s.opts.Clock()
 	if s.failures >= s.opts.BreakerThreshold && now.Before(s.openUntil) {
+		jobShed.Inc()
 		return Job{}, &BreakerOpenError{RetryAfter: s.openUntil.Sub(now)}
 	}
 	s.seq++
@@ -385,17 +432,19 @@ func (s *Store) Submit(ctx context.Context, kind string, payload []byte) (Job, e
 	jb := &job{
 		id:          id,
 		kind:        kind,
+		reqID:       reqID,
 		payload:     append([]byte(nil), payload...),
 		state:       StateQueued,
 		submittedAt: now,
 		done:        make(chan struct{}),
 	}
 	if s.j != nil {
-		if err := s.j.append(record{Type: recSubmit, ID: id, Kind: kind, Payload: jb.payload, At: now.UnixNano()}); err != nil {
+		if err := s.j.append(record{Type: recSubmit, ID: id, Kind: kind, Req: reqID, Payload: jb.payload, At: now.UnixNano()}); err != nil {
 			s.seq--
 			return Job{}, err
 		}
 	}
+	jobSubmitted.Inc()
 	s.jobs[id] = jb
 	s.order = append(s.order, id)
 	s.queue = append(s.queue, id)
@@ -532,6 +581,14 @@ func (s *Store) terminalLocked(jb *job, st State, msg string, result []byte) {
 	} else {
 		s.appendLocked(record{Type: recState, ID: jb.id, State: st, Error: msg, At: jb.doneAt.UnixNano()})
 	}
+	switch st {
+	case StateDone:
+		jobDone.Inc()
+	case StateFailed:
+		jobFailed.Inc()
+	case StateCancelled:
+		jobCancelled.Inc()
+	}
 	close(jb.done)
 }
 
@@ -585,6 +642,7 @@ func (s *Store) runJob(ctx context.Context, jb *job) {
 	kind, payload := jb.kind, jb.payload
 	s.mu.Unlock()
 
+	start := obs.Now()
 	var panicked bool
 	result, err := func() (res []byte, rerr error) {
 		defer func() {
@@ -596,6 +654,9 @@ func (s *Store) runJob(ctx context.Context, jb *job) {
 		return s.run(jctx, kind, payload, ck)
 	}()
 	cancel()
+	elapsed := obs.Since(start)
+	jobRunSeconds.ObserveSeconds(int64(elapsed))
+	s.opts.Recorder.Observe(obs.StageJobRun, elapsed)
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -611,9 +672,14 @@ func (s *Store) runJob(ctx context.Context, jb *job) {
 	case err != nil:
 		s.terminalLocked(jb, StateFailed, err.Error(), nil)
 		if panicked {
+			jobPanics.Inc()
 			s.failures++
+			s.opts.Logger.Warn("jobs: runner panicked; job quarantined",
+				obs.KeyJobID, jb.id, obs.KeyReqID, jb.reqID, "kind", jb.kind, "consecutive", s.failures)
 			if s.failures >= s.opts.BreakerThreshold {
 				s.openUntil = s.opts.Clock().Add(s.opts.BreakerCooldown)
+				s.opts.Logger.Warn("jobs: circuit breaker open; shedding submissions",
+					"until", s.openUntil, "threshold", s.opts.BreakerThreshold)
 			}
 		} else {
 			s.failures = 0

@@ -8,7 +8,14 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+
+	"sunmap/internal/obs"
 )
+
+// fsyncSeconds distributes the write+fsync latency of journal appends —
+// the durability tax every acknowledged submission and lifecycle
+// transition pays, and the first suspect when job throughput drops.
+var fsyncSeconds = obs.Default.Histogram("sunmap_journal_fsync_seconds", "journal append write+fsync latency", nil)
 
 // The journal is the store's only durable state: an append-only file of
 // length- and checksum-framed JSON records, fsync'd per append. Replay
@@ -43,6 +50,7 @@ type record struct {
 	Type    string `json:"type"`
 	ID      string `json:"id"`
 	Kind    string `json:"kind,omitempty"`
+	Req     string `json:"req,omitempty"` // request-correlation id (submits)
 	Payload []byte `json:"payload,omitempty"`
 	State   State  `json:"state,omitempty"`
 	Error   string `json:"error,omitempty"`
@@ -59,6 +67,9 @@ type journal struct {
 	// fault, when set, is the chaos hook: it runs before every append
 	// and its error is returned as the append's failure.
 	fault func(rec record) error
+	// rec, when set, receives one StageJournalAppend span per append
+	// (nil-safe; mirrors Options.Recorder).
+	rec *obs.Recorder
 }
 
 func openJournal(path string) (*journal, error) {
@@ -136,12 +147,16 @@ func (j *journal) append(rec record) error {
 	binary.BigEndian.PutUint32(frame[:4], uint32(len(buf)))
 	binary.BigEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(buf))
 	copy(frame[8:], buf)
+	start := obs.Now()
 	if _, err := j.f.Write(frame); err != nil {
 		return fmt.Errorf("jobs: journal write: %w", err)
 	}
 	if err := j.f.Sync(); err != nil {
 		return fmt.Errorf("jobs: journal sync: %w", err)
 	}
+	d := obs.Since(start)
+	fsyncSeconds.ObserveSeconds(int64(d))
+	j.rec.Observe(obs.StageJournalAppend, d)
 	return nil
 }
 

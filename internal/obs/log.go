@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"io"
+	"log/slog"
+	"strconv"
+	"sync/atomic"
+)
+
+// Logging: one slog construction shared by serve, jobs and the CLI, so
+// every diagnostic line carries the same shape — a level, a message,
+// and correlation fields (request id at the HTTP edge, job id in the
+// worker pool) that let a journal record be tied back to the request
+// that submitted it.
+
+// Correlation field keys. Producers and consumers agree on these
+// strings, so keep them stable.
+const (
+	KeyReqID = "req"
+	KeyJobID = "job"
+	KeyOp    = "op"
+)
+
+// NewLogger builds the standard text logger writing to w at the given
+// level. A nil writer yields a disabled logger (all records discarded),
+// which is the zero-cost default for libraries whose caller didn't ask
+// for logging.
+func NewLogger(w io.Writer, level slog.Level) *slog.Logger {
+	if w == nil {
+		return Discard()
+	}
+	return slog.New(slog.NewTextHandler(w, &slog.HandlerOptions{Level: level}))
+}
+
+// Discard returns a logger that drops every record without formatting
+// it. Enabled() is false at all levels, so callers' slog.Info sites
+// skip attribute evaluation entirely.
+func Discard() *slog.Logger {
+	return slog.New(slog.DiscardHandler)
+}
+
+// reqSeq numbers requests process-wide; see NextReqID.
+var reqSeq atomic.Uint64
+
+// NextReqID returns a fresh request-correlation id ("r-1", "r-2", ...).
+// Ids are unique within a process run and cheap to mint — a counter,
+// not a UUID — because their job is correlating one request's log
+// lines, metrics, and journal records, not global uniqueness.
+func NextReqID() string {
+	return "r-" + strconv.FormatUint(reqSeq.Add(1), 10)
+}

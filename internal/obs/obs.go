@@ -1,0 +1,51 @@
+// Package obs is SUNMAP's observability core: the one place the rest of
+// the pipeline reaches for metrics, spans, structured logging, and the
+// wall clock. It is stdlib-only and designed around the repository's two
+// non-negotiables:
+//
+//   - Free when disabled, near-free when enabled. Span recording hangs
+//     off a *Recorder threaded through context; a nil recorder reduces
+//     every call to a pointer check. Metric hot paths are single atomic
+//     operations on pre-resolved counters — no maps, no locks, no
+//     allocation — so the alloc-budget gates (TestSwapEvalAllocFree and
+//     friends) hold with instrumentation compiled in.
+//
+//   - Deterministic folds stay deterministic. The recorder aggregates
+//     into a fixed stage table folded in stage order, metric exposition
+//     sorts every family and label set, and the wall clock is read only
+//     through the audited Now/Since pair — the single //sunmap:wallclock
+//     source the detorder analyzer admits inside the deterministic
+//     packages. Nothing observable in a Report ever derives from a span.
+//
+// The three subsystems:
+//
+//   - metrics.go: a Prometheus-text-format registry (counters, gauges,
+//     histograms, fixed-label vecs). Process-wide rates live in Default;
+//     per-server gauges live in a per-Server Registry the serve layer
+//     owns. The obslabel analyzer holds every label argument to a
+//     compile-time constant, so label cardinality is bounded at build
+//     time.
+//
+//   - span.go: hierarchical pipeline stages (session op → engine
+//     evaluate → limiter wait → ...) recorded into a lock-free
+//     stage-indexed Recorder, threaded via context by WithRecorder.
+//
+//   - log.go: the leveled slog construction shared by serve, jobs and
+//     the CLI, with request-id/job-id correlation fields.
+package obs
+
+import "time"
+
+// Now is the audited wall-clock read for the deterministic packages:
+// code under core/engine/fault/search/serve/jobs calls obs.Now instead
+// of time.Now, so every clock read in a deterministic fold is
+// attributable to this one reviewed site. Span boundaries and latency
+// metrics are its only consumers; nothing report-visible may derive
+// from it.
+//
+//sunmap:wallclock — the single audited clock source (see detorder)
+func Now() time.Time { return time.Now() }
+
+// Since returns the elapsed time since start, measured against the
+// monotonic reading Now captured.
+func Since(start time.Time) time.Duration { return time.Since(start) }

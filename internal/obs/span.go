@@ -1,0 +1,285 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+)
+
+// Stage identifies one instrumented pipeline stage. The table is fixed
+// at compile time: spans aggregate into a flat per-stage array indexed
+// by Stage, which is what makes recording lock-free (two atomic adds)
+// and the fold deterministic (iterate in Stage order, never map order).
+type Stage uint8
+
+const (
+	// Session operations, one per request op.
+	StageSelect Stage = iota
+	StageMap
+	StageRoutingSweep
+	StagePareto
+	StageSimulate
+	StageGenerate
+	StageFaultSweep
+	StageSearch
+	// Engine internals.
+	StageEvaluate    // one mapping evaluation (cache misses only)
+	StageLimiterWait // blocking admission wait ahead of an evaluation
+	// Durability layer.
+	StageJobRun        // one async job execution
+	StageJournalAppend // one fsync'd journal append
+
+	numStages
+)
+
+var stageNames = [numStages]string{
+	StageSelect:        "select",
+	StageMap:           "map",
+	StageRoutingSweep:  "routing-sweep",
+	StagePareto:        "pareto",
+	StageSimulate:      "simulate",
+	StageGenerate:      "generate",
+	StageFaultSweep:    "fault-sweep",
+	StageSearch:        "search",
+	StageEvaluate:      "evaluate",
+	StageLimiterWait:   "limiter-wait",
+	StageJobRun:        "job-run",
+	StageJournalAppend: "journal-append",
+}
+
+// String returns the stage's exposition name.
+func (s Stage) String() string {
+	if int(s) < len(stageNames) {
+		return stageNames[s]
+	}
+	return fmt.Sprintf("stage-%d", uint8(s))
+}
+
+// stageStats is one stage's aggregate. Padded out to its own cache line
+// so concurrent workers recording different stages never false-share.
+type stageStats struct {
+	count atomic.Uint64
+	nanos atomic.Int64
+	_     [48]byte
+}
+
+// Recorder aggregates span durations and pipeline counters. All methods
+// are lock-free (plain atomics), nil-safe (a nil recorder is the
+// disabled fast path — every operation reduces to one branch), and safe
+// for concurrent use from any number of worker goroutines. Snapshot is
+// the deterministic fold: stages in Stage order, counters in a fixed
+// struct — byte-identical output for identical activity regardless of
+// the parallelism that produced it.
+type Recorder struct {
+	stats [numStages]stageStats
+
+	// Pipeline counters outside the duration table.
+	cacheHits   atomic.Uint64
+	cacheMisses atomic.Uint64
+	tryHits     atomic.Uint64
+	tryMisses   atomic.Uint64
+	blocked     atomic.Uint64
+	waitNanos   atomic.Int64
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Span is one in-flight stage timing. The zero Span (from a nil
+// recorder) is inert: End on it is a single branch.
+type Span struct {
+	r     *Recorder
+	stage Stage
+	start time.Time
+}
+
+// Start opens a span for the stage. On a nil recorder it returns the
+// inert zero Span without reading the clock.
+func (r *Recorder) Start(stage Stage) Span {
+	if r == nil {
+		return Span{}
+	}
+	return Span{r: r, stage: stage, start: Now()}
+}
+
+// End closes the span, folding its duration into the stage aggregate.
+func (s Span) End() {
+	if s.r == nil {
+		return
+	}
+	st := &s.r.stats[s.stage]
+	st.count.Add(1)
+	st.nanos.Add(int64(Since(s.start)))
+}
+
+// Observe folds one externally timed duration into a stage — for call
+// sites that already read the clock for their own reporting (the
+// engine's per-job Elapsed) and shouldn't pay for a second span read.
+func (r *Recorder) Observe(stage Stage, d time.Duration) {
+	if r == nil {
+		return
+	}
+	st := &r.stats[stage]
+	st.count.Add(1)
+	st.nanos.Add(int64(d))
+}
+
+// CacheHit / CacheMiss record one evaluation-cache lookup outcome.
+func (r *Recorder) CacheHit() {
+	if r != nil {
+		r.cacheHits.Add(1)
+	}
+}
+
+// CacheMiss records one evaluation-cache miss.
+func (r *Recorder) CacheMiss() {
+	if r != nil {
+		r.cacheMisses.Add(1)
+	}
+}
+
+// TryAcquire records one opportunistic limiter poll outcome — the
+// signal that distinguishes "parallel but starved" (misses dominate)
+// from "never asked" (no samples at all).
+func (r *Recorder) TryAcquire(hit bool) {
+	if r == nil {
+		return
+	}
+	if hit {
+		r.tryHits.Add(1)
+	} else {
+		r.tryMisses.Add(1)
+	}
+}
+
+// BlockedWait records one blocking limiter acquisition that had to
+// queue, and how long it waited. The wait also lands in the
+// StageLimiterWait row of the stage table, so FormatSnapshot shows
+// admission queueing next to the work it delayed.
+func (r *Recorder) BlockedWait(d time.Duration) {
+	if r == nil {
+		return
+	}
+	r.blocked.Add(1)
+	r.waitNanos.Add(int64(d))
+	st := &r.stats[StageLimiterWait]
+	st.count.Add(1)
+	st.nanos.Add(int64(d))
+}
+
+// StageSnapshot is one stage's folded aggregate.
+type StageSnapshot struct {
+	Stage string `json:"stage"`
+	Count uint64 `json:"count"`
+	Nanos int64  `json:"nanos"`
+}
+
+// TraceSnapshot is a recorder's deterministic fold: stages in Stage
+// order (zero-count stages omitted) plus the pipeline counters.
+type TraceSnapshot struct {
+	Stages      []StageSnapshot `json:"stages"`
+	CacheHits   uint64          `json:"cache_hits"`
+	CacheMisses uint64          `json:"cache_misses"`
+	TryHits     uint64          `json:"try_hits"`
+	TryMisses   uint64          `json:"try_misses"`
+	Blocked     uint64          `json:"blocked"`
+	WaitNanos   int64           `json:"wait_nanos"`
+}
+
+// Snapshot folds the recorder. Safe to call while spans are still being
+// recorded; the result is a consistent-enough point-in-time view (each
+// stage's count and nanos are read independently).
+func (r *Recorder) Snapshot() TraceSnapshot {
+	var ts TraceSnapshot
+	if r == nil {
+		return ts
+	}
+	for st := Stage(0); st < numStages; st++ {
+		n := r.stats[st].count.Load()
+		if n == 0 {
+			continue
+		}
+		ts.Stages = append(ts.Stages, StageSnapshot{
+			Stage: st.String(),
+			Count: n,
+			Nanos: r.stats[st].nanos.Load(),
+		})
+	}
+	ts.CacheHits = r.cacheHits.Load()
+	ts.CacheMisses = r.cacheMisses.Load()
+	ts.TryHits = r.tryHits.Load()
+	ts.TryMisses = r.tryMisses.Load()
+	ts.Blocked = r.blocked.Load()
+	ts.WaitNanos = r.waitNanos.Load()
+	return ts
+}
+
+// StageNanos returns one stage's accumulated nanoseconds (0 on nil).
+func (r *Recorder) StageNanos(stage Stage) int64 {
+	if r == nil {
+		return 0
+	}
+	return r.stats[stage].nanos.Load()
+}
+
+// WaitSummary returns the blocking-acquisition count and total wait —
+// the bench harness's limiter-wait summary fields.
+func (r *Recorder) WaitSummary() (blocked uint64, wait time.Duration) {
+	if r == nil {
+		return 0, 0
+	}
+	return r.blocked.Load(), time.Duration(r.waitNanos.Load())
+}
+
+// WriteMetrics exposes the recorder as Prometheus text, implementing
+// Collector: span totals by stage plus the pipeline counters. Stage
+// label values come from the fixed stageNames table — compile-time
+// bounded cardinality by construction.
+func (r *Recorder) WriteMetrics(w io.Writer) {
+	fmt.Fprint(w, "# HELP sunmap_span_seconds_total accumulated span time by pipeline stage\n# TYPE sunmap_span_seconds_total counter\n")
+	for st := Stage(0); st < numStages; st++ {
+		fmt.Fprintf(w, "sunmap_span_seconds_total{stage=%q} %s\n", st.String(), formatFloat(float64(r.stats[st].nanos.Load())/1e9))
+	}
+	fmt.Fprint(w, "# HELP sunmap_span_count_total spans recorded by pipeline stage\n# TYPE sunmap_span_count_total counter\n")
+	for st := Stage(0); st < numStages; st++ {
+		fmt.Fprintf(w, "sunmap_span_count_total{stage=%q} %d\n", st.String(), r.stats[st].count.Load())
+	}
+}
+
+// ctxKey carries the recorder through context.
+type ctxKey struct{}
+
+// WithRecorder binds a recorder into the context. Pipeline stages below
+// (session ops, the engine, the sweepers) pick it up with FromContext;
+// a context without one records nothing at zero cost.
+func WithRecorder(ctx context.Context, r *Recorder) context.Context {
+	if r == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, r)
+}
+
+// FromContext returns the bound recorder, or nil — the disabled path.
+func FromContext(ctx context.Context) *Recorder {
+	r, _ := ctx.Value(ctxKey{}).(*Recorder)
+	return r
+}
+
+// FormatSnapshot renders a human-readable per-stage table (the CLI's
+// -trace output). Rows follow snapshot order, which is Stage order.
+func FormatSnapshot(w io.Writer, ts TraceSnapshot) {
+	fmt.Fprintf(w, "%-16s %10s %14s %14s\n", "stage", "count", "total", "mean")
+	for _, st := range ts.Stages {
+		total := time.Duration(st.Nanos)
+		mean := time.Duration(0)
+		if st.Count > 0 {
+			mean = total / time.Duration(st.Count)
+		}
+		fmt.Fprintf(w, "%-16s %10d %14s %14s\n", st.Stage, st.Count, total.Round(time.Microsecond), mean.Round(time.Microsecond))
+	}
+	fmt.Fprintf(w, "cache hits/misses: %d/%d; limiter try hit/miss: %d/%d; blocked %d for %s\n",
+		ts.CacheHits, ts.CacheMisses, ts.TryHits, ts.TryMisses,
+		ts.Blocked, time.Duration(ts.WaitNanos).Round(time.Microsecond))
+}

@@ -13,6 +13,24 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"sunmap/internal/obs"
+)
+
+// Limiter acquisition outcomes feed the process-wide registry: the
+// blocking/TryAcquire split is the signal that distinguishes "workers
+// never asked for slots" from "workers asked and were starved" when a
+// parallel run reports speedup ≈ 1.0. Children are resolved once here,
+// with constant labels, so the hot paths below stay at one atomic add.
+var (
+	limiterAcquires  = obs.Default.CounterVec("sunmap_limiter_acquire_total", "blocking limiter acquisitions by outcome", "outcome")
+	acquireImmediate = limiterAcquires.With("immediate")
+	acquireBlocked   = limiterAcquires.With("blocked")
+	acquireCancelled = limiterAcquires.With("cancelled")
+	limiterTries     = obs.Default.CounterVec("sunmap_limiter_try_total", "opportunistic TryAcquire attempts by outcome", "outcome")
+	tryHit           = limiterTries.With("hit")
+	tryMiss          = limiterTries.With("miss")
+	blockedWait      = obs.Default.Histogram("sunmap_limiter_blocked_wait_seconds", "time spent queued in blocking Acquire", nil)
 )
 
 // Limiter is a counting semaphore bounding how many evaluations run at
@@ -39,21 +57,32 @@ func NewLimiter(n int) *Limiter {
 
 // Acquire blocks until a slot is free or ctx is done, returning the
 // context's error in the latter case. A nil Limiter admits immediately.
+// The fast path (slot free) costs one atomic counter increment over the
+// channel send; the clock is read only once a caller actually queues.
 func (l *Limiter) Acquire(ctx context.Context) error {
 	if l == nil {
 		return nil
 	}
 	select {
 	case l.ch <- struct{}{}:
+		acquireImmediate.Inc()
 		return nil
 	default:
 	}
+	rec := obs.FromContext(ctx)
+	start := obs.Now()
 	l.waiting.Add(1)
 	defer l.waiting.Add(-1)
 	select {
 	case l.ch <- struct{}{}:
+		d := obs.Since(start)
+		acquireBlocked.Inc()
+		blockedWait.ObserveSeconds(int64(d))
+		rec.BlockedWait(d)
 		return nil
 	case <-ctx.Done():
+		acquireCancelled.Inc()
+		rec.BlockedWait(obs.Since(start))
 		return ctx.Err()
 	}
 }
@@ -71,8 +100,10 @@ func (l *Limiter) TryAcquire() bool {
 	}
 	select {
 	case l.ch <- struct{}{}:
+		tryHit.Inc()
 		return true
 	default:
+		tryMiss.Inc()
 		return false
 	}
 }
@@ -91,13 +122,19 @@ func (l *Limiter) TryAcquire() bool {
 // take a limiter slot; the limiterdiscipline analyzer rejects blocking
 // Acquire everywhere outside internal/engine.
 func PollAcquire(ctx context.Context, l *Limiter, giveUp func() bool) bool {
+	rec := obs.FromContext(ctx)
+	if l == nil {
+		rec = nil // unlimited admission: nothing worth recording
+	}
 	for {
 		if giveUp != nil && giveUp() {
 			return false
 		}
 		if l.TryAcquire() {
+			rec.TryAcquire(true)
 			return true
 		}
+		rec.TryAcquire(false)
 		select {
 		case <-ctx.Done():
 			return false

@@ -58,8 +58,65 @@ func BenchmarkSelect(b *testing.B) {
 			b.ReportMetric(seqNs/parNs, "speedup")
 			// Parallelism 0 resolves to the same cap Select provisions.
 			b.ReportMetric(float64(pool.NewLimiter(0).Cap()), "workers")
+			// One traced parallel run, also outside the timer: the
+			// limiter-wait and span-duration summary fields the bench
+			// harness folds into BENCH_*.json. "blocked-acquires" > 0 with
+			// "workers" > 1 is the proof the run actually contended for
+			// slots rather than serializing.
+			tr := sunmap.NewTrace()
+			sess, err := sunmap.NewSession(sunmap.WithParallelism(0), sunmap.WithTrace(tr))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := sess.Select(context.Background(), sunmap.SelectRequest{
+				App:      sunmap.AppSpec{Name: app},
+				Mapping:  sunmap.MapSpec{Routing: "MP", Objective: "delay", CapacityMBps: 500},
+				Escalate: true,
+			}); err != nil {
+				b.Fatal(err)
+			}
+			snap := tr.Snapshot()
+			b.ReportMetric(float64(snap.Blocked), "blocked-acquires")
+			b.ReportMetric(float64(snap.WaitNanos)/1e6, "limiter-wait-ms")
+			for _, st := range snap.Stages {
+				if st.Stage == "evaluate" {
+					b.ReportMetric(float64(st.Nanos)/1e6, "evaluate-span-ms")
+				}
+			}
 		})
 	}
+}
+
+// BenchmarkSelectOverhead prices the observability layer on the hottest
+// end-to-end path: the cold mpeg4 escalated sweep with no trace attached
+// versus the same sweep with a Trace recording every span, cache lookup
+// and limiter outcome. The CI bench gate holds traced within 5% of
+// untraced — the "near-free when enabled" contract.
+//
+//	go test -bench BenchmarkSelectOverhead -benchtime 5x
+func BenchmarkSelectOverhead(b *testing.B) {
+	run := func(b *testing.B, tr *sunmap.Trace) {
+		ctx := context.Background()
+		for i := 0; i < b.N; i++ {
+			opts := []sunmap.SessionOption{sunmap.WithParallelism(1)}
+			if tr != nil {
+				opts = append(opts, sunmap.WithTrace(tr))
+			}
+			sess, err := sunmap.NewSession(opts...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := sess.Select(ctx, sunmap.SelectRequest{
+				App:      sunmap.AppSpec{Name: "mpeg4"},
+				Mapping:  sunmap.MapSpec{Routing: "MP", Objective: "delay", CapacityMBps: 500},
+				Escalate: true,
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("untraced", func(b *testing.B) { run(b, nil) })
+	b.Run("traced", func(b *testing.B) { run(b, sunmap.NewTrace()) })
 }
 
 // BenchmarkSelectWithSynth times the head-to-head selection — the full

@@ -1,0 +1,92 @@
+package serve
+
+import (
+	"context"
+	"log/slog"
+	"net/http"
+	"net/http/pprof"
+
+	"sunmap/internal/obs"
+)
+
+// Observability endpoints. GET /metrics merges two registries: the
+// process-wide obs.Default (monotone totals — request/op counters,
+// limiter and cache outcomes, journal fsync latency) and this server's
+// own registry (instantaneous gauges over the session pool and the
+// serve counters). Everything a scrape reads is an atomic load or a
+// channel len — never a lock that request admission could be queued
+// behind, so a slow scraper cannot back-pressure the service.
+
+// reqIDKey carries the per-request correlation id through context.
+type reqIDKey struct{}
+
+// requestID returns the request-correlation id bound by the middleware
+// ("" outside a served request).
+func requestID(ctx context.Context) string {
+	id, _ := ctx.Value(reqIDKey{}).(string)
+	return id
+}
+
+// withRequestID is the edge middleware: every request gets a process-
+// unique id (client-provided X-Request-Id wins, so a gateway's id
+// follows the request in), echoed on the response and bound into the
+// context for handlers, logs, and job journal records downstream.
+func (sv *Server) withRequestID(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get("X-Request-Id")
+		if id == "" {
+			id = obs.NextReqID()
+		}
+		w.Header().Set("X-Request-Id", id)
+		lg := sv.logger()
+		if lg.Enabled(r.Context(), slog.LevelDebug) {
+			lg.Debug("http request", obs.KeyReqID, id, "method", r.Method, "path", r.URL.Path)
+		}
+		next.ServeHTTP(w, r.WithContext(context.WithValue(r.Context(), reqIDKey{}, id)))
+	})
+}
+
+// initMetrics builds the per-server registry: gauges over the session's
+// admission pool plus the serve layer's own counters. Per-server (not
+// Default) because two servers in one process must not fight over one
+// gauge; /metrics writes Default first, then these.
+func (sv *Server) initMetrics() {
+	reg := obs.NewRegistry()
+	reg.GaugeFunc("sunmap_serve_queue_waiting", "callers blocked waiting for an evaluation slot", func() float64 {
+		return float64(sv.sess.Load().Waiting)
+	})
+	reg.GaugeFunc("sunmap_serve_inflight", "evaluation slots currently held", func() float64 {
+		return float64(sv.sess.Load().InFlight)
+	})
+	reg.GaugeFunc("sunmap_serve_capacity", "evaluation slots configured", func() float64 {
+		return float64(sv.sess.Load().Capacity)
+	})
+	reg.CounterFunc("sunmap_serve_shed_total", "synchronous requests shed with 429 by admission control", func() float64 {
+		return float64(sv.shedCount.Load())
+	})
+	reg.CounterFunc("sunmap_serve_write_failures_total", "responses whose write failed after the header was committed", func() float64 {
+		return float64(sv.writeFails.Load())
+	})
+	sv.reg = reg
+}
+
+// handleMetrics serves the merged exposition document.
+func (sv *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	obs.WriteAll(w, obs.Default, sv.reg)
+}
+
+// registerObsRoutes wires the opt-in observability endpoints.
+func (sv *Server) registerObsRoutes(mux *http.ServeMux) {
+	if sv.opts.EnableMetrics {
+		sv.initMetrics()
+		mux.HandleFunc("GET /metrics", sv.handleMetrics)
+	}
+	if sv.opts.EnablePprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+}

@@ -1,0 +1,279 @@
+package serve_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"sunmap"
+	"sunmap/serve"
+)
+
+// promSample matches one Prometheus text-format sample line:
+// name{labels} value. Kept deliberately strict — a malformed line here
+// is a malformed line to every real scraper.
+var promSample = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^{}]*\})? (NaN|[+-]?Inf|[+-]?[0-9][^ ]*)$`)
+
+// parseProm validates a Prometheus text exposition and returns its
+// samples keyed by full series (name plus label set). Every line must be
+// a comment or a well-formed sample, and every sample's family (with the
+// histogram _bucket/_sum/_count suffixes folded away) must have been
+// declared by a preceding # TYPE line.
+func parseProm(body string) (map[string]float64, error) {
+	samples := make(map[string]float64)
+	typed := make(map[string]bool)
+	for _, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(line)
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("malformed TYPE line: %q", line)
+			}
+			typed[fields[2]] = true
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		m := promSample.FindStringSubmatch(line)
+		if m == nil {
+			return nil, fmt.Errorf("malformed sample line: %q", line)
+		}
+		v, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("unparseable value in %q: %v", line, err)
+		}
+		declared := typed[m[1]]
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			declared = declared || typed[strings.TrimSuffix(m[1], suffix)]
+		}
+		if !declared {
+			return nil, fmt.Errorf("sample %q has no preceding # TYPE", line)
+		}
+		samples[m[1]+m[2]] = v
+	}
+	return samples, nil
+}
+
+// scrapeOnce fetches and validates /metrics; safe for worker goroutines
+// (returns errors instead of failing the test).
+func scrapeOnce(baseURL string) (map[string]float64, error) {
+	resp, err := http.Get(baseURL + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /metrics: %d: %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		return nil, fmt.Errorf("Content-Type = %q, want text/plain exposition", ct)
+	}
+	return parseProm(string(body))
+}
+
+// TestMetricsExposition is the format acceptance test: after real
+// traffic, GET /metrics serves a well-formed Prometheus document
+// carrying the op, engine, limiter, jobs and serve families.
+func TestMetricsExposition(t *testing.T) {
+	srv, _ := newServer(t, serve.Options{EnableMetrics: true})
+
+	req := sunmap.Request{
+		ID: "m1",
+		Op: sunmap.OpMap,
+		Map: &sunmap.MapRequest{
+			App: sunmap.AppSpec{Name: "dsp"}, Topology: "mesh-2x3",
+			Mapping: sunmap.MapSpec{CapacityMBps: 1000},
+		},
+	}
+	blob, _ := json.Marshal(req)
+	if status, body := post(t, srv.URL+"/v1/do", blob); status != http.StatusOK {
+		t.Fatalf("priming request: %d: %s", status, body)
+	}
+
+	samples, err := scrapeOnce(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`sunmap_op_total{op="map",outcome="ok"}`,
+		`sunmap_op_seconds_count{op="map"}`,
+		`sunmap_evaluate_seconds_count`,
+		`sunmap_evalcache_lookups_total{outcome="miss"}`,
+		`sunmap_limiter_acquire_total{outcome="immediate"}`,
+		`sunmap_jobs_total{event="submitted"}`,
+		`sunmap_journal_fsync_seconds_count`,
+		`sunmap_serve_queue_waiting`,
+		`sunmap_serve_inflight`,
+		`sunmap_serve_capacity`,
+		`sunmap_serve_shed_total`,
+		`sunmap_serve_write_failures_total`,
+	} {
+		if _, ok := samples[want]; !ok {
+			t.Errorf("exposition missing %s", want)
+		}
+	}
+	if v := samples[`sunmap_op_total{op="map",outcome="ok"}`]; v < 1 {
+		t.Errorf("op counter did not count the priming request: %v", v)
+	}
+	if v := samples[`sunmap_serve_capacity`]; v < 1 {
+		t.Errorf("capacity gauge = %v, want >= 1", v)
+	}
+	// Histogram self-consistency: the +Inf bucket equals the count.
+	inf := samples[`sunmap_evaluate_seconds_bucket{le="+Inf"}`]
+	if n := samples[`sunmap_evaluate_seconds_count`]; inf != n {
+		t.Errorf("evaluate histogram +Inf bucket %v != count %v", inf, n)
+	}
+}
+
+// TestMetricsOptIn pins the default-off contract: without EnableMetrics
+// the route does not exist.
+func TestMetricsOptIn(t *testing.T) {
+	srv, _ := newServer(t, serve.Options{})
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET /metrics without EnableMetrics: %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestRequestIDPropagation: every response carries an X-Request-Id, and
+// a client-provided one wins (a gateway's id follows the request in).
+func TestRequestIDPropagation(t *testing.T) {
+	srv, _ := newServer(t, serve.Options{})
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if id := resp.Header.Get("X-Request-Id"); id == "" {
+		t.Error("no X-Request-Id assigned")
+	}
+
+	req, _ := http.NewRequest("GET", srv.URL+"/healthz", nil)
+	req.Header.Set("X-Request-Id", "gw-42")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if id := resp.Header.Get("X-Request-Id"); id != "gw-42" {
+		t.Errorf("client request id not echoed: got %q, want gw-42", id)
+	}
+}
+
+// TestMetricsScrapeUnderLoad hammers the synchronous and async APIs from
+// many goroutines while scrapers hit /metrics and /healthz concurrently
+// — the race-detector gate for the whole observability plane. Counters
+// observed by one scraper must be monotone across its scrapes, and every
+// scrape must complete while the store and session are under load.
+func TestMetricsScrapeUnderLoad(t *testing.T) {
+	ctx := context.Background()
+	sess, err := sunmap.NewSession(sunmap.WithParallelism(2), sunmap.WithTrace(sunmap.NewTrace()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv, err := serve.NewServer(ctx, sess, serve.Options{
+		EnableMetrics: true,
+		JobsDir:       t.TempDir(),
+		JobWorkers:    2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(sv.Handler())
+	t.Cleanup(func() {
+		srv.Close()
+		sv.Close()
+	})
+
+	batch, _ := json.Marshal([]sunmap.Request{
+		{ID: "a", Op: sunmap.OpMap, Map: &sunmap.MapRequest{
+			App: sunmap.AppSpec{Name: "dsp"}, Topology: "mesh-2x3",
+			Mapping: sunmap.MapSpec{CapacityMBps: 1000},
+		}},
+		{ID: "b", Op: "nonsense"},
+	})
+	job, _ := json.Marshal(sunmap.Request{
+		ID: "j", Op: sunmap.OpMap, Map: &sunmap.MapRequest{
+			App: sunmap.AppSpec{Name: "dsp"}, Topology: "mesh-2x3",
+			Mapping: sunmap.MapSpec{CapacityMBps: 1000},
+		},
+	})
+
+	const (
+		loaders = 4
+		iters   = 8
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, loaders*2+2)
+	hammer := func(path string, body []byte) {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			resp, err := http.Post(srv.URL+path, "application/json", strings.NewReader(string(body)))
+			if err != nil {
+				errs <- err
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}
+	for g := 0; g < loaders; g++ {
+		wg.Add(2)
+		go hammer("/v1/batch", batch)
+		go hammer("/v1/jobs", job)
+	}
+	// Two concurrent scrapers: /metrics plus the stats/healthz envelope
+	// and the in-process load snapshot.
+	for s := 0; s < 2; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var lastOps, lastJobs float64
+			for i := 0; i < iters*2; i++ {
+				samples, err := scrapeOnce(srv.URL)
+				if err != nil {
+					errs <- err
+					return
+				}
+				ops := samples[`sunmap_op_total{op="map",outcome="ok"}`]
+				jobs := samples[`sunmap_jobs_total{event="submitted"}`]
+				if ops < lastOps || jobs < lastJobs {
+					errs <- fmt.Errorf("counters went backwards: ops %v->%v jobs %v->%v", lastOps, ops, lastJobs, jobs)
+					return
+				}
+				lastOps, lastJobs = ops, jobs
+				resp, err := http.Get(srv.URL + "/healthz")
+				if err != nil {
+					errs <- err
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				_ = sess.Load()
+				time.Sleep(time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

@@ -41,8 +41,10 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	"os"
 	"sort"
 	"strconv"
 	"sync"
@@ -51,6 +53,7 @@ import (
 
 	"sunmap"
 	"sunmap/internal/jobs"
+	"sunmap/internal/obs"
 )
 
 // Options tunes the HTTP front-end. The zero value is production-safe.
@@ -84,8 +87,22 @@ type Options struct {
 	// starts — the way a ":0" server's actual port becomes observable.
 	OnListen func(net.Addr)
 	// ErrorLog receives response-write failures and other degraded-path
-	// notices (default: the log package's standard logger).
+	// notices. When nil those notices go to Logger instead; set it only
+	// for log-capture compatibility.
 	ErrorLog *log.Logger
+	// Logger receives the server's structured diagnostics, each line
+	// carrying request-id (and job-id) correlation fields. Nil selects a
+	// text logger on stderr at Info.
+	Logger *slog.Logger
+	// EnableMetrics registers GET /metrics: the process-wide and
+	// per-server registries in Prometheus text format. The scrape path
+	// reads only atomics and never takes a lock request admission could
+	// be queued behind.
+	EnableMetrics bool
+	// EnablePprof registers the /debug/pprof/* profiling endpoints.
+	// Opt-in: profiles expose internals and cost CPU while sampling, so
+	// they have no place on an exposed listener by default.
+	EnablePprof bool
 	// breaker tuning for tests; zero selects the jobs package defaults.
 	jobBreakerThreshold int
 	jobBreakerCooldown  time.Duration
@@ -149,6 +166,8 @@ type Server struct {
 	opts       Options
 	store      *jobs.Store // nil when jobs are disabled (NewHandler path)
 	mux        *http.ServeMux
+	root       http.Handler // mux wrapped in the request-id middleware
+	reg        *obs.Registry
 	writeFails atomic.Uint64
 	shedCount  atomic.Uint64
 	closeOnce  sync.Once
@@ -175,6 +194,7 @@ func NewServer(ctx context.Context, s *sunmap.Session, opts Options) (*Server, e
 		Retention:        opts.JobRetention,
 		BreakerThreshold: opts.jobBreakerThreshold,
 		BreakerCooldown:  opts.jobBreakerCooldown,
+		Logger:           sv.logger(),
 	}, sv.runJob)
 	if err != nil {
 		return nil, err
@@ -184,8 +204,14 @@ func NewServer(ctx context.Context, s *sunmap.Session, opts Options) (*Server, e
 	return sv, nil
 }
 
-// Handler returns the server's HTTP handler.
-func (sv *Server) Handler() http.Handler { return sv.mux }
+// Handler returns the server's HTTP handler (the route mux wrapped in
+// the request-id middleware).
+func (sv *Server) Handler() http.Handler {
+	if sv.root != nil {
+		return sv.root
+	}
+	return sv.mux
+}
 
 // Close stops the job store (interrupted jobs stay re-runnable in the
 // journal) and saves the eval-cache spill.
@@ -213,15 +239,30 @@ func (sv *Server) Close() error {
 func NewHandler(s *sunmap.Session, opts Options) http.Handler {
 	sv := &Server{sess: s, opts: opts.withDefaults()}
 	sv.buildMux()
-	return sv.mux
+	return sv.Handler()
 }
 
+// defaultLogger is the fallback structured logger shared by servers
+// whose Options carry neither a Logger nor an ErrorLog.
+var defaultLogger = obs.NewLogger(os.Stderr, slog.LevelInfo)
+
+// logger resolves the server's structured logger. Resolution is by
+// method, not construction, so a zero-built Server (tests) logs too.
+func (sv *Server) logger() *slog.Logger {
+	if sv.opts.Logger != nil {
+		return sv.opts.Logger
+	}
+	return defaultLogger
+}
+
+// logf reports a degraded-path notice: to ErrorLog when configured
+// (log-capture compatibility), else to the structured logger at Warn.
 func (sv *Server) logf(format string, args ...any) {
 	if sv.opts.ErrorLog != nil {
 		sv.opts.ErrorLog.Printf(format, args...)
 		return
 	}
-	log.Printf(format, args...)
+	sv.logger().Warn(fmt.Sprintf(format, args...))
 }
 
 func (sv *Server) buildMux() {
@@ -295,6 +336,8 @@ func (sv *Server) buildMux() {
 	if sv.store != nil {
 		sv.registerJobRoutes(mux)
 	}
+	sv.registerObsRoutes(mux)
+	sv.root = sv.withRequestID(mux)
 }
 
 func (sv *Server) registerJobRoutes(mux *http.ServeMux) {
@@ -316,7 +359,7 @@ func (sv *Server) registerJobRoutes(mux *http.ServeMux) {
 			sv.writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
 			return
 		}
-		jb, err := sv.store.Submit(r.Context(), req.Op, body)
+		jb, err := sv.store.SubmitTagged(r.Context(), req.Op, body, requestID(r.Context()))
 		if err != nil {
 			var open *jobs.BreakerOpenError
 			if errors.As(err, &open) {

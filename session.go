@@ -14,6 +14,7 @@ import (
 	"sunmap/internal/fault"
 	"sunmap/internal/graph"
 	"sunmap/internal/mapping"
+	"sunmap/internal/obs"
 	"sunmap/internal/pool"
 	"sunmap/internal/route"
 	"sunmap/internal/search"
@@ -44,6 +45,7 @@ type Session struct {
 	fault       *FaultSpec
 	tech        tech.Tech
 	limit       *pool.Limiter
+	trace       *Trace
 	// scope holds machine-discovered topologies registered by Search —
 	// session-local so serve processes never leak or collide names across
 	// tenants the way the process-wide registry would.
@@ -235,6 +237,8 @@ func (s *Session) topologyByName(name string) (Topology, error) {
 // together with an error wrapping ErrInfeasible, so callers can both
 // branch on errors.Is and inspect the candidate table.
 func (s *Session) Select(ctx context.Context, req SelectRequest) (*SelectReport, error) {
+	ctx = s.traceCtx(ctx)
+	defer obs.FromContext(ctx).Start(obs.StageSelect).End()
 	app, err := req.App.resolve()
 	if err != nil {
 		return nil, err
@@ -268,6 +272,8 @@ func (s *Session) Select(ctx context.Context, req SelectRequest) (*SelectReport,
 // design point. Infeasible mappings are reported, not errors: the
 // report's feasibility flags carry the verdict.
 func (s *Session) Map(ctx context.Context, req MapRequest) (*DesignReport, error) {
+	ctx = s.traceCtx(ctx)
+	defer obs.FromContext(ctx).Start(obs.StageMap).End()
 	app, err := req.App.resolve()
 	if err != nil {
 		return nil, err
@@ -313,6 +319,8 @@ func (s *Session) evalMap(ctx context.Context, app *graph.CoreGraph, topo Topolo
 // bandwidth of each — the bars of Fig. 9(a). Feasibility is judged
 // against the request capacity (500 MB/s when unset).
 func (s *Session) RoutingSweep(ctx context.Context, req SweepRequest) (*SweepReport, error) {
+	ctx = s.traceCtx(ctx)
+	defer obs.FromContext(ctx).Start(obs.StageRoutingSweep).End()
 	app, err := req.App.resolve()
 	if err != nil {
 		return nil, err
@@ -349,6 +357,8 @@ func (s *Session) RoutingSweep(ctx context.Context, req SweepRequest) (*SweepRep
 // named topology and reports the area-power design points with the
 // Pareto front marked — Fig. 9(b).
 func (s *Session) ParetoExplore(ctx context.Context, req ParetoRequest) (*ParetoReport, error) {
+	ctx = s.traceCtx(ctx)
+	defer obs.FromContext(ctx).Start(obs.StagePareto).End()
 	app, err := req.App.resolve()
 	if err != nil {
 		return nil, err
@@ -442,6 +452,8 @@ func applyFaultSpec(cfg *core.Config, spec *FaultSpec) error {
 // within the session's parallelism; results are deterministic for a given
 // seed at every setting.
 func (s *Session) Simulate(ctx context.Context, req SimRequest) (*SimReport, error) {
+	ctx = s.traceCtx(ctx)
+	defer obs.FromContext(ctx).Start(obs.StageSimulate).End()
 	topo, err := s.topologyByName(req.Topology)
 	if err != nil {
 		return nil, err
@@ -564,6 +576,8 @@ func patternByName(name string, req SimRequest, topo Topology) (TrafficPattern, 
 // With an empty Topology, a full selection chooses the network first —
 // reusing any design points the session cache already holds.
 func (s *Session) Generate(ctx context.Context, req GenerateRequest) (*GenerateReport, error) {
+	ctx = s.traceCtx(ctx)
+	defer obs.FromContext(ctx).Start(obs.StageGenerate).End()
 	app, err := req.App.resolve()
 	if err != nil {
 		return nil, err
@@ -615,6 +629,8 @@ func (s *Session) Generate(ctx context.Context, req GenerateRequest) (*GenerateR
 // mid-measurement, with degraded routes installed at the fault cycle, to
 // measure delivered throughput before and after the failure.
 func (s *Session) FaultSweep(ctx context.Context, req FaultSweepRequest) (*FaultReport, error) {
+	ctx = s.traceCtx(ctx)
+	defer obs.FromContext(ctx).Start(obs.StageFaultSweep).End()
 	app, err := req.App.resolve()
 	if err != nil {
 		return nil, err
@@ -790,6 +806,8 @@ type SearchCheckpoints struct {
 // layer uses it to journal annealing progress and to resume interrupted
 // searches with bit-identical results.
 func (s *Session) SearchCheckpointed(ctx context.Context, req SearchRequest, cp *SearchCheckpoints) (*SearchReport, error) {
+	ctx = s.traceCtx(ctx)
+	defer obs.FromContext(ctx).Start(obs.StageSearch).End()
 	app, err := req.App.resolve()
 	if err != nil {
 		return nil, err
@@ -875,6 +893,21 @@ func (s *Session) Do(ctx context.Context, req Request) Report {
 // is the hook the serve layer's durable job runner executes through.
 func (s *Session) DoCheckpointed(ctx context.Context, req Request, cp *SearchCheckpoints) (rep Report) {
 	rep = Report{ID: req.ID, Op: req.Op}
+	// Declared before the recover defer (LIFO), so the observed outcome
+	// includes panics the recover turned into error reports.
+	opStart := obs.Now()
+	defer func() {
+		m, ok := opMetricsByOp[req.Op]
+		if !ok {
+			return // unknown op: Validate already rejected it
+		}
+		m.seconds.ObserveSeconds(int64(obs.Since(opStart)))
+		if rep.Error == "" {
+			m.ok.Inc()
+		} else {
+			m.err.Inc()
+		}
+	}()
 	defer func() {
 		if r := recover(); r != nil {
 			rep.Error = fmt.Sprintf("panic: %v", r)
